@@ -1,0 +1,25 @@
+"""Helpers shared by the benchmark modules (scale knobs and machine counts).
+
+Kept outside ``conftest.py`` so benchmark modules can import them explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["bench_scale", "bench_machines", "scaled"]
+
+
+def bench_scale() -> float:
+    """The workload-size multiplier requested via ``REPRO_BENCH_SCALE``."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_machines() -> int:
+    """The machine count requested via ``REPRO_BENCH_MACHINES``."""
+    return int(os.environ.get("REPRO_BENCH_MACHINES", "16"))
+
+
+def scaled(value: int, minimum: int = 200) -> int:
+    """Scale a default workload size knob by ``REPRO_BENCH_SCALE``."""
+    return max(minimum, int(round(value * bench_scale())))

@@ -1,0 +1,45 @@
+"""Shared fixtures of the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section (section VI).  The regenerated rows/series are printed and also
+written to ``benchmarks/results/<name>.txt`` so they survive pytest's output
+capturing; EXPERIMENTS.md records the paper-vs-measured comparison based on
+those files.
+
+Scale knobs (environment variables):
+
+``REPRO_BENCH_SCALE``
+    Multiplier on the default laptop-scale workload sizes (default ``1.0``).
+``REPRO_BENCH_MACHINES``
+    The number of machines ``J`` used by the single-J experiments
+    (default ``16``; the paper uses 32 on a physical cluster).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from bench_utils import bench_machines
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def machines() -> int:
+    """``J`` for the single-J experiments."""
+    return bench_machines()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Persist a regenerated table to ``benchmarks/results`` and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, title: str, body: str) -> None:
+        text = f"{title}\n{'=' * len(title)}\n{body}\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print(f"\n{text}")
+
+    return _write

@@ -1,0 +1,71 @@
+"""Figures 4d and 4e: weak scalability of B_CB-3 (execution time and memory).
+
+The paper scales the X dataset and the machine count together
+(96M/16 -> 192M/32 -> 384M/64) and shows that CI scales worst -- its
+replication factor grows with J, doubling the per-machine input costs -- while
+CSIO keeps both total time and memory under control.  The reproduction scales
+the small-segment size and J by the same factors.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_scalability_table
+from repro.bench.scalability import run_weak_scaling
+from repro.workloads.definitions import make_bcb
+
+from bench_utils import scaled
+
+
+def run_sweep():
+    points = [(scaled(1_000), 8), (scaled(2_000), 16), (scaled(4_000), 32)]
+    return run_weak_scaling(
+        workload_factory=lambda size: make_bcb(
+            beta=3, small_segment_size=int(size), seed=14
+        ),
+        points=points,
+        schemes=("CI", "CSI", "CSIO"),
+        seed=0,
+    )
+
+
+def test_figure4de_bcb3_weak_scaling(benchmark, report):
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(
+        "fig4de_bcb_scalability",
+        "Figures 4d/4e: B_CB-3 weak scaling (size and J doubled together)",
+        format_scalability_table(points),
+    )
+
+    for point in points:
+        for scheme, result in point.comparison.results.items():
+            assert result.output_correct, (point.num_machines, scheme)
+
+    # CSIO stays on the lower envelope at every point.
+    for point in points:
+        results = point.comparison.results
+        best_other = min(results["CI"].total_cost, results["CSI"].total_cost)
+        assert results["CSIO"].total_cost <= 1.15 * best_other
+
+    # CI's relative memory consumption grows with J (its replication factor
+    # grows as the machine grid widens), so the memory gap to CSIO widens.
+    first, last = points[0], points[-1]
+    gap_first = (
+        first.comparison.results["CI"].memory_tuples
+        / first.comparison.results["CSIO"].memory_tuples
+    )
+    gap_last = (
+        last.comparison.results["CI"].memory_tuples
+        / last.comparison.results["CSIO"].memory_tuples
+    )
+    assert gap_last > gap_first
+
+    # CI's total cost degrades relative to CSIO as the cluster grows.
+    rel_first = (
+        first.comparison.results["CI"].total_cost
+        / first.comparison.results["CSIO"].total_cost
+    )
+    rel_last = (
+        last.comparison.results["CI"].total_cost
+        / last.comparison.results["CSIO"].total_cost
+    )
+    assert rel_last >= rel_first

@@ -1,0 +1,43 @@
+"""Table IV: characteristics of the evaluation joins.
+
+Regenerates the input size, output size and output/input ratio of every
+Table IV join at the reproduction's laptop scale.  The paper's absolute sizes
+(480M tuples and beyond) are out of reach for a pure-Python single machine;
+what must hold is the *classification*: B_ICD is input-cost dominated
+(rho_oi < 1), the B_CB family is cost-balanced with rho_oi growing with the
+band width, and BE_OCD is output-cost dominated.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table_iv
+from repro.workloads.definitions import make_bcb, make_beocd, make_bicd
+
+from bench_utils import scaled
+
+
+def build_workloads():
+    workloads = [make_bicd(num_orders=scaled(10_000), seed=7)]
+    for beta in (1, 2, 3, 4, 8, 16):
+        workloads.append(
+            make_bcb(beta=beta, small_segment_size=scaled(2_000), seed=11 + beta)
+        )
+    workloads.append(make_beocd(num_orders=scaled(20_000), seed=7))
+    # Force the exact output sizes to be computed inside the benchmark.
+    for workload in workloads:
+        workload.exact_output_size()
+    return workloads
+
+
+def test_table_iv_characteristics(benchmark, report):
+    workloads = benchmark.pedantic(build_workloads, rounds=1, iterations=1)
+    report("table_iv", "Table IV: join characteristics", format_table_iv(workloads))
+
+    by_name = {w.name: w for w in workloads}
+    # B_ICD is input-cost dominated.
+    assert by_name["B_ICD"].output_input_ratio() < 1.5
+    # BE_OCD is output-cost dominated.
+    assert by_name["BE_OCD"].output_input_ratio() > 5.0
+    # rho_oi grows monotonically with the band width of B_CB.
+    ratios = [by_name[f"B_CB-{beta}"].output_input_ratio() for beta in (1, 2, 3, 4, 8, 16)]
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))

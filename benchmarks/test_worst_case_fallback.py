@@ -1,0 +1,102 @@
+"""Section VI-E: worst-case scenarios and the high-selectivity fallback.
+
+Two claims are benchmarked:
+
+* **Input-dominated / no-skew corner.**  For B_ICD the join product skew is
+  negligible, so CSIO's advantage over CSI shrinks to almost nothing -- the
+  paper reports a worst case of CSIO being 1.04x *slower* in total time.  The
+  benchmark verifies CSIO stays within a few percent of CSI there.
+* **High-selectivity fallback.**  The adaptive operator always starts by
+  building the CSIO scheme and falls back to CI when the build exceeds a
+  time-per-input threshold.  The benchmark runs it with a generous and with a
+  tiny threshold and verifies both paths produce correct output, and that the
+  wasted statistics work charged by the fallback path is a small fraction of
+  CI's total cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.reporting import format_rows
+from repro.engine.adaptive import AdaptiveOperator
+from repro.engine.operators import CIOperator, CSIOOperator, CSIOperator
+from repro.workloads.definitions import make_beocd, make_bicd
+
+from bench_utils import bench_machines, scaled
+
+
+def run_all():
+    machines = bench_machines()
+    bicd = make_bicd(num_orders=scaled(10_000), seed=7)
+    beocd = make_beocd(num_orders=scaled(20_000), seed=7)
+
+    results = {}
+    results["bicd_csi"] = CSIOperator(machines).run(
+        bicd.keys1, bicd.keys2, bicd.condition, bicd.weight_fn,
+        rng=np.random.default_rng(0),
+    )
+    results["bicd_csio"] = CSIOOperator(machines).run(
+        bicd.keys1, bicd.keys2, bicd.condition, bicd.weight_fn,
+        rng=np.random.default_rng(0),
+    )
+    results["beocd_ci"] = CIOperator(machines).run(
+        beocd.keys1, beocd.keys2, beocd.condition, beocd.weight_fn,
+        rng=np.random.default_rng(0),
+    )
+
+    keep = AdaptiveOperator(machines, fallback_seconds_per_million=10_000.0)
+    results["adaptive_keep"] = keep.run(
+        beocd.keys1, beocd.keys2, beocd.condition, beocd.weight_fn,
+        rng=np.random.default_rng(0),
+    )
+    results["adaptive_keep_fell_back"] = keep.fell_back
+
+    fall = AdaptiveOperator(machines, fallback_seconds_per_million=1e-9)
+    results["adaptive_fall"] = fall.run(
+        beocd.keys1, beocd.keys2, beocd.condition, beocd.weight_fn,
+        rng=np.random.default_rng(0),
+    )
+    results["adaptive_fall_fell_back"] = fall.fell_back
+    return results
+
+
+def test_worst_case_and_fallback(benchmark, report):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        ["B_ICD", "CSI", f"{results['bicd_csi'].total_cost:,.0f}", "-"],
+        ["B_ICD", "CSIO", f"{results['bicd_csio'].total_cost:,.0f}", "-"],
+        ["BE_OCD", "CI", f"{results['beocd_ci'].total_cost:,.0f}", "-"],
+        [
+            "BE_OCD", "adaptive (kept CSIO)",
+            f"{results['adaptive_keep'].total_cost:,.0f}",
+            str(results["adaptive_keep_fell_back"]),
+        ],
+        [
+            "BE_OCD", "adaptive (forced fallback)",
+            f"{results['adaptive_fall'].total_cost:,.0f}",
+            str(results["adaptive_fall_fell_back"]),
+        ],
+    ]
+    report(
+        "worst_case_fallback",
+        f"Section VI-E: worst cases and the high-selectivity fallback (J = {bench_machines()})",
+        format_rows(["join", "operator", "total cost", "fell back"], rows),
+    )
+
+    # Worst case: CSIO within a few percent of CSI on the no-JPS corner
+    # (the paper's bound is 1.04x; allow a little more at laptop scale).
+    assert results["bicd_csio"].total_cost <= 1.10 * results["bicd_csi"].total_cost
+
+    # The fallback decision fires only under the tiny threshold.
+    assert not results["adaptive_keep_fell_back"]
+    assert results["adaptive_fall_fell_back"]
+    assert results["adaptive_keep"].output_correct
+    assert results["adaptive_fall"].output_correct
+
+    # The wasted CSIO statistics charged by the fallback path are a small
+    # fraction of CI's total cost (the paper reports about 4%).
+    wasted = results["adaptive_fall"].total_cost - results["beocd_ci"].total_cost
+    assert wasted >= 0
+    assert wasted <= 0.25 * results["beocd_ci"].total_cost

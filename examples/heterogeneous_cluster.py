@@ -1,0 +1,55 @@
+"""Load balancing on a heterogeneous cluster (paper, Appendix A5).
+
+Machines rarely have identical capacity in practice.  The paper's
+generalisation section proposes requesting *more regions than machines* from
+the histogram algorithm and assigning regions to machines proportionally to
+capacity.  This example runs a skewed band join on a cluster whose machines
+have capacities 1x, 1x, 2x and 4x and shows that the per-machine load divided
+by capacity ends up nearly flat.
+
+Run with::
+
+    python examples/heterogeneous_cluster.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.heterogeneous import run_heterogeneous_join
+from repro.workloads.definitions import make_bcb
+
+
+def main() -> None:
+    workload = make_bcb(beta=3, small_segment_size=2_000, seed=11)
+    capacities = [1.0, 1.0, 2.0, 4.0]
+    weight_fn = workload.weight_fn
+
+    print(f"Machine capacities: {capacities}")
+    result = run_heterogeneous_join(
+        workload.keys1, workload.keys2, workload.condition, capacities,
+        weight_fn, rng=np.random.default_rng(0),
+    )
+    print(
+        f"The histogram algorithm was asked for {result.num_virtual_regions} regions "
+        f"for {len(capacities)} machines.\n"
+    )
+
+    weights = result.machine_weights(weight_fn)
+    normalised = result.normalised_weights(weight_fn)
+    print("machine  capacity  input tuples  output tuples  weight      weight/capacity")
+    for machine, capacity in enumerate(capacities):
+        print(
+            f"{machine:7d}  {capacity:8.1f}  {result.per_machine_input[machine]:12,}  "
+            f"{result.per_machine_output[machine]:13,}  {weights[machine]:10,.0f}  "
+            f"{normalised[machine]:15,.0f}"
+        )
+    print(
+        f"\nload imbalance (max / mean of weight-per-capacity): "
+        f"{normalised.max() / normalised.mean():.3f} (1.0 is perfect)"
+    )
+    print(f"total output tuples: {result.total_output:,}")
+
+
+if __name__ == "__main__":
+    main()

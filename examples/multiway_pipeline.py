@@ -1,0 +1,63 @@
+"""A multi-way join executed as a sequence of load-balanced 2-way joins.
+
+The paper's operator targets 2-way joins and argues (section IV-B) that a
+multi-way join runs efficiently as a sequence of them precisely because the
+equi-weight histogram keeps the expensive part -- shipping the growing
+intermediate results between operators -- balanced.  This example joins three
+relations with band conditions, once with CSIO and once with the baselines,
+and compares the accumulated per-step maximum machine weight.
+
+Run with::
+
+    python examples/multiway_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.weights import BAND_JOIN_WEIGHTS
+from repro.joins.conditions import BandJoinCondition
+from repro.joins.multiway import MultiwayJoinStep, run_multiway_join
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    # Three relations; the hot low-key range is shared, so intermediates grow.
+    def relation(size: int) -> np.ndarray:
+        hot = rng.integers(0, 60, size // 4)
+        cold = rng.integers(1_000, 20_000, size - size // 4)
+        return np.concatenate([hot, cold]).astype(float)
+
+    keys_a = relation(1_200)
+    keys_b = relation(1_200)
+    keys_c = relation(800)
+    steps = [
+        MultiwayJoinStep(keys=keys_b, condition=BandJoinCondition(beta=2.0), name="A  join B"),
+        MultiwayJoinStep(keys=keys_c, condition=BandJoinCondition(beta=1.0), name="AB join C"),
+    ]
+    num_machines = 8
+
+    print(f"Left-deep plan over 3 relations, J = {num_machines} per step\n")
+    for scheme in ("CSIO", "CSI", "CI"):
+        result = run_multiway_join(
+            keys_a, steps, num_machines, BAND_JOIN_WEIGHTS,
+            scheme=scheme, rng=np.random.default_rng(0),
+        )
+        print(f"scheme {scheme}:")
+        for step in result.steps:
+            print(
+                f"  {step.name}: {step.left_size:,} x {step.right_size:,} tuples "
+                f"-> {step.output_size:,} out, max machine weight {step.max_weight:,.0f}"
+            )
+        print(f"  pipeline cost (sum of per-step maxima): {result.total_cost:,.0f}\n")
+
+    print(
+        "The intermediate result of the first step is the input of the second, "
+        "so balancing its production (the output-related work) is what keeps "
+        "the whole pipeline fast -- the CSIO pipeline cost is the smallest."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Skew resilience across the output/input spectrum (the Figure 4b story).
+
+Sweeps the band width of the B_CB join -- which sweeps the output/input
+ratio rho_oi -- and shows how the three operators respond:
+
+* CI (1-Bucket) ignores content, so its replication overhead hurts most when
+  input costs dominate (small rho_oi) and fades as output grows;
+* CSI (M-Bucket) balances input only, so join product skew hurts it more and
+  more as rho_oi grows;
+* CSIO (the equi-weight histogram) tracks the total work and stays at the
+  lower envelope across the whole spectrum.
+
+Run with::
+
+    python examples/skew_resilience.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import compare_operators
+from repro.bench.reporting import format_rows
+from repro.workloads.definitions import make_bcb
+
+
+def main() -> None:
+    num_machines = 16
+    rows = []
+    print("Sweeping the B_CB band width (this sweeps rho_oi)...\n")
+    for beta in (1, 2, 3, 4, 8, 16):
+        workload = make_bcb(beta=beta, small_segment_size=1_500, seed=11 + beta)
+        comparison = compare_operators(workload, num_machines=num_machines, seed=0)
+        csio = comparison.results["CSIO"].total_cost
+        rows.append(
+            [
+                workload.name,
+                f"{comparison.output_input_ratio:.2f}",
+                f"{comparison.results['CI'].total_cost / csio:.2f}x",
+                f"{comparison.results['CSI'].total_cost / csio:.2f}x",
+                "1.00x",
+                f"{comparison.results['CI'].memory_tuples:,}",
+                f"{comparison.results['CSIO'].memory_tuples:,}",
+            ]
+        )
+
+    print(
+        format_rows(
+            [
+                "join",
+                "rho_oi",
+                "CI / CSIO",
+                "CSI / CSIO",
+                "CSIO",
+                "CI memory",
+                "CSIO memory",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nReading the table: CI's normalised cost falls as rho_oi grows "
+        "(replication stops mattering), CSI's rises (join product skew bites), "
+        "and CSIO defines the baseline at every point."
+    )
+
+
+if __name__ == "__main__":
+    main()

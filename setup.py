@@ -1,0 +1,18 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in editable mode on environments whose setuptools
+lacks PEP 660 support (no ``wheel`` package available), via
+``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,90 @@
+"""repro -- Load Balancing and Skew Resilience for Parallel Joins (ICDE 2016).
+
+A reproduction of the equi-weight histogram (EWH / CSIO) partitioning scheme
+of Vitorovic, Elseidy and Koch, together with every substrate it needs: the
+1-Bucket and M-Bucket baselines, the parallel Stream-Sample output sampler,
+the sampling/coarsening/MonotonicBSP histogram pipeline, a shared-nothing
+execution engine, the evaluation datasets and workloads, and a benchmark
+harness that regenerates every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import CIOperator, CSIOperator, CSIOOperator, make_bcb
+
+    workload = make_bcb(beta=3, small_segment_size=4000)
+    for operator_cls in (CIOperator, CSIOperator, CSIOOperator):
+        result = operator_cls(num_machines=16).run(
+            workload.keys1, workload.keys2, workload.condition,
+            workload.weight_fn,
+        )
+        print(result.scheme, f"total cost {result.total_cost:,.0f}")
+"""
+
+from repro.core.histogram import (
+    EWHConfig,
+    EquiWeightHistogram,
+    build_equi_weight_histogram,
+)
+from repro.core.weights import (
+    BAND_JOIN_WEIGHTS,
+    EQUI_BAND_JOIN_WEIGHTS,
+    WeightFunction,
+)
+from repro.engine.adaptive import AdaptiveOperator
+from repro.engine.heterogeneous import run_heterogeneous_join
+from repro.engine.cluster import run_partitioned_join
+from repro.engine.executor import run_join_multiprocess
+from repro.engine.operators import CIOperator, CSIOOperator, CSIOperator
+from repro.joins.conditions import (
+    BandJoinCondition,
+    CompositeEquiBandCondition,
+    EquiJoinCondition,
+    InequalityJoinCondition,
+    InequalityOp,
+)
+from repro.joins.multiway import MultiwayJoinStep, run_multiway_join
+from repro.joins.relations import Relation
+from repro.partitioning.ewh import build_ewh_partitioning
+from repro.partitioning.m_bucket import MBucketConfig, build_m_bucket_partitioning
+from repro.partitioning.one_bucket import build_one_bucket_partitioning
+from repro.workloads.definitions import make_bcb, make_beocd, make_bicd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Join conditions and relations.
+    "BandJoinCondition",
+    "EquiJoinCondition",
+    "InequalityJoinCondition",
+    "InequalityOp",
+    "CompositeEquiBandCondition",
+    "Relation",
+    # Cost model.
+    "WeightFunction",
+    "BAND_JOIN_WEIGHTS",
+    "EQUI_BAND_JOIN_WEIGHTS",
+    # The equi-weight histogram.
+    "EWHConfig",
+    "EquiWeightHistogram",
+    "build_equi_weight_histogram",
+    # Partitioning schemes.
+    "build_one_bucket_partitioning",
+    "build_m_bucket_partitioning",
+    "MBucketConfig",
+    "build_ewh_partitioning",
+    # Engine.
+    "run_partitioned_join",
+    "run_join_multiprocess",
+    "CIOperator",
+    "CSIOperator",
+    "CSIOOperator",
+    "AdaptiveOperator",
+    "run_heterogeneous_join",
+    "MultiwayJoinStep",
+    "run_multiway_join",
+    # Workloads.
+    "make_bicd",
+    "make_bcb",
+    "make_beocd",
+]

@@ -1,0 +1,270 @@
+"""Ablation studies of the design choices DESIGN.md calls out.
+
+The paper motivates several design decisions that are not headline results
+but directly determine whether the histogram algorithm is both *efficient*
+and *accurate*:
+
+* **MonotonicBSP vs baseline BSP** (Table III) -- the join-specialised tiling
+  must match the baseline's balance while evaluating far fewer rectangles.
+* **Coarsened matrix size ``n_c``** (section III-D) -- the paper picks
+  ``n_c = 2J`` rather than ``J`` to lessen the grid-partitioning accuracy
+  loss; too large an ``n_c`` only slows regionalization down.
+* **Sample matrix size ``n_s``** (Lemma 3.1) -- shrinking ``n_s`` below
+  ``sqrt(2 n J)`` produces over-weight cells and degrades load balance;
+  growing it only costs time.
+* **Output sample size ``s_o``** (Appendix A1) -- the estimate of the output
+  distribution degrades when the sample is much smaller than the number of
+  candidate MS cells.
+
+Each ablation runs the CSIO operator on one workload while sweeping exactly
+one knob and reports the achieved maximum region weight (load-balance
+quality), the total modelled cost and the wall-clock seconds spent building
+the scheme (efficiency).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bsp import bsp_partition
+from repro.core.grid import WeightedGrid
+from repro.core.histogram import EWHConfig
+from repro.core.monotonic_bsp import monotonic_bsp_partition
+from repro.core.weights import WeightFunction
+from repro.engine.operators import CSIOOperator, OperatorRunResult
+from repro.joins.conditions import BandJoinCondition
+from repro.workloads.definitions import JoinWorkload
+
+__all__ = [
+    "TilingComparisonRow",
+    "compare_tiling_algorithms",
+    "AblationRow",
+    "coarsened_size_ablation",
+    "sample_matrix_size_ablation",
+    "output_sample_ablation",
+]
+
+
+# ----------------------------------------------------------------------
+# MonotonicBSP vs BSP (Table III)
+# ----------------------------------------------------------------------
+@dataclass
+class TilingComparisonRow:
+    """One grid size of the MonotonicBSP vs BSP comparison.
+
+    Attributes
+    ----------
+    grid_size:
+        Side length of the coarsened-matrix-like grid.
+    delta:
+        Weight threshold both algorithms were given.
+    bsp_regions, monotonic_regions:
+        Number of regions each algorithm produced (must agree for the
+        comparison to be meaningful -- both solve the same DP).
+    bsp_max_weight, monotonic_max_weight:
+        Maximum region weight each achieved.
+    bsp_rectangles, monotonic_rectangles:
+        Rectangles evaluated by each dynamic program (the Table III cost
+        driver).
+    bsp_seconds, monotonic_seconds:
+        Wall-clock seconds of each run.
+    """
+
+    grid_size: int
+    delta: float
+    bsp_regions: int
+    monotonic_regions: int
+    bsp_max_weight: float
+    monotonic_max_weight: float
+    bsp_rectangles: int
+    monotonic_rectangles: int
+    bsp_seconds: float
+    monotonic_seconds: float
+
+    @property
+    def rectangle_ratio(self) -> float:
+        """How many times fewer rectangles MonotonicBSP evaluated."""
+        if self.monotonic_rectangles == 0:
+            return float("inf")
+        return self.bsp_rectangles / self.monotonic_rectangles
+
+
+def _band_grid(size: int, beta: float, seed: int) -> WeightedGrid:
+    """A random monotonic band-join-like grid used by the tiling comparison."""
+    rng = np.random.default_rng(seed)
+    boundaries = np.sort(rng.uniform(0, 10 * size, size=size + 1))
+    condition = BandJoinCondition(beta=beta)
+    candidate = condition.candidate_grid(
+        boundaries[:-1], boundaries[1:], boundaries[:-1], boundaries[1:]
+    )
+    frequency = np.where(candidate, rng.integers(0, 20, size=(size, size)), 0)
+    return WeightedGrid(
+        frequency=frequency.astype(np.float64),
+        row_input=rng.integers(5, 15, size=size).astype(np.float64),
+        col_input=rng.integers(5, 15, size=size).astype(np.float64),
+        candidate=candidate,
+    )
+
+
+def compare_tiling_algorithms(
+    grid_sizes: tuple[int, ...] = (6, 8, 10, 12),
+    beta: float = 8.0,
+    weight_fn: WeightFunction | None = None,
+    delta_fraction: float = 0.2,
+    seed: int = 3,
+) -> list[TilingComparisonRow]:
+    """Run BSP and MonotonicBSP on the same grids and compare cost and quality.
+
+    Parameters
+    ----------
+    grid_sizes:
+        Side lengths of the synthetic monotonic grids (kept small because the
+        baseline BSP is O(size^5)).
+    beta:
+        Band width (in key units) controlling how wide the candidate diagonal
+        band of the synthetic grids is.
+    weight_fn:
+        Cost model (defaults to unit weights).
+    delta_fraction:
+        The weight threshold handed to both algorithms, as a fraction of the
+        total grid weight.
+    seed:
+        Seed of the synthetic grid generator.
+    """
+    weight_fn = weight_fn or WeightFunction()
+    rows: list[TilingComparisonRow] = []
+    for size in grid_sizes:
+        grid = _band_grid(size, beta, seed)
+        delta = delta_fraction * weight_fn.weight(grid.total_input, grid.total_output)
+        delta = max(delta, grid.max_cell_weight(weight_fn, candidates_only=True))
+
+        start = time.perf_counter()
+        bsp = bsp_partition(grid, weight_fn, delta)
+        bsp_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        mono = monotonic_bsp_partition(grid, weight_fn, delta)
+        mono_seconds = time.perf_counter() - start
+
+        rows.append(
+            TilingComparisonRow(
+                grid_size=size,
+                delta=delta,
+                bsp_regions=bsp.num_regions,
+                monotonic_regions=mono.num_regions,
+                bsp_max_weight=bsp.max_region_weight,
+                monotonic_max_weight=mono.max_region_weight,
+                bsp_rectangles=bsp.rectangles_evaluated,
+                monotonic_rectangles=mono.rectangles_evaluated,
+                bsp_seconds=bsp_seconds,
+                monotonic_seconds=mono_seconds,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Single-knob CSIO ablations
+# ----------------------------------------------------------------------
+@dataclass
+class AblationRow:
+    """One point of a single-knob CSIO ablation sweep.
+
+    Attributes
+    ----------
+    knob:
+        Name of the swept parameter.
+    value:
+        Value of the parameter at this point.
+    result:
+        The full operator run result.
+    """
+
+    knob: str
+    value: float
+    result: OperatorRunResult = field(repr=False)
+
+    @property
+    def join_cost(self) -> float:
+        """Modelled join cost (maximum machine weight)."""
+        return self.result.join_cost
+
+    @property
+    def total_cost(self) -> float:
+        """Modelled total cost (stats + join)."""
+        return self.result.total_cost
+
+    @property
+    def build_seconds(self) -> float:
+        """Wall-clock seconds spent building the scheme."""
+        return self.result.build_seconds
+
+
+def _run_csio(
+    workload: JoinWorkload, num_machines: int, config: EWHConfig, seed: int
+) -> OperatorRunResult:
+    operator = CSIOOperator(num_machines, config=config)
+    return operator.run(
+        workload.keys1,
+        workload.keys2,
+        workload.condition,
+        workload.weight_fn,
+        rng=np.random.default_rng(seed),
+        expected_output=workload.exact_output_size(),
+    )
+
+
+def coarsened_size_ablation(
+    workload: JoinWorkload,
+    num_machines: int,
+    multipliers: tuple[float, ...] = (1.0, 2.0, 3.0),
+    seed: int = 0,
+) -> list[AblationRow]:
+    """Sweep the coarsened-matrix size ``n_c`` as a multiple of ``J``.
+
+    The paper's choice is ``n_c = 2J``; multiplier 1 reproduces the "factor
+    of 4" risk of coarsening at ``n_c = J``, larger multipliers only raise
+    the regionalization cost.
+    """
+    rows = []
+    for multiplier in multipliers:
+        nc = max(1, int(round(multiplier * num_machines)))
+        config = EWHConfig(max_coarsened_size=nc, seed=seed)
+        result = _run_csio(workload, num_machines, config, seed)
+        rows.append(AblationRow(knob="nc_multiplier", value=multiplier, result=result))
+    return rows
+
+
+def sample_matrix_size_ablation(
+    workload: JoinWorkload,
+    num_machines: int,
+    sizes: tuple[int, ...],
+    seed: int = 0,
+) -> list[AblationRow]:
+    """Sweep the sample matrix size ``n_s`` (overriding the Lemma 3.1 formula)."""
+    rows = []
+    for size in sizes:
+        config = EWHConfig(sample_matrix_size=int(size), seed=seed)
+        result = _run_csio(workload, num_machines, config, seed)
+        rows.append(AblationRow(knob="ns", value=float(size), result=result))
+    return rows
+
+
+def output_sample_ablation(
+    workload: JoinWorkload,
+    num_machines: int,
+    multiples: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    seed: int = 0,
+) -> list[AblationRow]:
+    """Sweep the output sample size as a multiple of the candidate MS cells."""
+    rows = []
+    for multiple in multiples:
+        config = EWHConfig(output_sample_multiple=float(multiple), seed=seed)
+        result = _run_csio(workload, num_machines, config, seed)
+        rows.append(
+            AblationRow(knob="output_sample_multiple", value=multiple, result=result)
+        )
+    return rows

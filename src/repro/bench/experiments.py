@@ -1,0 +1,122 @@
+"""Operator-comparison experiments (Figures 4a, 4b, 4c and 4h).
+
+``compare_operators`` runs one workload under a selection of operators (CI,
+CSI, CSIO, and optionally the adaptive fallback) on the simulated cluster and
+returns one :class:`~repro.engine.operators.OperatorRunResult` per operator,
+wrapped together with the workload's characteristics (the Table IV columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.histogram import EWHConfig
+from repro.engine.adaptive import AdaptiveOperator
+from repro.engine.operators import (
+    CIOperator,
+    CSIOOperator,
+    CSIOperator,
+    OperatorRunResult,
+)
+from repro.partitioning.m_bucket import MBucketConfig
+from repro.workloads.definitions import JoinWorkload
+
+__all__ = ["ComparisonResult", "compare_operators"]
+
+#: Default operator line-up of the paper's evaluation.
+DEFAULT_SCHEMES = ("CI", "CSI", "CSIO")
+
+
+@dataclass
+class ComparisonResult:
+    """All operators' results on one workload.
+
+    Attributes
+    ----------
+    workload_name:
+        Name of the workload (``B_ICD``, ``B_CB-3``, ``BE_OCD``...).
+    num_machines:
+        ``J`` used for every operator.
+    input_tuples, output_tuples, output_input_ratio:
+        The workload's Table IV characteristics.
+    results:
+        Mapping from scheme name to its :class:`OperatorRunResult`.
+    """
+
+    workload_name: str
+    num_machines: int
+    input_tuples: int
+    output_tuples: int
+    output_input_ratio: float
+    results: dict[str, OperatorRunResult] = field(default_factory=dict)
+
+    def speedup(self, baseline: str, scheme: str = "CSIO") -> float:
+        """Total-cost speedup of ``scheme`` over ``baseline`` (>1 means faster)."""
+        base = self.results[baseline].total_cost
+        ours = self.results[scheme].total_cost
+        return base / ours if ours > 0 else float("inf")
+
+    def join_speedup(self, baseline: str, scheme: str = "CSIO") -> float:
+        """Join-cost-only speedup of ``scheme`` over ``baseline``."""
+        base = self.results[baseline].join_cost
+        ours = self.results[scheme].join_cost
+        return base / ours if ours > 0 else float("inf")
+
+
+def compare_operators(
+    workload: JoinWorkload,
+    num_machines: int,
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES,
+    m_bucket_config: MBucketConfig | None = None,
+    ewh_config: EWHConfig | None = None,
+    seed: int = 0,
+) -> ComparisonResult:
+    """Run ``workload`` under every requested scheme and collect the results.
+
+    Parameters
+    ----------
+    workload:
+        A Table IV workload (or any :class:`JoinWorkload`).
+    num_machines:
+        ``J``.
+    schemes:
+        Any subset of ``("CI", "CSI", "CSIO", "CSIO-adaptive")``.
+    m_bucket_config, ewh_config:
+        Optional scheme configurations.
+    seed:
+        Seed of the random generator shared by the runs (each operator gets
+        its own child generator so results are reproducible independently of
+        the scheme order).
+    """
+    expected_output = workload.exact_output_size()
+    comparison = ComparisonResult(
+        workload_name=workload.name,
+        num_machines=num_machines,
+        input_tuples=workload.num_input_tuples,
+        output_tuples=expected_output,
+        output_input_ratio=workload.output_input_ratio(),
+    )
+
+    for scheme in schemes:
+        rng = np.random.default_rng([seed, hash(scheme) % (2**31)])
+        if scheme == "CI":
+            operator = CIOperator(num_machines)
+        elif scheme == "CSI":
+            operator = CSIOperator(num_machines, config=m_bucket_config)
+        elif scheme == "CSIO":
+            operator = CSIOOperator(num_machines, config=ewh_config)
+        elif scheme == "CSIO-adaptive":
+            operator = AdaptiveOperator(num_machines, ewh_config=ewh_config)
+        else:
+            raise ValueError(f"unknown scheme {scheme!r}")
+        comparison.results[scheme] = operator.run(
+            workload.keys1,
+            workload.keys2,
+            workload.condition,
+            workload.weight_fn,
+            rng=rng,
+            expected_output=expected_output,
+        )
+    return comparison

@@ -1,0 +1,183 @@
+"""The Figure 1 toy example: three schemes on one small band join.
+
+Figure 1 of the paper walks through a 16x16 join matrix for the band join
+``|R1.A - R2.A| <= 1`` and shows the regions that the content-insensitive
+(CI / 1-Bucket), content-sensitive-input (CSI / M-Bucket) and equi-weight
+histogram (CSIO / EWH) schemes assign to three machines, together with each
+scheme's maximum region weight under ``w(r) = input(r) + output(r)``.
+
+This module reproduces that walk-through end to end at the same toy scale:
+generate a small pair of relations whose join exhibits join product skew,
+build each scheme for a handful of machines, execute the partitioned join on
+the simulator and report the per-region input/output/weight -- the numbers
+the figure annotates.  The exact key values of the figure are not recoverable
+from the paper text, so the default toy keys here are representative (a hot
+cluster of close keys plus a spread-out tail), which produces the same
+qualitative picture: CI replicates heavily, CSI balances input but not
+output, and CSIO has the smallest maximum weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.histogram import EWHConfig
+from repro.core.weights import WeightFunction
+from repro.engine.cluster import run_partitioned_join
+from repro.joins.conditions import BandJoinCondition, JoinCondition
+from repro.partitioning.base import Partitioning
+from repro.partitioning.ewh import build_ewh_partitioning
+from repro.partitioning.m_bucket import MBucketConfig, build_m_bucket_partitioning
+from repro.partitioning.one_bucket import build_one_bucket_partitioning
+
+__all__ = ["Figure1Row", "Figure1Result", "figure1_toy_keys", "run_figure1"]
+
+
+def figure1_toy_keys(
+    num_keys: int = 16, seed: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate the toy key arrays used by the Figure 1 walk-through.
+
+    A quarter of the keys of each relation cluster inside a narrow hot range
+    (they produce almost all the output of a narrow band join -- join product
+    skew), the rest spread over a wide range (they produce little output but
+    dominate the input).
+    """
+    if num_keys < 8:
+        raise ValueError("num_keys must be at least 8")
+    rng = np.random.default_rng(seed)
+    hot = max(2, num_keys // 4)
+    cold = num_keys - hot
+    keys1 = np.concatenate(
+        [rng.integers(3, 10, size=hot), rng.integers(10, 40, size=cold)]
+    ).astype(np.float64)
+    keys2 = np.concatenate(
+        [rng.integers(3, 10, size=hot), rng.integers(10, 40, size=cold)]
+    ).astype(np.float64)
+    return keys1, keys2
+
+
+@dataclass
+class Figure1Row:
+    """Per-scheme measurements of the toy example.
+
+    Attributes
+    ----------
+    scheme:
+        Scheme name (``CI``, ``CSI``, ``CSIO``).
+    per_region_input, per_region_output:
+        Input and output tuples of every region (machine).
+    max_weight:
+        The maximum region weight -- the figure's headline number.
+    replication_factor:
+        Average copies per input tuple.
+    """
+
+    scheme: str
+    per_region_input: list[int]
+    per_region_output: list[int]
+    max_weight: float
+    replication_factor: float
+
+
+@dataclass
+class Figure1Result:
+    """All three schemes on the toy band join.
+
+    Attributes
+    ----------
+    keys1, keys2:
+        The toy join keys.
+    total_output:
+        Exact output size of the toy join.
+    rows:
+        One :class:`Figure1Row` per scheme, in CI / CSI / CSIO order.
+    """
+
+    keys1: np.ndarray
+    keys2: np.ndarray
+    total_output: int
+    rows: list[Figure1Row] = field(default_factory=list)
+
+    def row(self, scheme: str) -> Figure1Row:
+        """Return the row for ``scheme`` (raises ``KeyError`` if absent)."""
+        for row in self.rows:
+            if row.scheme == scheme:
+                return row
+        raise KeyError(scheme)
+
+
+def _measure(
+    scheme: str,
+    partitioning: Partitioning,
+    keys1: np.ndarray,
+    keys2: np.ndarray,
+    condition: JoinCondition,
+    weight_fn: WeightFunction,
+    rng: np.random.Generator,
+) -> Figure1Row:
+    execution = run_partitioned_join(partitioning, keys1, keys2, condition, rng)
+    return Figure1Row(
+        scheme=scheme,
+        per_region_input=[int(x) for x in execution.per_machine_input],
+        per_region_output=[int(x) for x in execution.per_machine_output],
+        max_weight=execution.max_weight(weight_fn),
+        replication_factor=execution.replication_factor,
+    )
+
+
+def run_figure1(
+    num_machines: int = 3,
+    beta: float = 1.0,
+    num_keys: int = 16,
+    seed: int = 1,
+    weight_fn: WeightFunction | None = None,
+) -> Figure1Result:
+    """Run the Figure 1 walk-through and return per-scheme region statistics.
+
+    Parameters
+    ----------
+    num_machines:
+        Number of regions/machines (the figure uses 3).
+    beta:
+        Band width of the toy join (the figure uses 1).
+    num_keys:
+        Keys per relation (the figure uses 16).
+    seed:
+        Seed of the toy data generator and of the randomised CI routing.
+    weight_fn:
+        Cost model; defaults to the figure's unit weights
+        ``w(r) = input(r) + output(r)``.
+    """
+    weight_fn = weight_fn or WeightFunction(input_cost=1.0, output_cost=1.0)
+    condition = BandJoinCondition(beta=beta)
+    keys1, keys2 = figure1_toy_keys(num_keys=num_keys, seed=seed)
+    rng = np.random.default_rng(seed)
+
+    ci = build_one_bucket_partitioning(num_machines)
+    csi = build_m_bucket_partitioning(
+        keys1, keys2, condition, num_machines,
+        weight_fn=weight_fn,
+        config=MBucketConfig(num_buckets=num_keys // 2, seed=seed),
+        rng=np.random.default_rng(seed),
+    )
+    csio = build_ewh_partitioning(
+        keys1, keys2, condition, num_machines,
+        weight_fn=weight_fn,
+        config=EWHConfig(sample_matrix_size=num_keys, seed=seed),
+        rng=np.random.default_rng(seed),
+    )
+
+    from repro.joins.local import count_join_output
+
+    result = Figure1Result(
+        keys1=keys1,
+        keys2=keys2,
+        total_output=count_join_output(keys1, keys2, condition),
+    )
+    result.rows.append(_measure("CI", ci, keys1, keys2, condition, weight_fn, rng))
+    result.rows.append(_measure("CSI", csi, keys1, keys2, condition, weight_fn, rng))
+    result.rows.append(_measure("CSIO", csio, keys1, keys2, condition, weight_fn, rng))
+    return result

@@ -1,0 +1,120 @@
+"""Plain-text report tables mirroring the paper's tables and figure series.
+
+The benchmark suite prints these tables so a run of
+``pytest benchmarks/ --benchmark-only -s`` regenerates, in text form, the
+rows and series of every table and figure of the evaluation section.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import ComparisonResult
+from repro.bench.scalability import ScalabilityPoint
+from repro.workloads.definitions import JoinWorkload
+
+__all__ = [
+    "format_comparison_table",
+    "format_scalability_table",
+    "format_table_iv",
+    "format_rows",
+]
+
+
+def format_rows(headers: list[str], rows: list[list[str]]) -> str:
+    """Format a list of rows as a fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_table_iv(workloads: list[JoinWorkload]) -> str:
+    """Table IV: join characteristics (input, output, output/input ratio)."""
+    rows = []
+    for workload in workloads:
+        rows.append(
+            [
+                workload.name,
+                workload.condition.name,
+                f"{workload.num_input_tuples:,}",
+                f"{workload.exact_output_size():,}",
+                f"{workload.output_input_ratio():.2f}",
+            ]
+        )
+    headers = ["join", "condition", "input tuples", "output tuples", "rho_oi"]
+    return format_rows(headers, rows)
+
+
+def format_comparison_table(comparisons: list[ComparisonResult]) -> str:
+    """Figure 4a/4c/4h style table: one row per (workload, scheme)."""
+    headers = [
+        "join",
+        "rho_oi",
+        "scheme",
+        "stats cost",
+        "join cost",
+        "total cost",
+        "memory (tuples)",
+        "max region w",
+        "est. max w",
+        "repl.",
+        "correct",
+    ]
+    rows = []
+    for comparison in comparisons:
+        for scheme, result in comparison.results.items():
+            estimated = (
+                f"{result.estimated_max_weight:,.0f}"
+                if result.estimated_max_weight is not None
+                else "-"
+            )
+            rows.append(
+                [
+                    comparison.workload_name,
+                    f"{comparison.output_input_ratio:.2f}",
+                    scheme,
+                    f"{result.stats_cost:,.0f}",
+                    f"{result.join_cost:,.0f}",
+                    f"{result.total_cost:,.0f}",
+                    f"{result.memory_tuples:,}",
+                    f"{result.max_region_weight:,.0f}",
+                    estimated,
+                    f"{result.replication_factor:.2f}",
+                    "yes" if result.output_correct else "NO",
+                ]
+            )
+    return format_rows(headers, rows)
+
+
+def format_scalability_table(points: list[ScalabilityPoint]) -> str:
+    """Figure 4d-4g style table: total cost and memory per (point, scheme)."""
+    headers = [
+        "scale",
+        "machines",
+        "scheme",
+        "total cost",
+        "join cost",
+        "memory (tuples)",
+        "correct",
+    ]
+    rows = []
+    for point in points:
+        for scheme, result in point.comparison.results.items():
+            rows.append(
+                [
+                    f"{point.scale:g}",
+                    str(point.num_machines),
+                    scheme,
+                    f"{result.total_cost:,.0f}",
+                    f"{result.join_cost:,.0f}",
+                    f"{result.memory_tuples:,}",
+                    "yes" if result.output_correct else "NO",
+                ]
+            )
+    return format_rows(headers, rows)

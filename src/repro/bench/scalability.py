@@ -1,0 +1,80 @@
+"""Weak-scaling experiments (Figures 4d, 4e, 4f and 4g).
+
+The paper scales the data size and the number of machines together
+(96M/16 -> 192M/32 -> 384M/64 for B_CB-3, and scale factors 80/160/320 with
+16/32/64 machines for BE_OCD) and shows that only CSIO keeps both the total
+execution time and the memory consumption under control.  ``run_weak_scaling``
+reproduces that sweep at laptop scale: each point doubles both the workload
+size knob and ``J``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bench.experiments import ComparisonResult, compare_operators
+from repro.core.histogram import EWHConfig
+from repro.partitioning.m_bucket import MBucketConfig
+from repro.workloads.definitions import JoinWorkload
+
+__all__ = ["ScalabilityPoint", "run_weak_scaling"]
+
+
+@dataclass
+class ScalabilityPoint:
+    """One point of a weak-scaling sweep.
+
+    Attributes
+    ----------
+    num_machines:
+        ``J`` at this point.
+    scale:
+        The workload size knob used (whatever unit the workload factory
+        takes: orders, segment size, ...).
+    comparison:
+        Results of all operators at this point.
+    """
+
+    num_machines: int
+    scale: float
+    comparison: ComparisonResult
+
+
+def run_weak_scaling(
+    workload_factory: Callable[[float], JoinWorkload],
+    points: list[tuple[float, int]],
+    schemes: tuple[str, ...] = ("CI", "CSI", "CSIO"),
+    m_bucket_config: MBucketConfig | None = None,
+    ewh_config: EWHConfig | None = None,
+    seed: int = 0,
+) -> list[ScalabilityPoint]:
+    """Run the same workload family at growing (size, machines) points.
+
+    Parameters
+    ----------
+    workload_factory:
+        Callable mapping a size knob to a :class:`JoinWorkload` (e.g.
+        ``lambda s: make_bcb(beta=3, small_segment_size=int(s))``).
+    points:
+        List of ``(scale, num_machines)`` pairs, typically doubling both.
+    schemes, m_bucket_config, ewh_config, seed:
+        Forwarded to :func:`compare_operators`.
+    """
+    results: list[ScalabilityPoint] = []
+    for scale, num_machines in points:
+        workload = workload_factory(scale)
+        comparison = compare_operators(
+            workload,
+            num_machines=num_machines,
+            schemes=schemes,
+            m_bucket_config=m_bucket_config,
+            ewh_config=ewh_config,
+            seed=seed,
+        )
+        results.append(
+            ScalabilityPoint(
+                num_machines=num_machines, scale=scale, comparison=comparison
+            )
+        )
+    return results

@@ -1,0 +1,141 @@
+"""Table V: more input statistics cannot cure M-Bucket's lack of output statistics.
+
+Table V of the paper sweeps the number of equi-depth buckets ``p`` of the
+M-Bucket (CSI) scheme for the BE_OCD and B_CB-3 joins and shows that
+
+* increasing ``p`` increases the histogram-algorithm (scheme-building) time,
+* it decreases the join execution time somewhat, but
+* even with far more build time than CSIO, CSI's total time stays far worse,
+
+because finer input statistics still say nothing about the output
+distribution (the source of join product skew).  ``run_table_v`` reproduces
+the sweep on the simulator: for each ``p`` it reports CSI's modelled join
+cost, total cost and the wall-clock seconds its histogram algorithm took,
+next to a single CSIO reference run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.histogram import EWHConfig
+from repro.engine.operators import CSIOOperator, CSIOperator, OperatorRunResult
+from repro.partitioning.m_bucket import MBucketConfig
+from repro.workloads.definitions import JoinWorkload
+
+__all__ = ["TableVRow", "TableVResult", "run_table_v"]
+
+
+@dataclass
+class TableVRow:
+    """One bucket count of the Table V sweep.
+
+    Attributes
+    ----------
+    num_buckets:
+        ``p``, the number of equi-depth buckets CSI was given.
+    result:
+        The CSI operator run at this ``p``.
+    """
+
+    num_buckets: int
+    result: OperatorRunResult = field(repr=False)
+
+    @property
+    def join_cost(self) -> float:
+        """Modelled join execution cost."""
+        return self.result.join_cost
+
+    @property
+    def total_cost(self) -> float:
+        """Modelled total (stats + join) cost."""
+        return self.result.total_cost
+
+    @property
+    def histogram_seconds(self) -> float:
+        """Wall-clock seconds of the CSI histogram algorithm."""
+        return self.result.build_seconds
+
+
+@dataclass
+class TableVResult:
+    """The whole Table V sweep for one workload.
+
+    Attributes
+    ----------
+    workload_name:
+        Name of the workload swept.
+    num_machines:
+        ``J``.
+    csi_rows:
+        One row per bucket count, in the order requested.
+    csio_reference:
+        A single CSIO run on the same workload for comparison.
+    """
+
+    workload_name: str
+    num_machines: int
+    csi_rows: list[TableVRow] = field(default_factory=list)
+    csio_reference: OperatorRunResult | None = None
+
+    def best_csi_total_cost(self) -> float:
+        """The best (lowest) CSI total cost across the sweep."""
+        return min(row.total_cost for row in self.csi_rows)
+
+    def csio_advantage(self) -> float:
+        """How many times cheaper CSIO's total cost is than the *best* CSI."""
+        if self.csio_reference is None or self.csio_reference.total_cost == 0:
+            return float("inf")
+        return self.best_csi_total_cost() / self.csio_reference.total_cost
+
+
+def run_table_v(
+    workload: JoinWorkload,
+    num_machines: int,
+    bucket_counts: tuple[int, ...] = (50, 100, 200, 400, 800),
+    ewh_config: EWHConfig | None = None,
+    seed: int = 0,
+) -> TableVResult:
+    """Sweep CSI's bucket count ``p`` on one workload and add a CSIO reference.
+
+    Parameters
+    ----------
+    workload:
+        A Table IV workload (the paper uses BE_OCD and B_CB-3).
+    num_machines:
+        ``J``.
+    bucket_counts:
+        The ``p`` values to sweep (the paper sweeps 2000..24000 at cluster
+        scale; the defaults here scale with the laptop-scale inputs).
+    ewh_config:
+        Optional configuration of the CSIO reference run.
+    seed:
+        Seed shared by all runs.
+    """
+    expected = workload.exact_output_size()
+    result = TableVResult(workload_name=workload.name, num_machines=num_machines)
+
+    for p in bucket_counts:
+        operator = CSIOperator(num_machines, config=MBucketConfig(num_buckets=int(p)))
+        run = operator.run(
+            workload.keys1,
+            workload.keys2,
+            workload.condition,
+            workload.weight_fn,
+            rng=np.random.default_rng(seed),
+            expected_output=expected,
+        )
+        result.csi_rows.append(TableVRow(num_buckets=int(p), result=run))
+
+    csio = CSIOOperator(num_machines, config=ewh_config)
+    result.csio_reference = csio.run(
+        workload.keys1,
+        workload.keys2,
+        workload.condition,
+        workload.weight_fn,
+        rng=np.random.default_rng(seed),
+        expected_output=expected,
+    )
+    return result

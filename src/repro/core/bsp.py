@@ -1,0 +1,174 @@
+"""Binary Space Partition (BSP) -- the baseline tiling algorithm.
+
+BSP (Berman, DasGupta & Muthukrishnan) is a dynamic-programming algorithm
+that, given a maximum region weight ``delta``, covers all candidate cells of
+a weighted grid with the minimum number of rectangular regions obtainable by
+*hierarchical* partitioning (recursively splitting rectangles with full
+horizontal or vertical cuts).  The optimum hierarchical partitioning is
+within a factor of 2 of the optimum arbitrary rectangular partitioning.
+
+This module implements the paper's Algorithm 1: the classic bottom-up DP
+over *all* rectangles of the grid, extended for join load balancing by
+shrinking every rectangle to its *minimal candidate rectangle* before
+weighing or splitting it (non-candidate cells never need to be assigned to a
+machine).  The DP table is indexed by arbitrary rectangles, which is exactly
+why the baseline costs O(n_c^4) space and O(n_c^5) time (Table III) -- the
+join-specialised :mod:`repro.core.monotonic_bsp` removes that blow-up and is
+the algorithm the production pipeline uses.  Because of its cost, this
+baseline refuses grids beyond a configurable size and exists for validation
+and for the Table III comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.grid import WeightedGrid
+from repro.core.region import GridRegion
+from repro.core.weights import WeightFunction
+
+__all__ = ["BSPResult", "bsp_partition"]
+
+#: Default refusal threshold on the grid side length for the baseline DP.
+DEFAULT_MAX_GRID_SIZE = 28
+
+
+@dataclass
+class BSPResult:
+    """Result of one tiling run at a fixed weight threshold ``delta``.
+
+    Attributes
+    ----------
+    regions:
+        The covering regions (each shrunk to its minimal candidate
+        rectangle).  Empty when the grid has no candidate cells.
+    max_region_weight:
+        The largest region weight actually achieved (it can exceed ``delta``
+        only when a single cell already exceeds it).
+    rectangles_evaluated:
+        Number of rectangles the dynamic program evaluated; used by the
+        Table III complexity benchmark.
+    """
+
+    regions: list[GridRegion]
+    max_region_weight: float
+    rectangles_evaluated: int
+
+    @property
+    def num_regions(self) -> int:
+        """Number of regions in the partitioning."""
+        return len(self.regions)
+
+
+def bsp_partition(
+    grid: WeightedGrid,
+    weight_fn: WeightFunction,
+    delta: float,
+    max_grid_size: int = DEFAULT_MAX_GRID_SIZE,
+) -> BSPResult:
+    """Cover all candidate cells of ``grid`` with regions of weight <= ``delta``.
+
+    Returns a minimum-cardinality hierarchical partitioning.  Single cells
+    whose weight exceeds ``delta`` are covered by a one-cell region (they
+    cannot be split further); callers performing a binary search over
+    ``delta`` should start at the maximum candidate-cell weight so this case
+    never arises.
+
+    Raises
+    ------
+    ValueError
+        If the grid's larger dimension exceeds ``max_grid_size`` (the
+        baseline is O(size^5); use MonotonicBSP instead).
+    """
+    rows, cols = grid.shape
+    if max(rows, cols) > max_grid_size:
+        raise ValueError(
+            f"baseline BSP refuses grids larger than {max_grid_size} per side "
+            f"(got {rows}x{cols}); use monotonic_bsp_partition instead"
+        )
+
+    # DP over all rectangles, processed in increasing semi-perimeter order so
+    # the halves of any split are already solved.  A rectangle is keyed by
+    # (row_lo, row_hi, col_lo, col_hi).
+    counts: dict[tuple[int, int, int, int], int] = {}
+    plans: dict[tuple[int, int, int, int], object] = {}
+
+    def key(region: GridRegion) -> tuple[int, int, int, int]:
+        return (region.row_lo, region.row_hi, region.col_lo, region.col_hi)
+
+    rectangles: list[GridRegion] = [
+        GridRegion(r1, r2, c1, c2)
+        for r1 in range(rows)
+        for r2 in range(r1, rows)
+        for c1 in range(cols)
+        for c2 in range(c1, cols)
+    ]
+    rectangles.sort(key=lambda r: (r.semi_perimeter, r.num_rows))
+
+    for rect in rectangles:
+        minimal = grid.minimal_candidate_rectangle(rect)
+        if minimal is None:
+            counts[key(rect)] = 0
+            plans[key(rect)] = None
+            continue
+        if minimal != rect:
+            # Defer to the minimal candidate rectangle, which has a smaller
+            # (or equal) semi-perimeter and is therefore already solved.
+            counts[key(rect)] = counts[key(minimal)]
+            plans[key(rect)] = ("shrink", minimal)
+            continue
+        weight = grid.region_weight(rect, weight_fn)
+        if weight <= delta or (rect.num_rows == 1 and rect.num_cols == 1):
+            counts[key(rect)] = 1
+            plans[key(rect)] = None
+            continue
+        best_count = None
+        best_plan = None
+        for after_row in range(rect.row_lo, rect.row_hi):
+            top, bottom = rect.split_horizontal(after_row)
+            total = counts[key(top)] + counts[key(bottom)]
+            if best_count is None or total < best_count:
+                best_count, best_plan = total, ("split", top, bottom)
+        for after_col in range(rect.col_lo, rect.col_hi):
+            left, right = rect.split_vertical(after_col)
+            total = counts[key(left)] + counts[key(right)]
+            if best_count is None or total < best_count:
+                best_count, best_plan = total, ("split", left, right)
+        counts[key(rect)] = best_count
+        plans[key(rect)] = best_plan
+
+    root = grid.minimal_candidate_rectangle(grid.full_region())
+    if root is None:
+        return BSPResult(regions=[], max_region_weight=0.0, rectangles_evaluated=len(rectangles))
+
+    regions = _extract_regions(root, plans, grid)
+    max_weight = max(
+        (grid.region_weight(r, weight_fn) for r in regions), default=0.0
+    )
+    return BSPResult(
+        regions=regions,
+        max_region_weight=float(max_weight),
+        rectangles_evaluated=len(rectangles),
+    )
+
+
+def _extract_regions(
+    root: GridRegion, plans: dict, grid: WeightedGrid
+) -> list[GridRegion]:
+    """Follow the recorded split plans from ``root`` and collect leaf regions."""
+    regions: list[GridRegion] = []
+    stack = [root]
+    while stack:
+        rect = stack.pop()
+        plan = plans[(rect.row_lo, rect.row_hi, rect.col_lo, rect.col_hi)]
+        if plan is None:
+            minimal = grid.minimal_candidate_rectangle(rect)
+            if minimal is not None:
+                regions.append(minimal)
+            continue
+        if plan[0] == "shrink":
+            stack.append(plan[1])
+        else:
+            stack.append(plan[1])
+            stack.append(plan[2])
+    return regions

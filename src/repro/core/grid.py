@@ -1,0 +1,251 @@
+"""The weighted grid shared by the sample matrix MS and the coarsened matrix MC.
+
+A :class:`WeightedGrid` describes a coarse view of the join matrix at some
+granularity: each grid row corresponds to a contiguous range of R1 join keys
+holding ``row_input[i]`` tuples, each grid column to a range of R2 join keys
+holding ``col_input[j]`` tuples, and each cell carries the (estimated) number
+of join output tuples ``frequency[i, j]`` plus a boolean candidate flag.
+
+The weight of a rectangle ``[r1..r2] x [c1..c2]`` under a
+:class:`~repro.core.weights.WeightFunction` is
+
+    w = w_i * (sum(row_input[r1..r2]) + sum(col_input[c1..c2]))
+        + w_o * sum(frequency[r1..r2, c1..c2])
+
+and is evaluated in O(1) from prefix sums.  For monotonic joins the candidate
+cells of every row form one contiguous run; the grid precomputes those runs so
+minimal candidate rectangles can be found in O(log) time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.region import GridRegion
+from repro.core.weights import WeightFunction
+
+__all__ = ["WeightedGrid"]
+
+
+@dataclass
+class WeightedGrid:
+    """A grid of output frequencies plus per-row/column input sizes.
+
+    Parameters
+    ----------
+    frequency:
+        ``(num_rows, num_cols)`` array of estimated output tuples per cell.
+    row_input, col_input:
+        Input tuples falling in each grid row (R1 side) / column (R2 side).
+    candidate:
+        Boolean mask of cells that may produce output.  Non-candidate cells
+        contribute zero weight and are never required to be covered.
+    """
+
+    frequency: np.ndarray
+    row_input: np.ndarray
+    col_input: np.ndarray
+    candidate: np.ndarray
+
+    # Derived structures (built in __post_init__).
+    _freq_prefix: np.ndarray = field(init=False, repr=False)
+    _row_prefix: np.ndarray = field(init=False, repr=False)
+    _col_prefix: np.ndarray = field(init=False, repr=False)
+    _cand_prefix: np.ndarray = field(init=False, repr=False)
+    _row_cand_lo: np.ndarray = field(init=False, repr=False)
+    _row_cand_hi: np.ndarray = field(init=False, repr=False)
+    _minimal_rect_cache: dict = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.frequency = np.asarray(self.frequency, dtype=np.float64)
+        self.row_input = np.asarray(self.row_input, dtype=np.float64)
+        self.col_input = np.asarray(self.col_input, dtype=np.float64)
+        self.candidate = np.asarray(self.candidate, dtype=bool)
+        rows, cols = self.frequency.shape
+        if self.candidate.shape != (rows, cols):
+            raise ValueError("candidate mask shape must match frequency shape")
+        if len(self.row_input) != rows or len(self.col_input) != cols:
+            raise ValueError("row_input/col_input lengths must match the grid shape")
+        if np.any(self.frequency < 0):
+            raise ValueError("frequencies must be non-negative")
+        if np.any(self.frequency[~self.candidate] > 0):
+            raise ValueError("non-candidate cells cannot carry output frequency")
+
+        # 2-D prefix sums with a zero border for O(1) rectangle sums.
+        self._freq_prefix = np.zeros((rows + 1, cols + 1))
+        self._freq_prefix[1:, 1:] = np.cumsum(np.cumsum(self.frequency, axis=0), axis=1)
+        self._cand_prefix = np.zeros((rows + 1, cols + 1))
+        self._cand_prefix[1:, 1:] = np.cumsum(
+            np.cumsum(self.candidate.astype(np.float64), axis=0), axis=1
+        )
+        self._row_prefix = np.concatenate([[0.0], np.cumsum(self.row_input)])
+        self._col_prefix = np.concatenate([[0.0], np.cumsum(self.col_input)])
+
+        # Per-row contiguous candidate runs (first and last candidate column,
+        # or -1 when the row has none).
+        self._row_cand_lo = np.full(rows, -1, dtype=np.int64)
+        self._row_cand_hi = np.full(rows, -1, dtype=np.int64)
+        any_cand = self.candidate.any(axis=1)
+        if any_cand.any():
+            self._row_cand_lo[any_cand] = np.argmax(self.candidate[any_cand], axis=1)
+            reversed_cand = self.candidate[:, ::-1]
+            self._row_cand_hi[any_cand] = (
+                cols - 1 - np.argmax(reversed_cand[any_cand], axis=1)
+            )
+        # Minimal-candidate-rectangle queries recur heavily inside the tiling
+        # algorithms (the same half-rectangles reappear across the binary
+        # search over the weight threshold); cache them per grid instance.
+        self._minimal_rect_cache = {}
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Number of grid rows."""
+        return self.frequency.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        """Number of grid columns."""
+        return self.frequency.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(num_rows, num_cols)``."""
+        return self.frequency.shape
+
+    @property
+    def total_input(self) -> float:
+        """Total input tuples represented by the grid (both relations)."""
+        return float(self._row_prefix[-1] + self._col_prefix[-1])
+
+    @property
+    def total_output(self) -> float:
+        """Total (estimated) output tuples."""
+        return float(self._freq_prefix[-1, -1])
+
+    @property
+    def num_candidate_cells(self) -> int:
+        """Number of candidate cells in the grid."""
+        return int(self._cand_prefix[-1, -1])
+
+    # ------------------------------------------------------------------
+    # Rectangle metrics
+    # ------------------------------------------------------------------
+    def region_output(self, region: GridRegion) -> float:
+        """Estimated output tuples inside ``region``."""
+        p = self._freq_prefix
+        return float(
+            p[region.row_hi + 1, region.col_hi + 1]
+            - p[region.row_lo, region.col_hi + 1]
+            - p[region.row_hi + 1, region.col_lo]
+            + p[region.row_lo, region.col_lo]
+        )
+
+    def region_input(self, region: GridRegion) -> float:
+        """Input tuples on the semi-perimeter of ``region`` (rows + columns)."""
+        rows = self._row_prefix[region.row_hi + 1] - self._row_prefix[region.row_lo]
+        cols = self._col_prefix[region.col_hi + 1] - self._col_prefix[region.col_lo]
+        return float(rows + cols)
+
+    def region_weight(self, region: GridRegion, weight_fn: WeightFunction) -> float:
+        """Weight of ``region`` under ``weight_fn``."""
+        return weight_fn.weight(self.region_input(region), self.region_output(region))
+
+    def candidate_count(self, region: GridRegion) -> int:
+        """Number of candidate cells inside ``region``."""
+        p = self._cand_prefix
+        return int(
+            p[region.row_hi + 1, region.col_hi + 1]
+            - p[region.row_lo, region.col_hi + 1]
+            - p[region.row_hi + 1, region.col_lo]
+            + p[region.row_lo, region.col_lo]
+        )
+
+    def cell_weight(self, row: int, col: int, weight_fn: WeightFunction) -> float:
+        """Weight of the single cell ``(row, col)``."""
+        return self.region_weight(GridRegion(row, row, col, col), weight_fn)
+
+    def max_cell_weight(self, weight_fn: WeightFunction,
+                        candidates_only: bool = False) -> float:
+        """Maximum single-cell weight, optionally restricted to candidate cells."""
+        cell_weights = (
+            weight_fn.input_cost
+            * (self.row_input[:, None] + self.col_input[None, :])
+            + weight_fn.output_cost * self.frequency
+        )
+        if candidates_only:
+            if not self.candidate.any():
+                return 0.0
+            return float(cell_weights[self.candidate].max())
+        return float(cell_weights.max())
+
+    # ------------------------------------------------------------------
+    # Candidate structure / monotonicity
+    # ------------------------------------------------------------------
+    def row_candidate_span(self, row: int) -> tuple[int, int] | None:
+        """Inclusive column span of candidate cells in ``row`` (None if empty)."""
+        lo = int(self._row_cand_lo[row])
+        if lo < 0:
+            return None
+        return lo, int(self._row_cand_hi[row])
+
+    def candidate_rows(self) -> np.ndarray:
+        """Indexes of rows containing at least one candidate cell."""
+        return np.flatnonzero(self._row_cand_lo >= 0)
+
+    def is_monotonic(self) -> bool:
+        """Check the paper's monotonicity property of the candidate mask.
+
+        Candidate cells must be contiguous in every row and every column, and
+        the per-row candidate spans must shift in one consistent direction.
+        """
+        for axis_candidate in (self.candidate, self.candidate.T):
+            for row in axis_candidate:
+                idx = np.flatnonzero(row)
+                if len(idx) and (idx[-1] - idx[0] + 1) != len(idx):
+                    return False
+        rows = self.candidate_rows()
+        if len(rows) <= 1:
+            return True
+        los = self._row_cand_lo[rows]
+        his = self._row_cand_hi[rows]
+        non_decreasing = bool(np.all(np.diff(los) >= 0) and np.all(np.diff(his) >= 0))
+        non_increasing = bool(np.all(np.diff(los) <= 0) and np.all(np.diff(his) <= 0))
+        return non_decreasing or non_increasing
+
+    def minimal_candidate_rectangle(self, region: GridRegion) -> GridRegion | None:
+        """Shrink ``region`` to the smallest rectangle containing its candidate cells.
+
+        Returns ``None`` when the region contains no candidate cell.  Runs in
+        time linear in the region's row span (the per-row candidate spans are
+        precomputed) and caches results, as the tiling algorithms ask for the
+        same rectangles repeatedly.
+        """
+        key = (region.row_lo, region.row_hi, region.col_lo, region.col_hi)
+        if key in self._minimal_rect_cache:
+            return self._minimal_rect_cache[key]
+        lo = self._row_cand_lo[region.row_lo : region.row_hi + 1]
+        hi = self._row_cand_hi[region.row_lo : region.row_hi + 1]
+        clipped_lo = np.maximum(lo, region.col_lo)
+        clipped_hi = np.minimum(hi, region.col_hi)
+        valid = (lo >= 0) & (clipped_lo <= clipped_hi)
+        if not valid.any():
+            self._minimal_rect_cache[key] = None
+            return None
+        valid_idx = np.flatnonzero(valid)
+        result = GridRegion(
+            row_lo=region.row_lo + int(valid_idx[0]),
+            row_hi=region.row_lo + int(valid_idx[-1]),
+            col_lo=int(clipped_lo[valid].min()),
+            col_hi=int(clipped_hi[valid].max()),
+        )
+        self._minimal_rect_cache[key] = result
+        return result
+
+    def full_region(self) -> GridRegion:
+        """The region covering the whole grid."""
+        return GridRegion(0, self.num_rows - 1, 0, self.num_cols - 1)

@@ -1,0 +1,166 @@
+"""MonotonicBSP -- the join-specialised tiling algorithm (paper, Algorithm 2).
+
+The baseline BSP enumerates arbitrary sub-rectangles of the coarsened matrix,
+which costs O(n_c^4) space and O(n_c^5) time.  For *monotonic* joins only a
+tiny fraction of those rectangles can ever matter: by Lemma 3.4 every
+defining corner (upper-left and lower-right) of a minimal candidate rectangle
+is itself a candidate cell, so there are only O(n_cc^2) = O(n_c^2) minimal
+candidate rectangles.  MonotonicBSP runs the same dynamic program restricted
+to minimal candidate rectangles:
+
+* :func:`enumerate_minimal_candidate_rectangles` lists them exactly as
+  Algorithm 2's ``GenerateCandidateRectangles`` does (every ordered pair of
+  candidate cells), which the tests use to validate Lemma 3.4;
+* :func:`monotonic_bsp_partition` evaluates the DP over those rectangles.
+  The paper processes them bottom-up in increasing semi-perimeter order;
+  this implementation computes the identical DP values lazily (memoised
+  top-down from the full matrix's minimal candidate rectangle), which visits
+  only the rectangles actually reachable by hierarchical splits -- a subset
+  of the enumerated set -- and therefore never does more work than the
+  bottom-up pass while returning the same optimum.
+
+Every split half is shrunk to its minimal candidate rectangle using the
+precomputed per-row candidate spans of :class:`~repro.core.grid.WeightedGrid`
+(vectorised, linear in the half's row span), matching the paper's
+``MinimalCandidateRectangle`` primitive.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.bsp import BSPResult
+from repro.core.grid import WeightedGrid
+from repro.core.region import GridRegion
+from repro.core.weights import WeightFunction
+
+__all__ = ["enumerate_minimal_candidate_rectangles", "monotonic_bsp_partition"]
+
+
+def enumerate_minimal_candidate_rectangles(grid: WeightedGrid) -> list[GridRegion]:
+    """Enumerate every rectangle whose defining corners are candidate cells.
+
+    This mirrors ``GenerateCandidateRectangles`` of Algorithm 2: for each
+    ordered pair of candidate cells (one acting as the upper-left corner, the
+    other as the lower-right), emit the rectangle they define, sorted by
+    semi-perimeter.  By Lemma 3.4 this set contains all minimal candidate
+    rectangles of a monotonic join matrix; its size is O(n_cc^2) where n_cc
+    is the number of candidate cells.
+    """
+    rectangles: list[GridRegion] = []
+    candidate_rows = grid.candidate_rows()
+    spans = {int(r): grid.row_candidate_span(int(r)) for r in candidate_rows}
+    for r1 in candidate_rows:
+        lo1, hi1 = spans[int(r1)]
+        for c1 in range(lo1, hi1 + 1):
+            if not grid.candidate[r1, c1]:
+                continue
+            for r2 in candidate_rows:
+                if r2 < r1:
+                    continue
+                lo2, hi2 = spans[int(r2)]
+                for c2 in range(lo2, hi2 + 1):
+                    if c2 < c1 or not grid.candidate[r2, c2]:
+                        continue
+                    rectangles.append(GridRegion(int(r1), int(r2), int(c1), int(c2)))
+    rectangles.sort(key=lambda r: r.semi_perimeter)
+    return rectangles
+
+
+def monotonic_bsp_partition(
+    grid: WeightedGrid,
+    weight_fn: WeightFunction,
+    delta: float,
+) -> BSPResult:
+    """Cover all candidate cells with regions of weight <= ``delta`` (MonotonicBSP).
+
+    Semantics are identical to :func:`repro.core.bsp.bsp_partition` -- the
+    optimum hierarchical partitioning when every rectangle is first shrunk to
+    its minimal candidate rectangle -- but the search space is restricted to
+    minimal candidate rectangles, which is what makes the regionalization
+    stage run in O(n) overall for monotonic joins (Lemma 3.5).
+    """
+    memo: dict[GridRegion, tuple[int, object]] = {}
+
+    def solve_half_pair(first: GridRegion, second: GridRegion):
+        """Shrink both halves of a split and solve them."""
+        first_min = grid.minimal_candidate_rectangle(first)
+        second_min = grid.minimal_candidate_rectangle(second)
+        count = 0
+        if first_min is not None:
+            count += solve(first_min)[0]
+        if second_min is not None:
+            count += solve(second_min)[0]
+        return count, (first_min, second_min)
+
+    def solve(region: GridRegion) -> tuple[int, object]:
+        cached = memo.get(region)
+        if cached is not None:
+            return cached
+        weight = grid.region_weight(region, weight_fn)
+        if weight <= delta or (region.num_rows == 1 and region.num_cols == 1):
+            result: tuple[int, object] = (1, None)
+            memo[region] = result
+            return result
+        best_count = None
+        best_plan = None
+        # A split of a minimal candidate rectangle always leaves candidates
+        # on both sides (its boundary rows/columns contain candidates), so
+        # no split can cost fewer than two regions -- stop early when found.
+        for after_row in range(region.row_lo, region.row_hi):
+            top, bottom = region.split_horizontal(after_row)
+            count, plan = solve_half_pair(top, bottom)
+            if best_count is None or count < best_count:
+                best_count, best_plan = count, plan
+                if best_count == 2:
+                    break
+        if best_count != 2:
+            for after_col in range(region.col_lo, region.col_hi):
+                left, right = region.split_vertical(after_col)
+                count, plan = solve_half_pair(left, right)
+                if best_count is None or count < best_count:
+                    best_count, best_plan = count, plan
+                    if best_count == 2:
+                        break
+        result = (best_count, best_plan)
+        memo[region] = result
+        return result
+
+    root = grid.minimal_candidate_rectangle(grid.full_region())
+    if root is None:
+        return BSPResult(regions=[], max_region_weight=0.0, rectangles_evaluated=0)
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10_000 + 4 * grid.num_rows * grid.num_cols))
+    try:
+        solve(root)
+        regions = _extract_regions(root, memo)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    max_weight = max(
+        (grid.region_weight(r, weight_fn) for r in regions), default=0.0
+    )
+    return BSPResult(
+        regions=regions,
+        max_region_weight=float(max_weight),
+        rectangles_evaluated=len(memo),
+    )
+
+
+def _extract_regions(root: GridRegion, memo: dict) -> list[GridRegion]:
+    """Walk the memoised split plans from ``root`` and collect leaf regions."""
+    regions: list[GridRegion] = []
+    stack = [root]
+    while stack:
+        region = stack.pop()
+        _, plan = memo[region]
+        if plan is None:
+            regions.append(region)
+            continue
+        first_min, second_min = plan
+        if first_min is not None:
+            stack.append(first_min)
+        if second_min is not None:
+            stack.append(second_min)
+    return regions

@@ -1,0 +1,25 @@
+"""Dataset generators used by the paper's evaluation.
+
+* :mod:`repro.data.zipf` -- generic Zipf-skewed and uniform key generators.
+  The TPC-H skew generator of Chaudhuri & Narasayya draws attribute values
+  with Zipf(z) multiplicities; the ``z`` knob here matches the paper's
+  ``z = 0.25`` setting.
+* :mod:`repro.data.tpch` -- a scaled-down TPC-H-like ORDERS table containing
+  exactly the columns the evaluation joins touch.
+* :mod:`repro.data.xdataset` -- the synthetic X dataset (two segments in
+  80/20 proportion whose small segments produce most of the output).
+"""
+
+from repro.data.tpch import TPCHConfig, generate_orders
+from repro.data.xdataset import XDatasetConfig, generate_x_dataset
+from repro.data.zipf import uniform_keys, zipf_keys, zipf_multiplicities
+
+__all__ = [
+    "zipf_keys",
+    "zipf_multiplicities",
+    "uniform_keys",
+    "TPCHConfig",
+    "generate_orders",
+    "XDatasetConfig",
+    "generate_x_dataset",
+]

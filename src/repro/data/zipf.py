@@ -1,0 +1,84 @@
+"""Zipf-skewed and uniform key generators.
+
+The paper uses the TPC-H skew generator of Chaudhuri and Narasayya, which
+assigns Zipf-distributed multiplicities to attribute values: with skew
+parameter ``z``, the i-th most frequent value receives a frequency
+proportional to ``1 / i**z``.  ``z = 0`` is uniform; the paper's experiments
+use ``z = 0.25`` (moderate redistribution skew).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zipf_multiplicities", "zipf_keys", "uniform_keys"]
+
+
+def zipf_multiplicities(num_values: int, total: int, z: float) -> np.ndarray:
+    """Distribute ``total`` tuples over ``num_values`` distinct values Zipf(z)-style.
+
+    Returns an integer array of length ``num_values`` summing exactly to
+    ``total`` where entry i is proportional to ``1 / (i + 1)**z``.
+
+    Parameters
+    ----------
+    num_values:
+        Number of distinct attribute values.
+    total:
+        Total number of tuples to distribute.
+    z:
+        Zipf skew parameter; ``z = 0`` yields an (almost) uniform spread.
+    """
+    if num_values <= 0:
+        raise ValueError("num_values must be positive")
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if z < 0:
+        raise ValueError("zipf parameter z must be non-negative")
+    ranks = np.arange(1, num_values + 1, dtype=np.float64)
+    weights = ranks ** (-z)
+    weights /= weights.sum()
+    counts = np.floor(weights * total).astype(np.int64)
+    # Distribute the rounding remainder to the most frequent values so the
+    # counts sum exactly to ``total``.
+    remainder = int(total - counts.sum())
+    if remainder > 0:
+        counts[:remainder] += 1
+    return counts
+
+
+def zipf_keys(
+    num_tuples: int,
+    num_values: int,
+    z: float,
+    rng: np.random.Generator,
+    domain_min: int = 1,
+    shuffle_values: bool = True,
+) -> np.ndarray:
+    """Generate ``num_tuples`` join keys with Zipf(z)-distributed multiplicities.
+
+    The distinct values are ``domain_min .. domain_min + num_values - 1``.
+    When ``shuffle_values`` is true (the default, matching the TPC-H skew
+    generator), the rank-to-value mapping is a random permutation so the
+    heavy hitters are spread over the domain rather than clustered at its
+    low end.
+    """
+    counts = zipf_multiplicities(num_values, num_tuples, z)
+    values = np.arange(domain_min, domain_min + num_values, dtype=np.int64)
+    if shuffle_values:
+        values = rng.permutation(values)
+    keys = np.repeat(values, counts)
+    rng.shuffle(keys)
+    return keys
+
+
+def uniform_keys(
+    num_tuples: int,
+    domain_min: int,
+    domain_max: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Generate ``num_tuples`` integer keys uniformly from ``[domain_min, domain_max]``."""
+    if domain_max < domain_min:
+        raise ValueError("domain_max must be >= domain_min")
+    return rng.integers(domain_min, domain_max + 1, size=num_tuples, dtype=np.int64)

@@ -1,0 +1,44 @@
+"""Join conditions, relations and local (per-machine) join algorithms.
+
+This subpackage is the substrate every partitioning scheme relies on:
+
+* :mod:`repro.joins.conditions` -- monotonic join predicates (equi-, band-,
+  inequality- and composite equi+band joins) with interval arithmetic used
+  both for matching tuples and for candidate-cell checks on grid boundaries.
+* :mod:`repro.joins.relations` -- a small column-oriented relation container.
+* :mod:`repro.joins.local` -- the local join algorithms each worker runs on
+  its region (sort-merge band join, hash equi-join, nested loop), plus fast
+  vectorised output counting used by the simulator and the benchmarks.
+"""
+
+from repro.joins.conditions import (
+    BandJoinCondition,
+    CompositeEquiBandCondition,
+    EquiJoinCondition,
+    InequalityJoinCondition,
+    InequalityOp,
+    JoinCondition,
+)
+from repro.joins.local import (
+    count_join_output,
+    hash_equi_join,
+    join_output_pairs,
+    nested_loop_join,
+    sort_merge_band_join,
+)
+from repro.joins.relations import Relation
+
+__all__ = [
+    "JoinCondition",
+    "EquiJoinCondition",
+    "BandJoinCondition",
+    "InequalityJoinCondition",
+    "InequalityOp",
+    "CompositeEquiBandCondition",
+    "Relation",
+    "sort_merge_band_join",
+    "hash_equi_join",
+    "nested_loop_join",
+    "join_output_pairs",
+    "count_join_output",
+]

@@ -1,0 +1,415 @@
+"""Monotonic join conditions.
+
+The paper targets the class of *monotonic* joins: joins whose candidate-cell
+structure in the join matrix is monotonic, i.e. the candidate cells of every
+row (and column) form one contiguous run.  Equi-joins, band-joins and
+inequality joins (``<``, ``<=``, ``>``, ``>=``) all belong to this class, as
+do conjunctions of an equality condition with a band condition when keys are
+encoded lexicographically (the BE_OCD join of the paper).
+
+Every condition exposes three views of the same predicate:
+
+``matches(k1, k2)``
+    Does a tuple from R1 with join key ``k1`` join with a tuple from R2 with
+    join key ``k2``?
+
+``joinable_interval(k1)``
+    The closed interval of R2 join keys that join with ``k1``.  This is what
+    Stream-Sample uses to compute joinable-set sizes and what hash-based
+    schemes cannot exploit for non-equi conditions.
+
+``cell_is_candidate(lo1, hi1, lo2, hi2)``
+    Can *any* pair of keys drawn from the closed key ranges ``[lo1, hi1]``
+    (R1 side) and ``[lo2, hi2]`` (R2 side) satisfy the join?  Grid cells for
+    which this returns ``False`` are non-candidates and are never assigned to
+    a machine by the content-sensitive schemes.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "JoinCondition",
+    "EquiJoinCondition",
+    "BandJoinCondition",
+    "InequalityJoinCondition",
+    "InequalityOp",
+    "CompositeEquiBandCondition",
+]
+
+
+class JoinCondition:
+    """Abstract base class for monotonic join conditions.
+
+    Subclasses must implement :meth:`matches`, :meth:`joinable_interval` and
+    :meth:`cell_is_candidate`.  The vectorised helpers are implemented once
+    here on top of those primitives but are overridden where a faster
+    numpy-native formulation exists.
+    """
+
+    #: Human-readable name used in reports and benchmark output.
+    name: str = "join"
+
+    def matches(self, k1: float, k2: float) -> bool:
+        """Return ``True`` iff keys ``k1`` (from R1) and ``k2`` (from R2) join."""
+        raise NotImplementedError
+
+    def joinable_interval(self, k1: float) -> tuple[float, float]:
+        """Return the closed interval ``[lo, hi]`` of R2 keys joinable with ``k1``."""
+        raise NotImplementedError
+
+    def cell_is_candidate(
+        self, lo1: float, hi1: float, lo2: float, hi2: float
+    ) -> bool:
+        """Return ``True`` iff the key ranges ``[lo1, hi1] x [lo2, hi2]`` may join."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Vectorised helpers
+    # ------------------------------------------------------------------
+    def candidate_grid(
+        self,
+        row_lo: np.ndarray,
+        row_hi: np.ndarray,
+        col_lo: np.ndarray,
+        col_hi: np.ndarray,
+    ) -> np.ndarray:
+        """Candidate mask of a grid: rows are R1 key ranges, columns R2 key ranges.
+
+        The default implementation loops over cells; band and inequality
+        conditions override it with a broadcasted numpy formulation, which is
+        what keeps candidate-mask construction fast for fine grids.
+        """
+        row_lo = np.asarray(row_lo, dtype=np.float64)
+        row_hi = np.asarray(row_hi, dtype=np.float64)
+        col_lo = np.asarray(col_lo, dtype=np.float64)
+        col_hi = np.asarray(col_hi, dtype=np.float64)
+        mask = np.zeros((len(row_lo), len(col_lo)), dtype=bool)
+        for i in range(len(row_lo)):
+            for j in range(len(col_lo)):
+                mask[i, j] = self.cell_is_candidate(
+                    float(row_lo[i]), float(row_hi[i]),
+                    float(col_lo[j]), float(col_hi[j]),
+                )
+        return mask
+    def matches_many(self, keys1: np.ndarray, keys2: np.ndarray) -> np.ndarray:
+        """Element-wise :meth:`matches` over two equal-length key arrays."""
+        keys1 = np.asarray(keys1, dtype=np.float64)
+        keys2 = np.asarray(keys2, dtype=np.float64)
+        if keys1.shape != keys2.shape:
+            raise ValueError("matches_many requires equal-length key arrays")
+        return np.fromiter(
+            (self.matches(a, b) for a, b in zip(keys1, keys2)),
+            dtype=bool,
+            count=len(keys1),
+        )
+
+    def joinable_bounds(self, keys1: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`joinable_interval`: arrays of lower and upper bounds."""
+        keys1 = np.asarray(keys1, dtype=np.float64)
+        lows = np.empty(len(keys1), dtype=np.float64)
+        highs = np.empty(len(keys1), dtype=np.float64)
+        for i, k in enumerate(keys1):
+            lows[i], highs[i] = self.joinable_interval(float(k))
+        return lows, highs
+
+    def count_matches_per_key(
+        self, keys1: np.ndarray, sorted_keys2: np.ndarray
+    ) -> np.ndarray:
+        """For each key in ``keys1``, count joinable tuples in ``sorted_keys2``.
+
+        ``sorted_keys2`` must be sorted ascending.  This is the joinable-set
+        size d2(k1) used by Stream-Sample, computed with binary search.
+        """
+        keys1 = np.asarray(keys1, dtype=np.float64)
+        sorted_keys2 = np.asarray(sorted_keys2, dtype=np.float64)
+        lows, highs = self.joinable_bounds(keys1)
+        left = np.searchsorted(sorted_keys2, lows, side="left")
+        right = np.searchsorted(sorted_keys2, highs, side="right")
+        return (right - left).astype(np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.__class__.__name__}()"
+
+
+@dataclass(frozen=True, repr=False)
+class BandJoinCondition(JoinCondition):
+    """Band join ``|R1.key - R2.key| <= beta``.
+
+    ``beta = 0`` degenerates to an equi-join on numeric keys.
+    """
+
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.beta < 0:
+            raise ValueError(f"band width must be non-negative, got {self.beta}")
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"band(beta={self.beta:g})"
+
+    def matches(self, k1: float, k2: float) -> bool:
+        # Phrased as the interval test (not abs(k1 - k2) <= beta) so that
+        # matches() and joinable_interval() agree bit-for-bit under floating
+        # point rounding.
+        return k1 - self.beta <= k2 <= k1 + self.beta
+
+    def joinable_interval(self, k1: float) -> tuple[float, float]:
+        return (k1 - self.beta, k1 + self.beta)
+
+    def cell_is_candidate(
+        self, lo1: float, hi1: float, lo2: float, hi2: float
+    ) -> bool:
+        # The ranges can produce a match unless they are separated by more
+        # than beta on either side.
+        return not (lo2 - hi1 > self.beta or lo1 - hi2 > self.beta)
+
+    def joinable_bounds(self, keys1: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        keys1 = np.asarray(keys1, dtype=np.float64)
+        return keys1 - self.beta, keys1 + self.beta
+
+    def matches_many(self, keys1: np.ndarray, keys2: np.ndarray) -> np.ndarray:
+        keys1 = np.asarray(keys1, dtype=np.float64)
+        keys2 = np.asarray(keys2, dtype=np.float64)
+        return (keys2 >= keys1 - self.beta) & (keys2 <= keys1 + self.beta)
+
+    def candidate_grid(
+        self,
+        row_lo: np.ndarray,
+        row_hi: np.ndarray,
+        col_lo: np.ndarray,
+        col_hi: np.ndarray,
+    ) -> np.ndarray:
+        row_lo = np.asarray(row_lo, dtype=np.float64)
+        row_hi = np.asarray(row_hi, dtype=np.float64)
+        col_lo = np.asarray(col_lo, dtype=np.float64)
+        col_hi = np.asarray(col_hi, dtype=np.float64)
+        too_high = col_lo[None, :] - row_hi[:, None] > self.beta
+        too_low = row_lo[:, None] - col_hi[None, :] > self.beta
+        return ~(too_high | too_low)
+
+    def __repr__(self) -> str:
+        return f"BandJoinCondition(beta={self.beta!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class EquiJoinCondition(BandJoinCondition):
+    """Equality join ``R1.key = R2.key`` (a band join of width zero)."""
+
+    beta: float = 0.0
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "equi"
+
+    def __repr__(self) -> str:
+        return "EquiJoinCondition()"
+
+
+class InequalityOp(enum.Enum):
+    """Comparison operator of an inequality join ``R1.key <op> R2.key``."""
+
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+
+@dataclass(frozen=True, repr=False)
+class InequalityJoinCondition(JoinCondition):
+    """Inequality join ``R1.key <op> R2.key`` for ``op`` in ``<, <=, >, >=``."""
+
+    op: InequalityOp
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"inequality({self.op.value})"
+
+    def matches(self, k1: float, k2: float) -> bool:
+        if self.op is InequalityOp.LT:
+            return k1 < k2
+        if self.op is InequalityOp.LE:
+            return k1 <= k2
+        if self.op is InequalityOp.GT:
+            return k1 > k2
+        return k1 >= k2
+
+    def joinable_interval(self, k1: float) -> tuple[float, float]:
+        if self.op is InequalityOp.LT:
+            return (math.nextafter(k1, math.inf), math.inf)
+        if self.op is InequalityOp.LE:
+            return (k1, math.inf)
+        if self.op is InequalityOp.GT:
+            return (-math.inf, math.nextafter(k1, -math.inf))
+        return (-math.inf, k1)
+
+    def cell_is_candidate(
+        self, lo1: float, hi1: float, lo2: float, hi2: float
+    ) -> bool:
+        if self.op in (InequalityOp.LT, InequalityOp.LE):
+            strict = self.op is InequalityOp.LT
+            return lo1 < hi2 if strict else lo1 <= hi2
+        strict = self.op is InequalityOp.GT
+        return hi1 > lo2 if strict else hi1 >= lo2
+
+    def matches_many(self, keys1: np.ndarray, keys2: np.ndarray) -> np.ndarray:
+        keys1 = np.asarray(keys1, dtype=np.float64)
+        keys2 = np.asarray(keys2, dtype=np.float64)
+        if self.op is InequalityOp.LT:
+            return keys1 < keys2
+        if self.op is InequalityOp.LE:
+            return keys1 <= keys2
+        if self.op is InequalityOp.GT:
+            return keys1 > keys2
+        return keys1 >= keys2
+
+    def joinable_bounds(self, keys1: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        keys1 = np.asarray(keys1, dtype=np.float64)
+        inf = np.full(len(keys1), np.inf)
+        if self.op is InequalityOp.LT:
+            return np.nextafter(keys1, np.inf), inf
+        if self.op is InequalityOp.LE:
+            return keys1, inf
+        if self.op is InequalityOp.GT:
+            return -inf, np.nextafter(keys1, -np.inf)
+        return -inf, keys1
+
+    def candidate_grid(
+        self,
+        row_lo: np.ndarray,
+        row_hi: np.ndarray,
+        col_lo: np.ndarray,
+        col_hi: np.ndarray,
+    ) -> np.ndarray:
+        row_lo = np.asarray(row_lo, dtype=np.float64)
+        row_hi = np.asarray(row_hi, dtype=np.float64)
+        col_lo = np.asarray(col_lo, dtype=np.float64)
+        col_hi = np.asarray(col_hi, dtype=np.float64)
+        if self.op is InequalityOp.LT:
+            return row_lo[:, None] < col_hi[None, :]
+        if self.op is InequalityOp.LE:
+            return row_lo[:, None] <= col_hi[None, :]
+        if self.op is InequalityOp.GT:
+            return row_hi[:, None] > col_lo[None, :]
+        return row_hi[:, None] >= col_lo[None, :]
+
+    def __repr__(self) -> str:
+        return f"InequalityJoinCondition(op=InequalityOp.{self.op.name})"
+
+
+@dataclass(frozen=True, repr=False)
+class CompositeEquiBandCondition(JoinCondition):
+    """Conjunction of an equality and a band condition (the BE_OCD join).
+
+    The paper's BE_OCD join requires ``O1.custkey = O2.custkey`` *and*
+    ``|O1.ship_priority - O2.ship_priority| <= beta``.  Such a join is
+    monotonic under a lexicographic encoding of the composite key: we map the
+    pair ``(equi_key, band_key)`` to the scalar ``equi_key * scale +
+    band_key`` where ``scale`` strictly exceeds the band key's span plus the
+    band width.  Under that encoding the composite join is exactly a band
+    join of width ``beta`` on encoded keys, so every algorithm in the library
+    (candidate checks, Stream-Sample, tiling) applies unchanged.
+
+    Parameters
+    ----------
+    beta:
+        Width of the band on the band attribute.
+    scale:
+        Encoding multiplier for the equality attribute.  Must satisfy
+        ``scale > band_key_max - band_key_min + beta``.
+    band_key_min, band_key_max:
+        Inclusive domain of the band attribute, used to validate ``scale``
+        and by :meth:`encode`.
+    """
+
+    beta: float
+    scale: float
+    band_key_min: float = 0.0
+    band_key_max: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.beta < 0:
+            raise ValueError(f"band width must be non-negative, got {self.beta}")
+        span = self.band_key_max - self.band_key_min
+        if span < 0:
+            raise ValueError("band_key_max must be >= band_key_min")
+        if self.scale <= span + self.beta:
+            raise ValueError(
+                "scale must exceed the band attribute span plus the band width "
+                f"(need > {span + self.beta}, got {self.scale})"
+            )
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"equi+band(beta={self.beta:g})"
+
+    # -- encoding -------------------------------------------------------
+    def encode(self, equi_key, band_key):
+        """Encode composite ``(equi_key, band_key)`` into a scalar join key.
+
+        Accepts scalars or numpy arrays.
+        """
+        return np.asarray(equi_key, dtype=np.float64) * self.scale + np.asarray(
+            band_key, dtype=np.float64
+        )
+
+    def decode(self, encoded):
+        """Inverse of :meth:`encode`; returns ``(equi_key, band_key)`` arrays."""
+        encoded = np.asarray(encoded, dtype=np.float64)
+        equi = np.floor((encoded - self.band_key_min) / self.scale)
+        band = encoded - equi * self.scale
+        return equi, band
+
+    # -- JoinCondition API on encoded keys ------------------------------
+    def matches(self, k1: float, k2: float) -> bool:
+        # Interval phrasing keeps matches() consistent with
+        # joinable_interval() under floating point (see BandJoinCondition).
+        return k1 - self.beta <= k2 <= k1 + self.beta
+
+    def joinable_interval(self, k1: float) -> tuple[float, float]:
+        return (k1 - self.beta, k1 + self.beta)
+
+    def cell_is_candidate(
+        self, lo1: float, hi1: float, lo2: float, hi2: float
+    ) -> bool:
+        return not (lo2 - hi1 > self.beta or lo1 - hi2 > self.beta)
+
+    def joinable_bounds(self, keys1: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        keys1 = np.asarray(keys1, dtype=np.float64)
+        return keys1 - self.beta, keys1 + self.beta
+
+    def matches_many(self, keys1: np.ndarray, keys2: np.ndarray) -> np.ndarray:
+        keys1 = np.asarray(keys1, dtype=np.float64)
+        keys2 = np.asarray(keys2, dtype=np.float64)
+        return (keys2 >= keys1 - self.beta) & (keys2 <= keys1 + self.beta)
+
+    def candidate_grid(
+        self,
+        row_lo: np.ndarray,
+        row_hi: np.ndarray,
+        col_lo: np.ndarray,
+        col_hi: np.ndarray,
+    ) -> np.ndarray:
+        row_lo = np.asarray(row_lo, dtype=np.float64)
+        row_hi = np.asarray(row_hi, dtype=np.float64)
+        col_lo = np.asarray(col_lo, dtype=np.float64)
+        col_hi = np.asarray(col_hi, dtype=np.float64)
+        too_high = col_lo[None, :] - row_hi[:, None] > self.beta
+        too_low = row_lo[:, None] - col_hi[None, :] > self.beta
+        return ~(too_high | too_low)
+
+    def matches_composite(self, equi1, band1, equi2, band2) -> bool:
+        """Match directly on un-encoded composite keys (reference semantics)."""
+        return equi1 == equi2 and abs(band1 - band2) <= self.beta
+
+    def __repr__(self) -> str:
+        return (
+            f"CompositeEquiBandCondition(beta={self.beta!r}, scale={self.scale!r}, "
+            f"band_key_min={self.band_key_min!r}, band_key_max={self.band_key_max!r})"
+        )

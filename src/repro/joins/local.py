@@ -1,0 +1,147 @@
+"""Local (single-machine) join algorithms.
+
+Each worker in the shared-nothing engine joins the tuples routed to its
+region with one of these algorithms.  The partitioning schemes are orthogonal
+to the choice of local algorithm (paper, section IV): as long as every worker
+runs the same algorithm, only the *amount* of input and output per worker
+matters for load balance.
+
+Three algorithms are provided:
+
+* :func:`sort_merge_band_join` -- the default for band/inequality joins;
+  sorts both sides and sweeps a window.
+* :func:`hash_equi_join` -- classic hash join, valid only for equality
+  conditions.
+* :func:`nested_loop_join` -- O(n*m) reference implementation used by the
+  tests as ground truth.
+
+For the simulator we rarely need materialised pairs, only their number;
+:func:`count_join_output` computes the output cardinality of a key-range
+region with two binary searches per tuple.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.joins.conditions import (
+    BandJoinCondition,
+    EquiJoinCondition,
+    JoinCondition,
+)
+
+__all__ = [
+    "nested_loop_join",
+    "sort_merge_band_join",
+    "hash_equi_join",
+    "join_output_pairs",
+    "count_join_output",
+]
+
+
+def nested_loop_join(
+    keys1: np.ndarray, keys2: np.ndarray, condition: JoinCondition
+) -> list[tuple[float, float]]:
+    """Join two key arrays by exhaustive comparison.
+
+    Quadratic; only suitable for small inputs.  Used as the reference
+    implementation in tests.
+    """
+    keys1 = np.asarray(keys1, dtype=np.float64)
+    keys2 = np.asarray(keys2, dtype=np.float64)
+    out: list[tuple[float, float]] = []
+    for k1 in keys1:
+        for k2 in keys2:
+            if condition.matches(float(k1), float(k2)):
+                out.append((float(k1), float(k2)))
+    return out
+
+
+def sort_merge_band_join(
+    keys1: np.ndarray, keys2: np.ndarray, condition: JoinCondition
+) -> list[tuple[float, float]]:
+    """Sort-merge join for monotonic conditions.
+
+    Both inputs are sorted; for every R1 key the joinable R2 window is found
+    with binary search, so the cost is ``O(n log n + output)``.
+    """
+    keys1 = np.sort(np.asarray(keys1, dtype=np.float64))
+    keys2 = np.sort(np.asarray(keys2, dtype=np.float64))
+    if len(keys1) == 0 or len(keys2) == 0:
+        return []
+    lows, highs = condition.joinable_bounds(keys1)
+    left = np.searchsorted(keys2, lows, side="left")
+    right = np.searchsorted(keys2, highs, side="right")
+    out: list[tuple[float, float]] = []
+    for k1, lo_idx, hi_idx in zip(keys1, left, right):
+        for j in range(lo_idx, hi_idx):
+            out.append((float(k1), float(keys2[j])))
+    return out
+
+
+def hash_equi_join(
+    keys1: np.ndarray, keys2: np.ndarray, condition: JoinCondition | None = None
+) -> list[tuple[float, float]]:
+    """Hash join; valid only for equality conditions.
+
+    ``condition`` may be passed for interface uniformity but must be an
+    equi-join (band width zero) if given.
+    """
+    if condition is not None:
+        is_equi = isinstance(condition, EquiJoinCondition) or (
+            isinstance(condition, BandJoinCondition) and condition.beta == 0
+        )
+        if not is_equi:
+            raise ValueError("hash_equi_join only supports equality conditions")
+    keys1 = np.asarray(keys1, dtype=np.float64)
+    keys2 = np.asarray(keys2, dtype=np.float64)
+    table: dict[float, int] = {}
+    for k in keys2:
+        table[float(k)] = table.get(float(k), 0) + 1
+    out: list[tuple[float, float]] = []
+    for k in keys1:
+        k = float(k)
+        if k in table:
+            out.extend((k, k) for _ in range(table[k]))
+    return out
+
+
+def join_output_pairs(
+    keys1: np.ndarray, keys2: np.ndarray, condition: JoinCondition
+) -> list[tuple[float, float]]:
+    """Produce all output key pairs using the best applicable algorithm."""
+    is_equi = isinstance(condition, EquiJoinCondition) or (
+        isinstance(condition, BandJoinCondition) and condition.beta == 0
+    )
+    if is_equi:
+        return hash_equi_join(keys1, keys2)
+    return sort_merge_band_join(keys1, keys2, condition)
+
+
+def count_join_output(
+    keys1: np.ndarray, keys2: np.ndarray, condition: JoinCondition,
+    keys2_sorted: bool = False,
+) -> int:
+    """Count output tuples of joining two key arrays without materialising them.
+
+    This is the workhorse of the cluster simulator: it computes, per R1 key,
+    the number of joinable R2 keys via binary search over the sorted R2 side.
+
+    Parameters
+    ----------
+    keys1, keys2:
+        Join-key arrays of the two sides.
+    condition:
+        A monotonic join condition.
+    keys2_sorted:
+        Set to ``True`` when ``keys2`` is already sorted ascending to skip
+        the sort.
+    """
+    keys1 = np.asarray(keys1, dtype=np.float64)
+    keys2 = np.asarray(keys2, dtype=np.float64)
+    if len(keys1) == 0 or len(keys2) == 0:
+        return 0
+    if not keys2_sorted:
+        keys2 = np.sort(keys2)
+    counts = condition.count_matches_per_key(keys1, keys2)
+    return int(counts.sum())

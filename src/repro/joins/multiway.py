@@ -1,0 +1,233 @@
+"""Multi-way joins as a sequence of load-balanced 2-way joins (paper, IV-B).
+
+The paper's operator targets 2-way joins and argues that a multi-way join can
+be executed efficiently as a *sequence* of its 2-way joins, because the
+equi-weight histogram keeps precisely the expensive part of such a pipeline
+-- shipping large intermediate results between operators -- balanced.  This
+module provides that pipeline at library level:
+
+* a :class:`MultiwayJoinStep` names the next relation to join and the
+  monotonic condition to use;
+* :func:`run_multiway_join` folds the steps left to right.  Each step builds
+  a fresh partitioning (the paper builds its scheme per join, with no reuse),
+  executes the step on the cluster simulator for cost accounting, and
+  materialises the intermediate output keys that feed the next step.
+
+The intermediate result of a step is the multiset of matched right-side keys:
+the attribute the *next* condition joins on.  This mirrors a left-deep plan
+``((R1 join R2) join R3) ...`` where each intermediate tuple carries the key
+of the most recently joined relation.  Materialising intermediates keeps this
+helper at example/test scale; the per-step cost accounting is what the
+benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.histogram import EWHConfig
+from repro.core.weights import WeightFunction
+from repro.engine.cluster import JoinExecutionResult, run_partitioned_join
+from repro.joins.conditions import JoinCondition
+from repro.joins.local import join_output_pairs
+from repro.partitioning.ewh import build_ewh_partitioning
+from repro.partitioning.m_bucket import build_m_bucket_partitioning
+from repro.partitioning.one_bucket import build_one_bucket_partitioning
+
+__all__ = ["MultiwayJoinStep", "MultiwayStepResult", "MultiwayJoinResult", "run_multiway_join"]
+
+#: Refuse to materialise intermediates beyond this many tuples.
+_MAX_INTERMEDIATE = 5_000_000
+
+
+@dataclass(frozen=True)
+class MultiwayJoinStep:
+    """One step of a left-deep multi-way join plan.
+
+    Attributes
+    ----------
+    keys:
+        Join keys of the relation joined in at this step (the right side).
+    condition:
+        Monotonic condition between the running intermediate's key and
+        ``keys``.
+    name:
+        Optional step name for reports.
+    """
+
+    keys: np.ndarray
+    condition: JoinCondition
+    name: str = ""
+
+
+@dataclass
+class MultiwayStepResult:
+    """Cost accounting of one executed step.
+
+    Attributes
+    ----------
+    name:
+        Step name.
+    scheme:
+        Partitioning scheme used (``CSIO``, ``CSI`` or ``CI``).
+    left_size, right_size:
+        Input sizes of the step.
+    output_size:
+        Output size of the step (and input size of the next one).
+    max_weight:
+        Maximum machine weight of the step under the plan's cost model.
+    execution:
+        Full per-machine execution statistics.
+    """
+
+    name: str
+    scheme: str
+    left_size: int
+    right_size: int
+    output_size: int
+    max_weight: float
+    execution: JoinExecutionResult = field(repr=False)
+
+
+@dataclass
+class MultiwayJoinResult:
+    """Outcome of a full multi-way pipeline.
+
+    Attributes
+    ----------
+    steps:
+        Per-step results, in execution order.
+    final_keys:
+        Keys of the final intermediate (the right-side keys matched by the
+        last step).
+    """
+
+    steps: list[MultiwayStepResult] = field(default_factory=list)
+    final_keys: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @property
+    def total_cost(self) -> float:
+        """Sum of the per-step maximum machine weights (pipeline latency model)."""
+        return float(sum(step.max_weight for step in self.steps))
+
+    @property
+    def final_output_size(self) -> int:
+        """Output size of the last step."""
+        return self.steps[-1].output_size if self.steps else 0
+
+
+def _build_partitioning(
+    scheme: str,
+    keys1: np.ndarray,
+    keys2: np.ndarray,
+    condition: JoinCondition,
+    num_machines: int,
+    weight_fn: WeightFunction,
+    ewh_config: EWHConfig | None,
+    rng: np.random.Generator,
+):
+    if scheme == "CSIO":
+        return build_ewh_partitioning(
+            keys1, keys2, condition, num_machines,
+            weight_fn=weight_fn, config=ewh_config, rng=rng,
+        )
+    if scheme == "CSI":
+        return build_m_bucket_partitioning(
+            keys1, keys2, condition, num_machines, weight_fn=weight_fn, rng=rng
+        )
+    if scheme == "CI":
+        return build_one_bucket_partitioning(num_machines)
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def run_multiway_join(
+    initial_keys: np.ndarray,
+    steps: list[MultiwayJoinStep],
+    num_machines: int,
+    weight_fn: WeightFunction,
+    scheme: str = "CSIO",
+    ewh_config: EWHConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> MultiwayJoinResult:
+    """Execute a left-deep multi-way join as a sequence of 2-way joins.
+
+    Parameters
+    ----------
+    initial_keys:
+        Join keys of the leftmost relation.
+    steps:
+        The relations and conditions to fold in, left to right.
+    num_machines:
+        ``J`` used by every step.
+    weight_fn:
+        Cost model shared by all steps.
+    scheme:
+        Partitioning scheme used for every step (``CSIO`` by default).
+    ewh_config:
+        Optional CSIO configuration.
+    rng:
+        Random generator.
+    """
+    if not steps:
+        raise ValueError("a multi-way join needs at least one step")
+    rng = rng or np.random.default_rng(0)
+    current = np.asarray(initial_keys, dtype=np.float64)
+
+    result = MultiwayJoinResult()
+    for index, step in enumerate(steps):
+        right = np.asarray(step.keys, dtype=np.float64)
+        if len(current) == 0 or len(right) == 0:
+            result.steps.append(
+                MultiwayStepResult(
+                    name=step.name or f"step-{index + 1}",
+                    scheme=scheme,
+                    left_size=len(current),
+                    right_size=len(right),
+                    output_size=0,
+                    max_weight=0.0,
+                    execution=JoinExecutionResult(
+                        per_machine_input=np.zeros(num_machines, dtype=np.int64),
+                        per_machine_output=np.zeros(num_machines, dtype=np.int64),
+                        total_output=0,
+                        memory_tuples=0,
+                        network_tuples=0,
+                        replication_factor=0.0,
+                    ),
+                )
+            )
+            current = np.empty(0)
+            continue
+
+        partitioning = _build_partitioning(
+            scheme, current, right, step.condition, num_machines,
+            weight_fn, ewh_config, rng,
+        )
+        execution = run_partitioned_join(
+            partitioning, current, right, step.condition, rng
+        )
+        if execution.total_output > _MAX_INTERMEDIATE:
+            raise ValueError(
+                f"step {index + 1} would materialise {execution.total_output} "
+                f"intermediate tuples (cap {_MAX_INTERMEDIATE}); the multiway "
+                "helper is meant for example/test scale"
+            )
+        pairs = join_output_pairs(current, right, step.condition)
+        left_size = len(current)
+        current = np.asarray([pair[1] for pair in pairs], dtype=np.float64)
+
+        result.steps.append(
+            MultiwayStepResult(
+                name=step.name or f"step-{index + 1}",
+                scheme=scheme,
+                left_size=left_size,
+                right_size=len(right),
+                output_size=len(pairs),
+                max_weight=execution.max_weight(weight_fn),
+                execution=execution,
+            )
+        )
+
+    result.final_keys = current
+    return result

@@ -1,0 +1,75 @@
+"""The common interface of all partitioning schemes.
+
+A :class:`Partitioning` routes tuples to regions.  The engine asks it to
+assign the R1 and R2 key arrays and receives, for every region, the indexes
+of the tuples that must be shipped to the machine owning that region.  A
+tuple may be assigned to several regions (replication) or to none (its row or
+column intersects no region because it cannot produce output).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Partitioning", "RegionStatistics"]
+
+
+@dataclass(frozen=True)
+class RegionStatistics:
+    """Per-region input/output statistics measured after an execution.
+
+    Attributes
+    ----------
+    input_tuples:
+        Tuples received by the region's machine (R1 + R2, after replication).
+    output_tuples:
+        Output tuples the machine produced.
+    """
+
+    input_tuples: int
+    output_tuples: int
+
+
+class Partitioning(abc.ABC):
+    """Abstract base class of a partitioning scheme's result."""
+
+    #: Short scheme name used in reports (``CI``, ``CSI``, ``CSIO``).
+    scheme_name: str = "scheme"
+
+    @property
+    @abc.abstractmethod
+    def num_regions(self) -> int:
+        """Number of regions (machines that can receive work)."""
+
+    @abc.abstractmethod
+    def assign_r1(
+        self, keys: np.ndarray, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        """Return, per region, the indexes of R1 tuples routed to it.
+
+        ``rng`` is only used by randomised schemes (1-Bucket); deterministic
+        schemes ignore it.
+        """
+
+    @abc.abstractmethod
+    def assign_r2(
+        self, keys: np.ndarray, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        """Return, per region, the indexes of R2 tuples routed to it."""
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    def replication_factor(
+        self, keys1: np.ndarray, keys2: np.ndarray, rng: np.random.Generator
+    ) -> float:
+        """Average number of regions each input tuple is shipped to."""
+        total = len(keys1) + len(keys2)
+        if total == 0:
+            return 0.0
+        assigned = sum(len(idx) for idx in self.assign_r1(keys1, rng))
+        assigned += sum(len(idx) for idx in self.assign_r2(keys2, rng))
+        return assigned / total

@@ -1,0 +1,115 @@
+"""Hash repartitioning: the equi-join baseline and why it fails for band joins.
+
+Related work (paper, section V) explains why hash-based repartition joins --
+the state of the art for pure equi-joins -- fall short for monotonic joins:
+hashing scatters neighbouring join keys across machines, so for a band join
+of width ``beta`` every tuple of the opposite relation must be replicated to
+up to ``2*beta + 1`` machines (one per hash bucket its joinable interval
+touches).  The replication, and with it the input-related work, network and
+memory, grows linearly with the band width, whereas range partitioning keeps
+neighbouring keys co-located.
+
+:class:`HashRepartitioning` implements that scheme so the claim can be
+measured: for an equi-join it is the classic, perfectly reasonable hash
+repartition join; for a band join over integer-like keys it replicates R2
+tuples to every machine owning a key within the band.  The benchmark
+``benchmarks/test_related_hash_vs_range.py`` plots its replication factor
+against CSIO's as ``beta`` grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partitioning.base import Partitioning
+
+__all__ = ["HashRepartitioning", "build_hash_repartitioning"]
+
+#: Multiplier of the Knuth-style multiplicative hash used to spread keys.
+_HASH_MULTIPLIER = 2654435761
+
+
+def _hash_buckets(values: np.ndarray, num_machines: int) -> np.ndarray:
+    """Hash integer-valued keys into machine buckets."""
+    as_int = np.asarray(np.round(values), dtype=np.int64)
+    return ((as_int * _HASH_MULTIPLIER) % (2**31)) % num_machines
+
+
+class HashRepartitioning(Partitioning):
+    """Hash-partitioned repartition join with band-width-aware replication.
+
+    Parameters
+    ----------
+    num_machines:
+        ``J``, the number of machines (one region each).
+    band_width:
+        ``beta`` of the band condition the join will evaluate.  ``0`` gives
+        the plain equi-join hash repartitioning.  For wider bands R2 tuples
+        are replicated to the machines owning every integer key offset within
+        ``[-beta, +beta]`` -- the ``2*beta + 1`` upper bound of section V.
+    key_granularity:
+        Spacing of the hashed key lattice.  Keys are snapped to multiples of
+        this granularity before hashing; it must not exceed the smallest gap
+        at which two keys should still be able to meet in the same bucket.
+    """
+
+    scheme_name = "HASH"
+
+    def __init__(
+        self, num_machines: int, band_width: float = 0.0, key_granularity: float = 1.0
+    ) -> None:
+        if num_machines <= 0:
+            raise ValueError("num_machines must be positive")
+        if band_width < 0:
+            raise ValueError("band_width must be non-negative")
+        if key_granularity <= 0:
+            raise ValueError("key_granularity must be positive")
+        self.num_machines = num_machines
+        self.band_width = band_width
+        self.key_granularity = key_granularity
+
+    @property
+    def num_regions(self) -> int:
+        return self.num_machines
+
+    @property
+    def replication_per_r2_tuple(self) -> int:
+        """Upper bound on machines each R2 tuple is shipped to (``2*beta + 1``)."""
+        offsets = int(np.ceil(self.band_width / self.key_granularity))
+        return 2 * offsets + 1
+
+    def _lattice(self, keys: np.ndarray) -> np.ndarray:
+        return np.round(np.asarray(keys, dtype=np.float64) / self.key_granularity)
+
+    def assign_r1(self, keys: np.ndarray, rng: np.random.Generator) -> list[np.ndarray]:
+        buckets = _hash_buckets(self._lattice(keys), self.num_machines)
+        return [np.flatnonzero(buckets == m) for m in range(self.num_machines)]
+
+    def assign_r2(self, keys: np.ndarray, rng: np.random.Generator) -> list[np.ndarray]:
+        lattice = self._lattice(keys)
+        offsets = int(np.ceil(self.band_width / self.key_granularity))
+        assigned: list[set[int]] = [set() for _ in range(self.num_machines)]
+        for offset in range(-offsets, offsets + 1):
+            buckets = _hash_buckets(lattice + offset, self.num_machines)
+            for machine in range(self.num_machines):
+                assigned[machine].update(np.flatnonzero(buckets == machine).tolist())
+        return [
+            np.asarray(sorted(indexes), dtype=np.int64) for indexes in assigned
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"HashRepartitioning(machines={self.num_machines}, "
+            f"band_width={self.band_width:g})"
+        )
+
+
+def build_hash_repartitioning(
+    num_machines: int, band_width: float = 0.0, key_granularity: float = 1.0
+) -> HashRepartitioning:
+    """Build a hash repartitioning for ``num_machines`` machines."""
+    return HashRepartitioning(
+        num_machines=num_machines,
+        band_width=band_width,
+        key_granularity=key_granularity,
+    )

@@ -1,0 +1,268 @@
+"""M-Bucket (CSI): the content-sensitive, input-only partitioning scheme.
+
+M-Bucket (Okcan & Riedewald) builds approximate equi-depth histograms with
+``p`` buckets over the join keys of each relation, lays the resulting
+``p x p`` grid over the join matrix and marks *candidate* cells -- cells
+whose boundary key ranges can satisfy the join condition.  Regions then cover
+all candidate cells while balancing the **input** assigned to each machine;
+the scheme has no information about how many output tuples a candidate cell
+produces, assigning every candidate the same constant, which is exactly why
+it is susceptible to join product skew.
+
+Region construction follows the M-Bucket-I heuristic: binary-search the
+maximum allowed region weight; for a given threshold, sweep the grid rows top
+to bottom, greedily growing a horizontal band of rows and covering the band's
+candidate columns with as few side-by-side rectangles under the threshold as
+possible, choosing the band height that maximises rows covered per region
+spent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.region import GridRegion
+from repro.core.sample_matrix import candidate_mask
+from repro.core.weights import WeightFunction
+from repro.joins.conditions import JoinCondition
+from repro.partitioning.grid_routed import GridRoutedPartitioning
+from repro.sampling.equidepth import EquiDepthHistogram, build_equidepth_histogram
+from repro.sampling.sizes import input_sample_size
+
+__all__ = ["MBucketConfig", "MBucketPartitioning", "build_m_bucket_partitioning"]
+
+
+@dataclass(frozen=True)
+class MBucketConfig:
+    """Configuration of the M-Bucket scheme.
+
+    Parameters
+    ----------
+    num_buckets:
+        ``p``, the number of equi-depth buckets per relation (the paper's
+        baseline uses 2000 at cluster scale and sweeps it in Table V).
+    max_band_rows:
+        Cap on how many grid rows a single horizontal band may span while
+        searching for the best band height (bounds the heuristic's cost);
+        ``None`` means no cap.
+    max_search_steps:
+        Iterations of the binary search over the region-weight threshold.
+    seed:
+        Seed used when the caller does not pass a random generator.
+    """
+
+    num_buckets: int = 200
+    max_band_rows: int | None = None
+    max_search_steps: int = 25
+    seed: int = 2016
+
+
+class MBucketPartitioning(GridRoutedPartitioning):
+    """The CSI partitioning: grid-routed regions balanced on input only."""
+
+    scheme_name = "CSI"
+
+    def __init__(
+        self,
+        row_boundaries: np.ndarray,
+        col_boundaries: np.ndarray,
+        regions: list[GridRegion],
+        num_candidate_cells: int,
+        build_seconds: float,
+    ) -> None:
+        super().__init__(row_boundaries, col_boundaries, regions, scheme_name="CSI")
+        self.num_candidate_cells = num_candidate_cells
+        self.build_seconds = build_seconds
+
+
+def _row_candidate_spans(candidate: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row first/last candidate column (-1 when the row has none)."""
+    rows, cols = candidate.shape
+    lo = np.full(rows, -1, dtype=np.int64)
+    hi = np.full(rows, -1, dtype=np.int64)
+    has_any = candidate.any(axis=1)
+    if has_any.any():
+        lo[has_any] = np.argmax(candidate[has_any], axis=1)
+        hi[has_any] = cols - 1 - np.argmax(candidate[has_any, ::-1], axis=1)
+    return lo, hi
+
+
+def _cover_band(
+    row_lo: int,
+    row_hi: int,
+    col_lo: int,
+    col_hi: int,
+    bucket_size1: float,
+    bucket_size2: float,
+    weight_fn: WeightFunction,
+    threshold: float,
+) -> list[GridRegion] | None:
+    """Cover columns ``[col_lo..col_hi]`` of a row band with side-by-side regions."""
+    rows = row_hi - row_lo + 1
+    row_cost = weight_fn.input_cost * rows * bucket_size1
+    col_unit = weight_fn.input_cost * bucket_size2
+    budget = threshold - row_cost
+    if col_unit <= 0:
+        return [GridRegion(row_lo, row_hi, col_lo, col_hi)]
+    max_width = int(budget // col_unit)
+    if max_width < 1:
+        return None
+    regions = []
+    col = col_lo
+    while col <= col_hi:
+        end = min(col_hi, col + max_width - 1)
+        regions.append(GridRegion(row_lo, row_hi, col, end))
+        col = end + 1
+    return regions
+
+
+def _cover(
+    span_lo: np.ndarray,
+    span_hi: np.ndarray,
+    bucket_size1: float,
+    bucket_size2: float,
+    weight_fn: WeightFunction,
+    threshold: float,
+    max_band_rows: int | None,
+) -> list[GridRegion] | None:
+    """Cover all candidate cells with regions under ``threshold`` (M-Bucket-I sweep)."""
+    num_rows = len(span_lo)
+    regions: list[GridRegion] = []
+    row = 0
+    while row < num_rows:
+        if span_lo[row] < 0:
+            row += 1
+            continue
+        best_score = -1.0
+        best_end = None
+        best_regions: list[GridRegion] | None = None
+        band_col_lo = None
+        band_col_hi = None
+        limit = num_rows if max_band_rows is None else min(num_rows, row + max_band_rows)
+        for end in range(row, limit):
+            if span_lo[end] >= 0:
+                if band_col_lo is None:
+                    band_col_lo, band_col_hi = int(span_lo[end]), int(span_hi[end])
+                else:
+                    band_col_lo = min(band_col_lo, int(span_lo[end]))
+                    band_col_hi = max(band_col_hi, int(span_hi[end]))
+            if band_col_lo is None:
+                continue
+            band_regions = _cover_band(
+                row, end, band_col_lo, band_col_hi,
+                bucket_size1, bucket_size2, weight_fn, threshold,
+            )
+            if band_regions is None:
+                break
+            score = (end - row + 1) / max(len(band_regions), 1)
+            if score > best_score + 1e-12:
+                best_score = score
+                best_end = end
+                best_regions = band_regions
+        if best_regions is None:
+            return None
+        regions.extend(best_regions)
+        row = best_end + 1
+    return regions
+
+
+def build_m_bucket_partitioning(
+    keys1: np.ndarray,
+    keys2: np.ndarray,
+    condition: JoinCondition,
+    num_machines: int,
+    weight_fn: WeightFunction | None = None,
+    config: MBucketConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> MBucketPartitioning:
+    """Build the M-Bucket (CSI) partitioning.
+
+    Parameters
+    ----------
+    keys1, keys2:
+        Join keys of R1 (rows) and R2 (columns).
+    condition:
+        The monotonic join condition (used for the candidate-cell check).
+    num_machines:
+        ``J``, the number of regions allowed.
+    weight_fn:
+        Cost model; only its input coefficient matters (the scheme ignores
+        output by design).
+    config:
+        Optional :class:`MBucketConfig`.
+    rng:
+        Optional random generator for the input samples.
+    """
+    config = config or MBucketConfig()
+    weight_fn = weight_fn or WeightFunction()
+    rng = rng or np.random.default_rng(config.seed)
+    keys1 = np.asarray(keys1, dtype=np.float64)
+    keys2 = np.asarray(keys2, dtype=np.float64)
+    if len(keys1) == 0 or len(keys2) == 0:
+        raise ValueError("both relations must be non-empty")
+    if num_machines <= 0:
+        raise ValueError("num_machines must be positive")
+
+    start = time.perf_counter()
+    p = max(1, min(config.num_buckets, len(keys1), len(keys2)))
+    si = input_sample_size(p, max(len(keys1), len(keys2)))
+    sample1 = rng.choice(keys1, size=min(si, len(keys1)), replace=False)
+    sample2 = rng.choice(keys2, size=min(si, len(keys2)), replace=False)
+    hist1 = build_equidepth_histogram(sample1, p, len(keys1))
+    hist2 = build_equidepth_histogram(sample2, p, len(keys2))
+
+    candidate = candidate_mask(hist1.boundaries, hist2.boundaries, condition)
+    span_lo, span_hi = _row_candidate_spans(candidate)
+    bucket_size1 = hist1.expected_bucket_size
+    bucket_size2 = hist2.expected_bucket_size
+
+    # Binary search the smallest input-weight threshold coverable with <= J regions.
+    lower = weight_fn.input_cost * (bucket_size1 + bucket_size2)
+    upper = weight_fn.input_cost * (
+        hist1.num_buckets * bucket_size1 + hist2.num_buckets * bucket_size2
+    )
+    upper = max(upper, lower)
+
+    def feasible(threshold: float) -> list[GridRegion] | None:
+        regions = _cover(
+            span_lo, span_hi, bucket_size1, bucket_size2, weight_fn, threshold,
+            config.max_band_rows,
+        )
+        if regions is None or len(regions) > num_machines:
+            return None
+        return regions
+
+    best = feasible(upper)
+    if best is None:
+        # Even a single full-matrix region is a valid cover; fall back to it.
+        best = [GridRegion(0, hist1.num_buckets - 1, 0, hist2.num_buckets - 1)]
+    low_result = feasible(lower)
+    if low_result is not None:
+        best = low_result
+    else:
+        for _ in range(config.max_search_steps):
+            if upper - lower <= 0.01 * max(upper, 1.0):
+                break
+            mid = (lower + upper) / 2.0
+            result = feasible(mid)
+            if result is None:
+                lower = mid
+            else:
+                upper = mid
+                best = result
+
+    row_boundaries = hist1.boundaries.copy()
+    col_boundaries = hist2.boundaries.copy()
+    row_boundaries[0], row_boundaries[-1] = -np.inf, np.inf
+    col_boundaries[0], col_boundaries[-1] = -np.inf, np.inf
+    build_seconds = time.perf_counter() - start
+    return MBucketPartitioning(
+        row_boundaries=row_boundaries,
+        col_boundaries=col_boundaries,
+        regions=best,
+        num_candidate_cells=int(candidate.sum()),
+        build_seconds=build_seconds,
+    )

@@ -1,0 +1,43 @@
+"""One-pass Bernoulli sampling of input relations.
+
+The input statistics of the scheme are built from a uniform random sample of
+each relation.  In the distributed setting every site scans its local
+partition once and keeps each tuple independently with probability ``q``
+(Bernoulli sampling, Gemulla et al.), which composes cleanly across sites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bernoulli_sample", "bernoulli_sample_rate"]
+
+
+def bernoulli_sample_rate(target_size: int, num_tuples: int) -> float:
+    """Sampling rate ``q = s_i / n`` that yields ``target_size`` tuples in expectation."""
+    if num_tuples <= 0:
+        raise ValueError("num_tuples must be positive")
+    if target_size < 0:
+        raise ValueError("target_size must be non-negative")
+    return min(1.0, target_size / num_tuples)
+
+
+def bernoulli_sample(
+    values: np.ndarray, rate: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Keep each element of ``values`` independently with probability ``rate``.
+
+    Returns the retained elements in their original order.  The sample size
+    is binomial around ``rate * len(values)``, which is what the paper's
+    analysis assumes; callers that need an exact size should use
+    :meth:`repro.joins.relations.Relation.sample` instead.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"sampling rate must lie in [0, 1], got {rate}")
+    values = np.asarray(values)
+    if rate == 0.0 or len(values) == 0:
+        return values[:0]
+    if rate == 1.0:
+        return values.copy()
+    mask = rng.random(len(values)) < rate
+    return values[mask]

@@ -1,0 +1,114 @@
+"""Approximate equi-depth histograms built from random samples.
+
+Following Chaudhuri, Motwani and Narasayya ("Random sampling for histogram
+construction: how much is enough?"), an approximate equi-depth histogram with
+``b`` buckets over a relation of ``n`` tuples is built by sorting a uniform
+sample of size ``Theta(b log n)`` and placing bucket boundaries at the sample
+quantiles.  The histogram's bucket boundaries over both relations form the
+grid that defines the sample matrix MS, and the same structure (with many
+more buckets) is the whole of the statistics used by the M-Bucket (CSI)
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EquiDepthHistogram", "build_equidepth_histogram"]
+
+
+@dataclass(frozen=True)
+class EquiDepthHistogram:
+    """An equi-depth histogram over a single join-key attribute.
+
+    Attributes
+    ----------
+    boundaries:
+        Array of ``num_buckets + 1`` ascending key values.  Bucket ``i``
+        covers the half-open key range ``[boundaries[i], boundaries[i+1])``,
+        except the last bucket which is closed on both sides.
+    num_tuples:
+        Size of the relation the histogram describes (not of the sample).
+    """
+
+    boundaries: np.ndarray
+    num_tuples: int
+
+    def __post_init__(self) -> None:
+        b = np.asarray(self.boundaries, dtype=np.float64)
+        if b.ndim != 1 or len(b) < 2:
+            raise ValueError("boundaries must be a 1-D array of length >= 2")
+        if np.any(np.diff(b) < 0):
+            raise ValueError("boundaries must be non-decreasing")
+        object.__setattr__(self, "boundaries", b)
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of buckets."""
+        return len(self.boundaries) - 1
+
+    @property
+    def expected_bucket_size(self) -> float:
+        """Expected number of tuples per bucket (``n / num_buckets``)."""
+        return self.num_tuples / self.num_buckets
+
+    def bucket_of(self, key: float) -> int:
+        """Index of the bucket containing ``key`` (clamped to the domain)."""
+        idx = int(np.searchsorted(self.boundaries, key, side="right")) - 1
+        return min(max(idx, 0), self.num_buckets - 1)
+
+    def buckets_of(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`bucket_of`."""
+        keys = np.asarray(keys, dtype=np.float64)
+        idx = np.searchsorted(self.boundaries, keys, side="right") - 1
+        return np.clip(idx, 0, self.num_buckets - 1)
+
+    def bucket_range(self, index: int) -> tuple[float, float]:
+        """Closed key range ``[lo, hi]`` covered by bucket ``index``."""
+        if not 0 <= index < self.num_buckets:
+            raise IndexError(f"bucket index {index} out of range")
+        return float(self.boundaries[index]), float(self.boundaries[index + 1])
+
+    def buckets_overlapping(self, lo: float, hi: float) -> tuple[int, int]:
+        """Inclusive range of bucket indexes intersecting the key range ``[lo, hi]``."""
+        if hi < lo:
+            raise ValueError("hi must be >= lo")
+        first = self.bucket_of(lo)
+        last = self.bucket_of(hi)
+        return first, last
+
+
+def build_equidepth_histogram(
+    sample_keys: np.ndarray, num_buckets: int, num_tuples: int
+) -> EquiDepthHistogram:
+    """Build an approximate equi-depth histogram from a uniform key sample.
+
+    Parameters
+    ----------
+    sample_keys:
+        Uniform random sample of the relation's join keys (need not be
+        sorted).
+    num_buckets:
+        Number of buckets; clamped to the number of distinct quantile points
+        the sample can support.
+    num_tuples:
+        Size of the full relation (used for the expected bucket size).
+    """
+    sample_keys = np.sort(np.asarray(sample_keys, dtype=np.float64))
+    if len(sample_keys) == 0:
+        raise ValueError("cannot build a histogram from an empty sample")
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    if num_tuples <= 0:
+        raise ValueError("num_tuples must be positive")
+    num_buckets = min(num_buckets, len(sample_keys))
+    quantiles = np.linspace(0.0, 1.0, num_buckets + 1)
+    boundaries = np.quantile(sample_keys, quantiles, method="inverted_cdf")
+    boundaries = np.asarray(boundaries, dtype=np.float64)
+    # Make sure the histogram spans the whole sampled key range.
+    boundaries[0] = sample_keys[0]
+    boundaries[-1] = sample_keys[-1]
+    boundaries = np.maximum.accumulate(boundaries)
+    return EquiDepthHistogram(boundaries=boundaries, num_tuples=num_tuples)

@@ -1,0 +1,133 @@
+"""Weighted reservoir sampling (Efraimidis--Spirakis).
+
+The parallel Stream-Sample needs a weighted random sample S1 of R1 where the
+weight of a tuple is its joinable-set size d2.  Efraimidis and Spirakis give
+a one-pass algorithm for weighted sampling *without* replacement: assign each
+item the priority ``r ** (1 / w)`` with ``r ~ U(0, 1)`` and keep the ``k``
+items with the largest priorities in a min-heap.  Because priorities are
+independent of how the input is split, per-worker reservoirs can be merged by
+simply keeping the globally largest priorities, which is exactly what the
+parallel sampler does.
+
+The WOR sample is converted to a with-replacement (WR) sample by drawing
+``k`` items from the reservoir with probabilities proportional to their
+weights, following Chaudhuri et al.'s use in Stream-Sample.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "WeightedReservoir",
+    "weighted_sample_wor",
+    "merge_reservoirs",
+    "wor_to_wr",
+]
+
+
+@dataclass
+class WeightedReservoir:
+    """A bounded min-heap of ``(priority, item, weight)`` entries.
+
+    The reservoir keeps the ``capacity`` entries with the largest priorities
+    seen so far.  Items may be arbitrary hashable or unhashable objects; they
+    are carried through untouched.
+    """
+
+    capacity: int
+    _heap: list[tuple[float, int, object, float]] = field(default_factory=list)
+    _counter: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("reservoir capacity must be positive")
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def add(self, item: object, weight: float, rng: np.random.Generator) -> None:
+        """Offer ``item`` with ``weight`` to the reservoir."""
+        if weight <= 0:
+            return
+        priority = float(rng.random()) ** (1.0 / weight)
+        self.add_with_priority(item, weight, priority)
+
+    def add_with_priority(self, item: object, weight: float, priority: float) -> None:
+        """Offer an item whose priority has already been drawn (used by merging)."""
+        entry = (priority, self._counter, item, weight)
+        self._counter += 1
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, entry)
+        elif priority > self._heap[0][0]:
+            heapq.heapreplace(self._heap, entry)
+
+    def items(self) -> list[object]:
+        """The sampled items (unordered)."""
+        return [entry[2] for entry in self._heap]
+
+    def weights(self) -> np.ndarray:
+        """Weights of the sampled items, aligned with :meth:`items`."""
+        return np.array([entry[3] for entry in self._heap], dtype=np.float64)
+
+    def entries(self) -> list[tuple[float, object, float]]:
+        """``(priority, item, weight)`` triples (unordered)."""
+        return [(entry[0], entry[2], entry[3]) for entry in self._heap]
+
+
+def weighted_sample_wor(
+    items: np.ndarray,
+    weights: np.ndarray,
+    size: int,
+    rng: np.random.Generator,
+) -> WeightedReservoir:
+    """One-pass Efraimidis--Spirakis weighted sampling without replacement.
+
+    Items with non-positive weight are never sampled (they cannot contribute
+    an output tuple).
+    """
+    items = np.asarray(items)
+    weights = np.asarray(weights, dtype=np.float64)
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have the same length")
+    reservoir = WeightedReservoir(capacity=size)
+    positive = weights > 0
+    if not positive.any():
+        return reservoir
+    # Vectorised priority draw, then a single heap pass.
+    priorities = np.full(len(items), -np.inf)
+    priorities[positive] = rng.random(int(positive.sum())) ** (1.0 / weights[positive])
+    for item, weight, priority in zip(items, weights, priorities):
+        if weight > 0:
+            reservoir.add_with_priority(item, float(weight), float(priority))
+    return reservoir
+
+
+def merge_reservoirs(
+    reservoirs: list[WeightedReservoir], capacity: int | None = None
+) -> WeightedReservoir:
+    """Merge per-worker reservoirs into one by keeping the largest priorities."""
+    if not reservoirs:
+        raise ValueError("need at least one reservoir to merge")
+    capacity = capacity or max(r.capacity for r in reservoirs)
+    merged = WeightedReservoir(capacity=capacity)
+    for reservoir in reservoirs:
+        for priority, item, weight in reservoir.entries():
+            merged.add_with_priority(item, weight, priority)
+    return merged
+
+
+def wor_to_wr(
+    reservoir: WeightedReservoir, size: int, rng: np.random.Generator
+) -> list[object]:
+    """Convert a WOR reservoir to a with-replacement weighted sample of ``size``."""
+    items = reservoir.items()
+    if not items:
+        return []
+    weights = reservoir.weights()
+    probabilities = weights / weights.sum()
+    indexes = rng.choice(len(items), size=size, replace=True, p=probabilities)
+    return [items[i] for i in indexes]

@@ -1,0 +1,89 @@
+"""Sample-size formulas from the paper (Table II and Lemmas 3.1-3.2).
+
+* Sample matrix size ``n_s = ceil(sqrt(2 n J))`` -- the minimum size such
+  that the maximum cell weight in MS is at most half of the optimum maximum
+  region weight (Lemma 3.1).  When the output/input ratio ``rho_B = m / n``
+  exceeds 1 the size can be reduced to ``sqrt(2 n J / rho_B)`` without losing
+  guarantees (Appendix A5); when ``m < n`` it must grow by ``1/sqrt(m/n)``.
+* Input sample size ``s_i = Theta(n_s log n)`` -- enough for the approximate
+  equi-depth histogram of Chaudhuri et al.
+* Output sample size ``s_o = Theta(n_s)`` -- from Kolmogorov statistics, a
+  small multiple of the number of candidate MS cells and never below the
+  1063 floor that yields 5% error at 99% confidence.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "sample_matrix_size",
+    "input_sample_size",
+    "output_sample_size",
+    "KOLMOGOROV_MIN_SAMPLE",
+]
+
+#: Minimum output sample size for <=5% error at >=99% confidence
+#: (standard Kolmogorov-statistics table value quoted by the paper).
+KOLMOGOROV_MIN_SAMPLE = 1063
+
+
+def sample_matrix_size(
+    num_tuples: int,
+    num_machines: int,
+    output_input_ratio: float | None = None,
+    min_size: int = 4,
+) -> int:
+    """Return the sample-matrix side length ``n_s``.
+
+    Parameters
+    ----------
+    num_tuples:
+        ``n``, the (maximum) input relation size.
+    num_machines:
+        ``J``, the number of join workers.
+    output_input_ratio:
+        Optional ``rho_B = m / n``.  Ratios above 1 shrink ``n_s`` by
+        ``sqrt(rho_B)`` (Appendix A5 optimisation); ratios below 1 grow it by
+        the same factor so Lemma 3.1's bound still holds.
+    min_size:
+        Lower clamp so degenerate configurations still produce a usable grid.
+    """
+    if num_tuples <= 0:
+        raise ValueError("num_tuples must be positive")
+    if num_machines <= 0:
+        raise ValueError("num_machines must be positive")
+    ns = math.sqrt(2.0 * num_tuples * num_machines)
+    if output_input_ratio is not None:
+        if output_input_ratio <= 0:
+            raise ValueError("output_input_ratio must be positive")
+        ns = ns / math.sqrt(output_input_ratio)
+    ns = int(math.ceil(ns))
+    # The grid cannot be finer than one tuple per bucket nor coarser than the
+    # minimum usable size.
+    ns = min(ns, num_tuples)
+    return max(min_size, ns)
+
+
+def input_sample_size(ns: int, num_tuples: int, constant: float = 4.0) -> int:
+    """Return the per-relation input sample size ``s_i = Theta(n_s log n)``."""
+    if ns <= 0:
+        raise ValueError("ns must be positive")
+    if num_tuples <= 0:
+        raise ValueError("num_tuples must be positive")
+    size = int(math.ceil(constant * ns * math.log(max(num_tuples, 2))))
+    return min(size, num_tuples)
+
+
+def output_sample_size(
+    num_candidate_cells: int, multiple: float = 2.0,
+    minimum: int = KOLMOGOROV_MIN_SAMPLE,
+) -> int:
+    """Return the output sample size ``s_o``.
+
+    The paper sets ``s_o = 2 * n_sc`` (twice the number of candidate MS
+    cells) subject to the Kolmogorov-statistics floor.
+    """
+    if num_candidate_cells < 0:
+        raise ValueError("num_candidate_cells must be non-negative")
+    return max(minimum, int(math.ceil(multiple * num_candidate_cells)))

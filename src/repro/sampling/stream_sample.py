@@ -1,0 +1,191 @@
+"""Stream-Sample: uniform random sampling of the join output.
+
+Chaudhuri, Motwani and Narasayya show that joining uniform samples of the
+inputs does *not* yield a uniform sample of the join output, and give the
+Stream-Sample algorithm for equi-joins.  The paper extends it to band and
+inequality joins by generalising the *joinable set* of an R1 tuple to every
+R2 tuple whose key lies inside the joinable interval of the condition.
+
+The sequential algorithm implemented here:
+
+1. Build ``d2equi``: the distinct R2 join keys with their multiplicities.
+2. For every R1 tuple ``t1`` compute ``d2(t1) = |joinable set of t1|`` with
+   two binary searches over the sorted distinct keys and a prefix sum of the
+   multiplicities.  The exact join output size is ``m = sum_t1 d2(t1)``.
+3. Draw a with-replacement sample S1 of R1 keys weighted by ``d2``.
+4. For each sampled key, pick a joinable R2 key with probability proportional
+   to its multiplicity; the pair of keys is one output-sample tuple.
+
+Every output pair is produced with probability ``d2(t1)/m * 1/d2(t1) = 1/m``,
+i.e. uniformly over the join output, without ever executing the join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.joins.conditions import JoinCondition
+from repro.sampling.reservoir import weighted_sample_wor, wor_to_wr
+
+__all__ = [
+    "D2Index",
+    "JoinOutputSample",
+    "build_d2_index",
+    "compute_joinable_set_sizes",
+    "stream_sample",
+]
+
+
+@dataclass(frozen=True)
+class D2Index:
+    """The ``d2equi`` structure: distinct R2 keys, multiplicities and prefix sums.
+
+    ``prefix[i]`` is the number of R2 tuples whose key is among the first
+    ``i`` distinct keys, so the number of R2 tuples with keys in the interval
+    ``[lo, hi]`` is ``prefix[right] - prefix[left]`` for the binary-search
+    positions of ``lo`` and ``hi``.
+    """
+
+    keys: np.ndarray
+    multiplicities: np.ndarray
+    prefix: np.ndarray
+
+    @property
+    def num_distinct(self) -> int:
+        """Number of distinct R2 join keys."""
+        return len(self.keys)
+
+    @property
+    def num_tuples(self) -> int:
+        """Total number of R2 tuples."""
+        return int(self.prefix[-1]) if len(self.prefix) else 0
+
+    def count_in_interval(self, lo: float, hi: float) -> int:
+        """Number of R2 tuples with keys in the closed interval ``[lo, hi]``."""
+        left = int(np.searchsorted(self.keys, lo, side="left"))
+        right = int(np.searchsorted(self.keys, hi, side="right"))
+        return int(self.prefix[right] - self.prefix[left])
+
+
+@dataclass(frozen=True)
+class JoinOutputSample:
+    """A uniform random sample of join-output key pairs.
+
+    Attributes
+    ----------
+    pairs:
+        Array of shape ``(s_o, 2)``; column 0 holds R1 join keys, column 1
+        holds R2 join keys.  The pairs contain only keys (the sample feeds
+        the sample matrix, never the downstream plan).
+    total_output:
+        The exact join output size ``m`` computed as a by-product.
+    """
+
+    pairs: np.ndarray
+    total_output: int
+
+    @property
+    def size(self) -> int:
+        """Number of sampled output tuples."""
+        return len(self.pairs)
+
+    @property
+    def r1_keys(self) -> np.ndarray:
+        """R1-side keys of the sampled pairs."""
+        return self.pairs[:, 0]
+
+    @property
+    def r2_keys(self) -> np.ndarray:
+        """R2-side keys of the sampled pairs."""
+        return self.pairs[:, 1]
+
+
+def build_d2_index(keys2: np.ndarray) -> D2Index:
+    """Build the ``d2equi`` index (distinct keys + multiplicities) of R2."""
+    keys2 = np.asarray(keys2, dtype=np.float64)
+    if len(keys2) == 0:
+        return D2Index(
+            keys=np.empty(0), multiplicities=np.empty(0, dtype=np.int64),
+            prefix=np.zeros(1, dtype=np.int64),
+        )
+    distinct, counts = np.unique(keys2, return_counts=True)
+    prefix = np.concatenate([[0], np.cumsum(counts)])
+    return D2Index(keys=distinct, multiplicities=counts, prefix=prefix)
+
+
+def compute_joinable_set_sizes(
+    keys1: np.ndarray, d2_index: D2Index, condition: JoinCondition
+) -> np.ndarray:
+    """Compute ``d2(t1)`` for every R1 key: the size of its joinable set in R2."""
+    keys1 = np.asarray(keys1, dtype=np.float64)
+    if len(keys1) == 0 or d2_index.num_distinct == 0:
+        return np.zeros(len(keys1), dtype=np.int64)
+    lows, highs = condition.joinable_bounds(keys1)
+    left = np.searchsorted(d2_index.keys, lows, side="left")
+    right = np.searchsorted(d2_index.keys, highs, side="right")
+    return (d2_index.prefix[right] - d2_index.prefix[left]).astype(np.int64)
+
+
+def _sample_joinable_keys(
+    sampled_keys1: np.ndarray,
+    d2_index: D2Index,
+    condition: JoinCondition,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """For each sampled R1 key pick a joinable R2 key ∝ its multiplicity."""
+    result = np.empty(len(sampled_keys1), dtype=np.float64)
+    lows, highs = condition.joinable_bounds(sampled_keys1)
+    lefts = np.searchsorted(d2_index.keys, lows, side="left")
+    rights = np.searchsorted(d2_index.keys, highs, side="right")
+    for i, (left, right) in enumerate(zip(lefts, rights)):
+        total = d2_index.prefix[right] - d2_index.prefix[left]
+        # The key was sampled with weight d2 > 0, so its window is non-empty.
+        target = d2_index.prefix[left] + rng.integers(0, total)
+        idx = int(np.searchsorted(d2_index.prefix, target, side="right")) - 1
+        result[i] = d2_index.keys[idx]
+    return result
+
+
+def stream_sample(
+    keys1: np.ndarray,
+    keys2: np.ndarray,
+    condition: JoinCondition,
+    sample_size: int,
+    rng: np.random.Generator,
+) -> JoinOutputSample:
+    """Draw a uniform random sample of the join output (sequential Stream-Sample).
+
+    Parameters
+    ----------
+    keys1, keys2:
+        Join-key arrays of R1 and R2.  By convention R2 should be the smaller
+        relation (the d2equi index is built over it), but correctness does
+        not depend on it.
+    condition:
+        A monotonic join condition.
+    sample_size:
+        Number of output tuples to sample (``s_o``).
+    rng:
+        Random generator.
+
+    Returns
+    -------
+    JoinOutputSample
+        Sampled key pairs plus the exact output size ``m``.
+    """
+    if sample_size < 0:
+        raise ValueError("sample_size must be non-negative")
+    keys1 = np.asarray(keys1, dtype=np.float64)
+    d2_index = build_d2_index(keys2)
+    d2 = compute_joinable_set_sizes(keys1, d2_index, condition)
+    total_output = int(d2.sum())
+    if total_output == 0 or sample_size == 0:
+        return JoinOutputSample(pairs=np.empty((0, 2)), total_output=total_output)
+
+    reservoir = weighted_sample_wor(keys1, d2.astype(np.float64), sample_size, rng)
+    sampled_keys1 = np.asarray(wor_to_wr(reservoir, sample_size, rng), dtype=np.float64)
+    sampled_keys2 = _sample_joinable_keys(sampled_keys1, d2_index, condition, rng)
+    pairs = np.column_stack([sampled_keys1, sampled_keys2])
+    return JoinOutputSample(pairs=pairs, total_output=total_output)

@@ -1,0 +1,31 @@
+"""The evaluation workloads of the paper (Table IV).
+
+* ``B_ICD`` -- an input-cost dominated band join over TPC-H ORDERS:
+  ``|O1.orderkey - 10 * O2.custkey| <= 2``.
+* ``B_CB(beta)`` -- a cost-balanced band join over the synthetic X dataset,
+  with band widths 1, 2, 3, 4, 8 and 16.
+* ``BE_OCD`` -- an output-cost dominated combination of an equality and a
+  band condition over TPC-H ORDERS, with selection predicates on order
+  priority and total price.
+
+Each factory returns a :class:`~repro.workloads.definitions.JoinWorkload`
+holding the two key arrays, the join condition, the cost model the paper's
+regression associates with that join class, and lazily computed exact
+input/output sizes (the Table IV columns).
+"""
+
+from repro.workloads.definitions import (
+    JoinWorkload,
+    make_bcb,
+    make_beocd,
+    make_bicd,
+    table_iv_workloads,
+)
+
+__all__ = [
+    "JoinWorkload",
+    "make_bicd",
+    "make_bcb",
+    "make_beocd",
+    "table_iv_workloads",
+]

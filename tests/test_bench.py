@@ -1,0 +1,202 @@
+"""Tests for the benchmark harness (repro.bench)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.ablation import (
+    coarsened_size_ablation,
+    compare_tiling_algorithms,
+    output_sample_ablation,
+    sample_matrix_size_ablation,
+)
+from repro.bench.experiments import compare_operators
+from repro.bench.figure1 import figure1_toy_keys, run_figure1
+from repro.bench.reporting import (
+    format_comparison_table,
+    format_rows,
+    format_scalability_table,
+    format_table_iv,
+)
+from repro.bench.scalability import run_weak_scaling
+from repro.bench.table5 import run_table_v
+from repro.workloads.definitions import make_bcb
+
+
+@pytest.fixture(scope="module")
+def small_bcb():
+    return make_bcb(beta=2, small_segment_size=800, seed=11)
+
+
+@pytest.fixture(scope="module")
+def comparison(small_bcb):
+    return compare_operators(small_bcb, num_machines=6, seed=0)
+
+
+class TestCompareOperators:
+    def test_all_default_schemes_run(self, comparison):
+        assert set(comparison.results) == {"CI", "CSI", "CSIO"}
+        for result in comparison.results.values():
+            assert result.output_correct
+
+    def test_workload_characteristics_recorded(self, comparison, small_bcb):
+        assert comparison.workload_name == "B_CB-2"
+        assert comparison.num_machines == 6
+        assert comparison.input_tuples == small_bcb.num_input_tuples
+        assert comparison.output_tuples == small_bcb.exact_output_size()
+        assert comparison.output_input_ratio == pytest.approx(
+            small_bcb.output_input_ratio()
+        )
+
+    def test_speedup_helpers(self, comparison):
+        for baseline in ("CI", "CSI"):
+            speedup = comparison.speedup(baseline)
+            assert speedup == pytest.approx(
+                comparison.results[baseline].total_cost
+                / comparison.results["CSIO"].total_cost
+            )
+            assert comparison.join_speedup(baseline) > 0
+
+    def test_adaptive_scheme_selectable(self, small_bcb):
+        result = compare_operators(
+            small_bcb, num_machines=4, schemes=("CI", "CSIO-adaptive"), seed=1
+        )
+        assert set(result.results) == {"CI", "CSIO-adaptive"}
+
+    def test_unknown_scheme_rejected(self, small_bcb):
+        with pytest.raises(ValueError):
+            compare_operators(small_bcb, num_machines=4, schemes=("XYZ",))
+
+
+class TestWeakScaling:
+    def test_points_run_in_order(self):
+        points = run_weak_scaling(
+            workload_factory=lambda size: make_bcb(
+                beta=2, small_segment_size=int(size), seed=11
+            ),
+            points=[(400, 2), (800, 4)],
+            schemes=("CI", "CSIO"),
+            seed=0,
+        )
+        assert [p.num_machines for p in points] == [2, 4]
+        assert [p.scale for p in points] == [400, 800]
+        for point in points:
+            assert set(point.comparison.results) == {"CI", "CSIO"}
+            for result in point.comparison.results.values():
+                assert result.output_correct
+
+
+class TestReporting:
+    def test_format_rows_alignment(self):
+        table = format_rows(["a", "long"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1].replace("  ", "")) == {"-"}
+
+    def test_format_table_iv(self, small_bcb):
+        text = format_table_iv([small_bcb])
+        assert "B_CB-2" in text
+        assert "rho_oi" in text
+
+    def test_format_comparison_table(self, comparison):
+        text = format_comparison_table([comparison])
+        assert "CSIO" in text
+        assert "total cost" in text
+        assert "B_CB-2" in text
+
+    def test_format_scalability_table(self):
+        points = run_weak_scaling(
+            workload_factory=lambda size: make_bcb(
+                beta=2, small_segment_size=int(size), seed=11
+            ),
+            points=[(400, 2)],
+            schemes=("CI",),
+            seed=0,
+        )
+        text = format_scalability_table(points)
+        assert "machines" in text
+        assert "400" in text
+
+
+class TestFigure1:
+    def test_toy_keys_shape(self):
+        keys1, keys2 = figure1_toy_keys(num_keys=16, seed=1)
+        assert len(keys1) == 16
+        assert len(keys2) == 16
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            figure1_toy_keys(num_keys=4)
+
+    def test_all_schemes_produce_full_output(self):
+        result = run_figure1(num_machines=3, seed=1)
+        assert {row.scheme for row in result.rows} == {"CI", "CSI", "CSIO"}
+        for row in result.rows:
+            assert sum(row.per_region_output) == result.total_output
+
+    def test_csio_minimises_max_weight(self):
+        result = run_figure1(num_machines=3, seed=1)
+        csio = result.row("CSIO").max_weight
+        assert csio <= result.row("CI").max_weight
+        assert csio <= result.row("CSI").max_weight
+
+    def test_unknown_scheme_lookup(self):
+        result = run_figure1(num_machines=3, seed=1)
+        with pytest.raises(KeyError):
+            result.row("nope")
+
+
+class TestAblations:
+    def test_tiling_comparison(self):
+        rows = compare_tiling_algorithms(grid_sizes=(6, 8), seed=3)
+        assert [row.grid_size for row in rows] == [6, 8]
+        for row in rows:
+            # Same dynamic program: identical region counts, and the
+            # monotonic variant never evaluates more rectangles.
+            assert row.bsp_regions == row.monotonic_regions
+            assert row.monotonic_rectangles <= row.bsp_rectangles
+            assert row.rectangle_ratio >= 1.0
+
+    def test_coarsened_size_ablation(self, small_bcb):
+        rows = coarsened_size_ablation(small_bcb, num_machines=4, multipliers=(1.0, 2.0))
+        assert [row.value for row in rows] == [1.0, 2.0]
+        for row in rows:
+            assert row.knob == "nc_multiplier"
+            assert row.result.output_correct
+            assert row.join_cost > 0
+            assert row.total_cost >= row.join_cost
+
+    def test_sample_matrix_size_ablation(self, small_bcb):
+        rows = sample_matrix_size_ablation(
+            small_bcb, num_machines=4, sizes=(16, 64)
+        )
+        assert [row.value for row in rows] == [16.0, 64.0]
+        for row in rows:
+            assert row.result.output_correct
+
+    def test_output_sample_ablation(self, small_bcb):
+        rows = output_sample_ablation(
+            small_bcb, num_machines=4, multiples=(0.5, 2.0)
+        )
+        assert [row.value for row in rows] == [0.5, 2.0]
+        for row in rows:
+            assert row.result.output_correct
+
+
+class TestTableV:
+    def test_sweep_structure(self, small_bcb):
+        result = run_table_v(small_bcb, num_machines=4, bucket_counts=(20, 60))
+        assert result.workload_name == "B_CB-2"
+        assert [row.num_buckets for row in result.csi_rows] == [20, 60]
+        assert result.csio_reference is not None
+        for row in result.csi_rows:
+            assert row.result.output_correct
+            assert row.total_cost >= row.join_cost
+            assert row.histogram_seconds >= 0
+
+    def test_csio_advantage_positive(self, small_bcb):
+        result = run_table_v(small_bcb, num_machines=4, bucket_counts=(20, 60))
+        assert result.best_csi_total_cost() > 0
+        assert result.csio_advantage() > 0

@@ -1,0 +1,177 @@
+"""Tests for the dataset generators (Zipf keys, TPC-H orders, X dataset)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.tpch import ORDER_PRIORITIES, TPCHConfig, generate_orders
+from repro.data.xdataset import XDatasetConfig, generate_x_dataset
+from repro.data.zipf import uniform_keys, zipf_keys, zipf_multiplicities
+
+
+class TestZipfMultiplicities:
+    def test_sums_to_total(self):
+        counts = zipf_multiplicities(num_values=100, total=12345, z=0.5)
+        assert counts.sum() == 12345
+
+    def test_zero_skew_is_near_uniform(self):
+        counts = zipf_multiplicities(num_values=10, total=1000, z=0.0)
+        assert counts.max() - counts.min() <= 1
+
+    def test_higher_skew_concentrates_mass(self):
+        flat = zipf_multiplicities(100, 10000, z=0.25)
+        skewed = zipf_multiplicities(100, 10000, z=1.0)
+        assert skewed[0] > flat[0]
+
+    def test_counts_are_non_increasing(self):
+        counts = zipf_multiplicities(50, 5000, z=0.8)
+        assert np.all(np.diff(counts) <= 0)
+
+    @given(
+        num_values=st.integers(1, 200),
+        total=st.integers(0, 5000),
+        z=st.floats(0, 2),
+    )
+    @settings(max_examples=80)
+    def test_total_preserved_property(self, num_values, total, z):
+        counts = zipf_multiplicities(num_values, total, z)
+        assert counts.sum() == total
+        assert np.all(counts >= 0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            zipf_multiplicities(0, 10, 0.5)
+        with pytest.raises(ValueError):
+            zipf_multiplicities(10, -1, 0.5)
+        with pytest.raises(ValueError):
+            zipf_multiplicities(10, 10, -0.5)
+
+
+class TestZipfKeys:
+    def test_length_and_domain(self, rng):
+        keys = zipf_keys(1000, num_values=50, z=0.25, rng=rng, domain_min=10)
+        assert len(keys) == 1000
+        assert keys.min() >= 10
+        assert keys.max() < 60
+
+    def test_skew_creates_heavy_hitter(self, rng):
+        keys = zipf_keys(10000, num_values=100, z=1.2, rng=rng)
+        __, counts = np.unique(keys, return_counts=True)
+        assert counts.max() > 3 * counts.mean()
+
+
+class TestUniformKeys:
+    def test_bounds_respected(self, rng):
+        keys = uniform_keys(500, 5, 10, rng)
+        assert keys.min() >= 5
+        assert keys.max() <= 10
+
+    def test_invalid_domain(self, rng):
+        with pytest.raises(ValueError):
+            uniform_keys(10, 10, 5, rng)
+
+
+class TestTPCHOrders:
+    def test_columns_and_size(self):
+        orders = generate_orders(TPCHConfig(num_orders=1000))
+        assert len(orders) == 1000
+        for column in ("orderkey", "custkey", "ship_priority", "order_priority",
+                       "totalprice"):
+            assert column in orders.column_names
+
+    def test_orderkeys_are_unique(self):
+        orders = generate_orders(TPCHConfig(num_orders=2000))
+        assert len(np.unique(orders.column("orderkey"))) == 2000
+
+    def test_custkey_domain(self):
+        config = TPCHConfig(num_orders=1000, customers_per_order=0.1)
+        orders = generate_orders(config)
+        assert orders.column("custkey").max() <= config.num_customers
+
+    def test_order_priority_is_categorical_index(self):
+        orders = generate_orders(TPCHConfig(num_orders=500))
+        priorities = orders.column("order_priority")
+        assert priorities.min() >= 0
+        assert priorities.max() < len(ORDER_PRIORITIES)
+
+    def test_totalprice_range(self):
+        config = TPCHConfig(num_orders=500, price_min=100.0, price_max=200.0)
+        orders = generate_orders(config)
+        assert orders.column("totalprice").min() >= 100.0
+        assert orders.column("totalprice").max() <= 200.0
+
+    def test_deterministic_given_seed(self):
+        a = generate_orders(TPCHConfig(num_orders=300, seed=5))
+        b = generate_orders(TPCHConfig(num_orders=300, seed=5))
+        np.testing.assert_array_equal(a.column("custkey"), b.column("custkey"))
+
+    def test_for_scale_factor(self):
+        config = TPCHConfig.for_scale_factor(2.0, orders_per_sf=1000)
+        assert config.num_orders == 2000
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            TPCHConfig(num_orders=0)
+        with pytest.raises(ValueError):
+            TPCHConfig(num_orders=10, customers_per_order=0.0)
+        with pytest.raises(ValueError):
+            TPCHConfig(num_orders=10, price_min=10, price_max=5)
+        with pytest.raises(ValueError):
+            TPCHConfig.for_scale_factor(0)
+
+    def test_zipf_skew_shows_in_custkey(self):
+        orders = generate_orders(TPCHConfig(num_orders=20000, zipf_z=1.0))
+        __, counts = np.unique(orders.column("custkey"), return_counts=True)
+        assert counts.max() > 3 * counts.mean()
+
+
+class TestXDataset:
+    def test_sizes_follow_80_20_split(self):
+        config = XDatasetConfig(small_segment_size=1000)
+        r1, r2 = generate_x_dataset(config)
+        assert len(r1) == 5000
+        assert len(r2) == 5000
+        assert config.large_segment_size == 4000
+
+    def test_key_ranges_of_segments(self):
+        config = XDatasetConfig(small_segment_size=1200)
+        r1, __ = generate_x_dataset(config)
+        keys = r1.keys
+        small = keys[keys <= config.small_segment_size // 6]
+        large = keys[keys >= 2 * config.large_segment_size]
+        # Every key belongs to one of the two segments' domains.
+        assert len(small) + len(large) == len(keys)
+        # And the proportions are roughly 20/80.
+        assert abs(len(small) / len(keys) - 0.2) < 0.02
+
+    def test_relations_are_independent(self):
+        r1, r2 = generate_x_dataset(XDatasetConfig(small_segment_size=600))
+        assert not np.array_equal(r1.keys, r2.keys)
+
+    def test_too_small_segment_rejected(self):
+        with pytest.raises(ValueError):
+            XDatasetConfig(small_segment_size=3)
+
+    def test_deterministic_given_seed(self):
+        a1, __ = generate_x_dataset(XDatasetConfig(small_segment_size=60, seed=3))
+        b1, __ = generate_x_dataset(XDatasetConfig(small_segment_size=60, seed=3))
+        np.testing.assert_array_equal(a1.keys, b1.keys)
+
+    def test_small_segments_dominate_output(self):
+        """The construction's whole point: joining the small segments yields
+        most of the output (join product skew)."""
+        from repro.joins.conditions import BandJoinCondition
+        from repro.joins.local import count_join_output
+
+        config = XDatasetConfig(small_segment_size=2000)
+        r1, r2 = generate_x_dataset(config)
+        cond = BandJoinCondition(beta=2.0)
+        total = count_join_output(r1.keys, r2.keys, cond)
+        cutoff = config.small_segment_size // 6
+        small1 = r1.keys[r1.keys <= cutoff]
+        small2 = r2.keys[r2.keys <= cutoff]
+        small_output = count_join_output(small1, small2, cond)
+        assert small_output > 0.8 * total

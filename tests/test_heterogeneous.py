@@ -1,0 +1,116 @@
+"""Tests for heterogeneous-cluster support (repro.engine.heterogeneous)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.weights import WeightFunction
+from repro.engine.heterogeneous import (
+    assign_regions_to_machines,
+    plan_virtual_regions,
+    run_heterogeneous_join,
+)
+from repro.joins.conditions import BandJoinCondition
+from repro.joins.local import count_join_output
+
+
+class TestPlanVirtualRegions:
+    def test_homogeneous_cluster(self):
+        assert plan_virtual_regions([1.0, 1.0, 1.0, 1.0], granularity=2) == 8
+
+    def test_heterogeneous_cluster_counts_capacity_units(self):
+        # Capacities 1, 1, 2 -> 4 units of the smallest machine -> 8 regions.
+        assert plan_virtual_regions([1.0, 1.0, 2.0], granularity=2) == 8
+
+    def test_granularity_one(self):
+        assert plan_virtual_regions([1.0, 3.0], granularity=1) == 4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            plan_virtual_regions([])
+        with pytest.raises(ValueError):
+            plan_virtual_regions([1.0, 0.0])
+        with pytest.raises(ValueError):
+            plan_virtual_regions([1.0], granularity=0)
+
+
+class TestAssignRegionsToMachines:
+    def test_all_regions_assigned(self):
+        weights = [5.0, 3.0, 2.0, 2.0, 1.0]
+        assignment = assign_regions_to_machines(weights, [1.0, 1.0])
+        assert len(assignment.machine_of_region) == 5
+        assert assignment.machine_load.sum() == pytest.approx(sum(weights))
+
+    def test_balanced_on_identical_machines(self):
+        weights = [4.0, 3.0, 3.0, 2.0, 2.0, 2.0]
+        assignment = assign_regions_to_machines(weights, [1.0, 1.0])
+        # LPT on two identical machines splits 16 units into 8 + 8.
+        assert assignment.machine_load.max() == pytest.approx(8.0)
+        assert assignment.imbalance() == pytest.approx(1.0)
+
+    def test_capacity_proportional_loads(self):
+        weights = [1.0] * 12
+        assignment = assign_regions_to_machines(weights, [1.0, 3.0])
+        # The machine with 3x capacity should take roughly 3x the load.
+        small, big = assignment.machine_load
+        assert big == pytest.approx(9.0)
+        assert small == pytest.approx(3.0)
+        assert assignment.makespan == pytest.approx(3.0)
+
+    def test_normalised_load_definition(self):
+        assignment = assign_regions_to_machines([6.0, 2.0], [2.0, 1.0])
+        np.testing.assert_allclose(
+            assignment.normalised_load, assignment.machine_load / np.array([2.0, 1.0])
+        )
+
+    def test_empty_regions(self):
+        assignment = assign_regions_to_machines([], [1.0, 2.0])
+        assert assignment.machine_load.sum() == 0.0
+        assert assignment.imbalance() == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            assign_regions_to_machines([1.0], [])
+        with pytest.raises(ValueError):
+            assign_regions_to_machines([1.0], [0.0])
+        with pytest.raises(ValueError):
+            assign_regions_to_machines([-1.0], [1.0])
+
+
+class TestRunHeterogeneousJoin:
+    def test_output_preserved_and_load_tracks_capacity(self):
+        rng = np.random.default_rng(8)
+        keys1 = rng.integers(0, 400, 1200).astype(float)
+        keys2 = rng.integers(0, 400, 1200).astype(float)
+        condition = BandJoinCondition(beta=2.0)
+        weight_fn = WeightFunction(1.0, 0.5)
+        capacities = [1.0, 1.0, 2.0, 4.0]
+
+        result = run_heterogeneous_join(
+            keys1, keys2, condition, capacities, weight_fn,
+            rng=np.random.default_rng(0),
+        )
+        assert result.total_output == count_join_output(keys1, keys2, condition)
+        assert result.num_virtual_regions >= len(capacities)
+        assert len(result.per_machine_input) == len(capacities)
+        assert result.per_machine_output.sum() == result.total_output
+
+        # The normalised (capacity-relative) loads should be reasonably even:
+        # the strongest machine must not be idle while the weakest is loaded.
+        normalised = result.normalised_weights(weight_fn)
+        assert normalised.max() <= 2.5 * max(normalised.mean(), 1e-9)
+        assert result.assignment.imbalance() < 2.5
+
+    def test_homogeneous_reduces_to_balanced_case(self):
+        rng = np.random.default_rng(9)
+        keys1 = rng.integers(0, 200, 600).astype(float)
+        keys2 = rng.integers(0, 200, 600).astype(float)
+        condition = BandJoinCondition(beta=1.0)
+        weight_fn = WeightFunction(1.0, 0.5)
+        result = run_heterogeneous_join(
+            keys1, keys2, condition, [1.0] * 4, weight_fn,
+            rng=np.random.default_rng(1),
+        )
+        assert result.total_output == count_join_output(keys1, keys2, condition)
+        assert result.assignment.imbalance() < 2.0

@@ -1,0 +1,167 @@
+"""Tests for the end-to-end equi-weight histogram builder (repro.core.histogram)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import EWHConfig, build_equi_weight_histogram
+from repro.core.weights import WeightFunction
+from repro.joins.conditions import BandJoinCondition, CompositeEquiBandCondition
+from repro.joins.local import count_join_output
+
+
+@pytest.fixture(scope="module")
+def skewed_inputs():
+    """A moderately skewed pair of key arrays exhibiting join product skew."""
+    rng = np.random.default_rng(42)
+    hot1 = rng.integers(0, 40, size=600).astype(float)
+    cold1 = rng.integers(1000, 20_000, size=2400).astype(float)
+    hot2 = rng.integers(0, 40, size=600).astype(float)
+    cold2 = rng.integers(1000, 20_000, size=2400).astype(float)
+    keys1 = np.concatenate([hot1, cold1])
+    keys2 = np.concatenate([hot2, cold2])
+    return keys1, keys2
+
+
+@pytest.fixture(scope="module")
+def built_histogram(skewed_inputs):
+    keys1, keys2 = skewed_inputs
+    condition = BandJoinCondition(beta=2.0)
+    weight_fn = WeightFunction(1.0, 0.2)
+    return build_equi_weight_histogram(
+        keys1, keys2, condition, num_machines=8, weight_fn=weight_fn,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestBuildEquiWeightHistogram:
+    def test_region_budget(self, built_histogram):
+        assert 1 <= built_histogram.num_regions <= 8
+        assert len(built_histogram.key_regions) == len(built_histogram.grid_regions)
+
+    def test_boundaries_extended_to_infinity(self, built_histogram):
+        assert built_histogram.mc_row_boundaries[0] == -np.inf
+        assert built_histogram.mc_row_boundaries[-1] == np.inf
+        assert built_histogram.mc_col_boundaries[0] == -np.inf
+        assert built_histogram.mc_col_boundaries[-1] == np.inf
+
+    def test_key_regions_match_grid_regions(self, built_histogram):
+        rows = built_histogram.mc_row_boundaries
+        cols = built_histogram.mc_col_boundaries
+        for key_region, grid_region in zip(
+            built_histogram.key_regions, built_histogram.grid_regions
+        ):
+            assert key_region.r1_lo == rows[grid_region.row_lo]
+            assert key_region.r1_hi == rows[grid_region.row_hi + 1]
+            assert key_region.r2_lo == cols[grid_region.col_lo]
+            assert key_region.r2_hi == cols[grid_region.col_hi + 1]
+
+    def test_total_output_is_exact(self, built_histogram, skewed_inputs):
+        keys1, keys2 = skewed_inputs
+        exact = count_join_output(keys1, keys2, BandJoinCondition(beta=2.0))
+        assert built_histogram.total_output == exact
+
+    def test_stage_artifacts_present(self, built_histogram):
+        assert built_histogram.sample_matrix.grid.num_rows > 0
+        assert built_histogram.coarsening.grid.num_rows > 0
+        assert built_histogram.regionalization.num_regions == built_histogram.num_regions
+        assert set(built_histogram.stage_seconds) == {
+            "sampling", "coarsening", "regionalization",
+        }
+        assert built_histogram.build_seconds > 0
+
+    def test_estimated_weight_close_to_regionalization(self, built_histogram):
+        assert built_histogram.estimated_max_weight == pytest.approx(
+            built_histogram.regionalization.max_region_weight
+        )
+
+    def test_coarsened_matrix_not_larger_than_2j(self, built_histogram):
+        assert built_histogram.coarsening.grid.num_rows <= 2 * 8
+        assert built_histogram.coarsening.grid.num_cols <= 2 * 8
+
+    def test_estimate_within_lower_bound_factor(self, built_histogram, skewed_inputs):
+        keys1, keys2 = skewed_inputs
+        weight_fn = WeightFunction(1.0, 0.2)
+        lower = weight_fn.lower_bound_optimum(
+            len(keys1) + len(keys2), built_histogram.total_output, 8
+        )
+        # The scheme cannot beat the no-replication bound, and for a
+        # reasonable workload it should stay within a small factor of it.
+        assert built_histogram.estimated_max_weight >= 0.9 * lower
+        assert built_histogram.estimated_max_weight <= 5.0 * lower
+
+
+class TestConfiguration:
+    def test_sample_matrix_size_override(self, skewed_inputs):
+        keys1, keys2 = skewed_inputs
+        config = EWHConfig(sample_matrix_size=32, adjust_for_output_ratio=False)
+        histogram = build_equi_weight_histogram(
+            keys1, keys2, BandJoinCondition(beta=2.0), 4,
+            WeightFunction(), config=config, rng=np.random.default_rng(1),
+        )
+        assert histogram.sample_matrix.grid.num_rows <= 32
+
+    def test_max_sample_matrix_size_cap(self, skewed_inputs):
+        keys1, keys2 = skewed_inputs
+        config = EWHConfig(max_sample_matrix_size=20)
+        histogram = build_equi_weight_histogram(
+            keys1, keys2, BandJoinCondition(beta=2.0), 4,
+            WeightFunction(), config=config, rng=np.random.default_rng(1),
+        )
+        assert histogram.sample_matrix.grid.num_rows <= 20
+
+    def test_baseline_bsp_tiling_option(self, skewed_inputs):
+        keys1, keys2 = skewed_inputs
+        config = EWHConfig(tiling_algorithm="bsp", max_coarsened_size=8)
+        histogram = build_equi_weight_histogram(
+            keys1, keys2, BandJoinCondition(beta=2.0), 4,
+            WeightFunction(), config=config, rng=np.random.default_rng(1),
+        )
+        assert 1 <= histogram.num_regions <= 4
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ValueError):
+            build_equi_weight_histogram(
+                np.array([]), np.array([1.0]), BandJoinCondition(beta=1.0), 2,
+                WeightFunction(),
+            )
+
+    def test_invalid_machine_count_rejected(self, skewed_inputs):
+        keys1, keys2 = skewed_inputs
+        with pytest.raises(ValueError):
+            build_equi_weight_histogram(
+                keys1, keys2, BandJoinCondition(beta=1.0), 0, WeightFunction()
+            )
+
+    def test_deterministic_given_seed(self, skewed_inputs):
+        keys1, keys2 = skewed_inputs
+        results = [
+            build_equi_weight_histogram(
+                keys1, keys2, BandJoinCondition(beta=2.0), 4,
+                WeightFunction(), config=EWHConfig(seed=99),
+            )
+            for _ in range(2)
+        ]
+        assert results[0].grid_regions == results[1].grid_regions
+        assert results[0].estimated_max_weight == pytest.approx(
+            results[1].estimated_max_weight
+        )
+
+    def test_composite_condition_supported(self):
+        rng = np.random.default_rng(5)
+        condition = CompositeEquiBandCondition(
+            beta=1.0, scale=16.0, band_key_min=0.0, band_key_max=7.0
+        )
+        equi1 = rng.integers(0, 30, size=1500)
+        band1 = rng.integers(0, 8, size=1500)
+        equi2 = rng.integers(0, 30, size=1500)
+        band2 = rng.integers(0, 8, size=1500)
+        keys1 = condition.encode(equi1, band1)
+        keys2 = condition.encode(equi2, band2)
+        histogram = build_equi_weight_histogram(
+            keys1, keys2, condition, 6, WeightFunction(1.0, 0.3),
+            rng=np.random.default_rng(2),
+        )
+        assert 1 <= histogram.num_regions <= 6
+        assert histogram.total_output == count_join_output(keys1, keys2, condition)

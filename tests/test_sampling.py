@@ -1,0 +1,222 @@
+"""Tests for the sampling substrates: sizes, Bernoulli, equi-depth, reservoir."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.bernoulli import bernoulli_sample, bernoulli_sample_rate
+from repro.sampling.equidepth import build_equidepth_histogram
+from repro.sampling.reservoir import (
+    WeightedReservoir,
+    merge_reservoirs,
+    weighted_sample_wor,
+    wor_to_wr,
+)
+from repro.sampling.sizes import (
+    KOLMOGOROV_MIN_SAMPLE,
+    input_sample_size,
+    output_sample_size,
+    sample_matrix_size,
+)
+
+
+class TestSampleSizes:
+    def test_sample_matrix_size_formula(self):
+        # sqrt(2 * 10000 * 32) = 800
+        assert sample_matrix_size(10_000, 32) == 800
+
+    def test_output_ratio_shrinks_ns(self):
+        base = sample_matrix_size(10_000, 32)
+        shrunk = sample_matrix_size(10_000, 32, output_input_ratio=4.0)
+        assert shrunk == base // 2
+
+    def test_low_output_ratio_grows_ns(self):
+        base = sample_matrix_size(10_000, 32)
+        grown = sample_matrix_size(10_000, 32, output_input_ratio=0.25)
+        assert grown == 2 * base
+
+    def test_ns_never_exceeds_n(self):
+        assert sample_matrix_size(100, 64) <= 100
+
+    def test_min_size_clamp(self):
+        assert sample_matrix_size(10, 1, min_size=4) >= 4
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            sample_matrix_size(0, 4)
+        with pytest.raises(ValueError):
+            sample_matrix_size(10, 0)
+        with pytest.raises(ValueError):
+            sample_matrix_size(10, 4, output_input_ratio=0)
+
+    def test_input_sample_size_theta_ns_log_n(self):
+        si = input_sample_size(ns=100, num_tuples=100_000)
+        assert si == min(int(np.ceil(4 * 100 * np.log(100_000))), 100_000)
+
+    def test_input_sample_size_capped_by_n(self):
+        assert input_sample_size(ns=50, num_tuples=60) == 60
+
+    def test_output_sample_size_floor(self):
+        assert output_sample_size(10) == KOLMOGOROV_MIN_SAMPLE
+
+    def test_output_sample_size_multiple_of_candidates(self):
+        assert output_sample_size(10_000, multiple=2.0) == 20_000
+
+    @given(n=st.integers(1, 10**7), j=st.integers(1, 256))
+    @settings(max_examples=100)
+    def test_lemma31_cell_bound_property(self, n, j):
+        """n_s = sqrt(2nJ) implies a single cell's area (n/ns)^2 <= n/(2J)."""
+        ns = sample_matrix_size(n, j, min_size=1)
+        cell_side = n / ns
+        assert cell_side**2 <= n / (2 * j) * 1.05 + 1  # small slack for ceiling
+
+
+class TestBernoulliSampling:
+    def test_rate_zero_and_one(self, rng):
+        values = np.arange(100)
+        assert len(bernoulli_sample(values, 0.0, rng)) == 0
+        np.testing.assert_array_equal(bernoulli_sample(values, 1.0, rng), values)
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            bernoulli_sample(np.arange(5), 1.5, rng)
+
+    def test_expected_size(self, rng):
+        values = np.arange(100_000)
+        sample = bernoulli_sample(values, 0.1, rng)
+        assert abs(len(sample) - 10_000) < 600
+
+    def test_preserves_order(self, rng):
+        values = np.arange(1000)
+        sample = bernoulli_sample(values, 0.5, rng)
+        assert np.all(np.diff(sample) > 0)
+
+    def test_rate_helper(self):
+        assert bernoulli_sample_rate(100, 1000) == 0.1
+        assert bernoulli_sample_rate(2000, 1000) == 1.0
+        with pytest.raises(ValueError):
+            bernoulli_sample_rate(10, 0)
+
+
+class TestEquiDepthHistogram:
+    def test_buckets_are_roughly_equal_depth(self, rng):
+        keys = rng.normal(0, 100, size=50_000)
+        hist = build_equidepth_histogram(keys, num_buckets=20, num_tuples=50_000)
+        buckets = hist.buckets_of(keys)
+        counts = np.bincount(buckets, minlength=20)
+        assert counts.max() < 2.0 * counts.mean()
+
+    def test_boundaries_sorted_and_cover_sample(self, rng):
+        keys = rng.integers(0, 1000, size=5000).astype(float)
+        hist = build_equidepth_histogram(keys, 16, 5000)
+        assert np.all(np.diff(hist.boundaries) >= 0)
+        assert hist.boundaries[0] == keys.min()
+        assert hist.boundaries[-1] == keys.max()
+
+    def test_bucket_of_clamps_out_of_range(self, rng):
+        keys = rng.integers(10, 20, size=100).astype(float)
+        hist = build_equidepth_histogram(keys, 4, 100)
+        assert hist.bucket_of(-100) == 0
+        assert hist.bucket_of(1000) == hist.num_buckets - 1
+
+    def test_buckets_of_matches_scalar(self, rng):
+        keys = rng.integers(0, 50, size=500).astype(float)
+        hist = build_equidepth_histogram(keys, 8, 500)
+        probes = rng.integers(-10, 60, size=50).astype(float)
+        vectorised = hist.buckets_of(probes)
+        for probe, bucket in zip(probes, vectorised):
+            assert hist.bucket_of(probe) == bucket
+
+    def test_bucket_range_and_overlap(self, rng):
+        keys = np.arange(100, dtype=float)
+        hist = build_equidepth_histogram(keys, 10, 100)
+        lo, hi = hist.bucket_range(0)
+        assert lo <= hi
+        first, last = hist.buckets_overlapping(5, 95)
+        assert first <= last
+        with pytest.raises(IndexError):
+            hist.bucket_range(100)
+        with pytest.raises(ValueError):
+            hist.buckets_overlapping(10, 5)
+
+    def test_expected_bucket_size(self):
+        hist = build_equidepth_histogram(np.arange(100.0), 10, 100_000)
+        assert hist.expected_bucket_size == 10_000
+
+    def test_heavy_hitter_duplicate_boundaries(self):
+        # A single repeated key must not break the histogram.
+        keys = np.full(1000, 7.0)
+        hist = build_equidepth_histogram(keys, 8, 1000)
+        assert hist.bucket_of(7.0) >= 0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            build_equidepth_histogram(np.array([]), 4, 10)
+
+    def test_more_buckets_than_sample_clamped(self):
+        hist = build_equidepth_histogram(np.array([1.0, 2.0, 3.0]), 10, 3)
+        assert hist.num_buckets <= 3
+
+
+class TestWeightedReservoir:
+    def test_capacity_respected(self, rng):
+        reservoir = WeightedReservoir(capacity=5)
+        for i in range(100):
+            reservoir.add(i, weight=1.0, rng=rng)
+        assert len(reservoir) == 5
+
+    def test_zero_weight_items_never_sampled(self, rng):
+        reservoir = WeightedReservoir(capacity=10)
+        for i in range(20):
+            reservoir.add(i, weight=0.0, rng=rng)
+        assert len(reservoir) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            WeightedReservoir(capacity=0)
+
+    def test_heavier_items_more_likely(self, rng):
+        """Efraimidis-Spirakis property: inclusion probability grows with weight."""
+        heavy_count = 0
+        trials = 400
+        for trial in range(trials):
+            local = np.random.default_rng(trial)
+            items = np.arange(20)
+            weights = np.ones(20)
+            weights[0] = 50.0
+            reservoir = weighted_sample_wor(items, weights, size=5, local_rng=None, rng=local) \
+                if False else weighted_sample_wor(items, weights, 5, local)
+            if 0 in reservoir.items():
+                heavy_count += 1
+        assert heavy_count > 0.9 * trials
+
+    def test_weighted_sample_wor_validates_lengths(self, rng):
+        with pytest.raises(ValueError):
+            weighted_sample_wor(np.arange(3), np.ones(4), 2, rng)
+
+    def test_merge_reservoirs_keeps_top_priorities(self, rng):
+        r1 = WeightedReservoir(capacity=3)
+        r2 = WeightedReservoir(capacity=3)
+        r1.add_with_priority("a", 1.0, 0.9)
+        r1.add_with_priority("b", 1.0, 0.1)
+        r2.add_with_priority("c", 1.0, 0.8)
+        r2.add_with_priority("d", 1.0, 0.2)
+        merged = merge_reservoirs([r1, r2], capacity=2)
+        items = set(merged.items())
+        assert items == {"a", "c"}
+
+    def test_merge_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            merge_reservoirs([])
+
+    def test_wor_to_wr_size_and_membership(self, rng):
+        reservoir = weighted_sample_wor(np.arange(10), np.ones(10), 5, rng)
+        wr = wor_to_wr(reservoir, 20, rng)
+        assert len(wr) == 20
+        assert set(wr) <= set(reservoir.items())
+
+    def test_wor_to_wr_empty(self, rng):
+        assert wor_to_wr(WeightedReservoir(capacity=3), 5, rng) == []

@@ -1,0 +1,91 @@
+"""Tests for the sample-size formulas (repro.sampling.sizes)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.sizes import (
+    KOLMOGOROV_MIN_SAMPLE,
+    input_sample_size,
+    output_sample_size,
+    sample_matrix_size,
+)
+
+
+class TestSampleMatrixSize:
+    def test_lemma_formula(self):
+        assert sample_matrix_size(10_000, 8) == math.ceil(math.sqrt(2 * 10_000 * 8))
+
+    def test_clamped_to_relation_size(self):
+        assert sample_matrix_size(10, 8) == 10
+
+    def test_minimum_size(self):
+        assert sample_matrix_size(4, 1, min_size=4) == 4
+
+    def test_output_ratio_shrinks_when_output_dominates(self):
+        base = sample_matrix_size(100_000, 16)
+        shrunk = sample_matrix_size(100_000, 16, output_input_ratio=4.0)
+        assert shrunk == pytest.approx(base / 2, abs=2)
+
+    def test_output_ratio_grows_when_output_small(self):
+        base = sample_matrix_size(100_000, 16)
+        grown = sample_matrix_size(100_000, 16, output_input_ratio=0.25)
+        assert grown == pytest.approx(base * 2, abs=2)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            sample_matrix_size(0, 4)
+        with pytest.raises(ValueError):
+            sample_matrix_size(10, 0)
+        with pytest.raises(ValueError):
+            sample_matrix_size(10, 2, output_input_ratio=0.0)
+
+    @given(n=st.integers(10, 10**7), machines=st.integers(1, 256))
+    @settings(max_examples=100)
+    def test_never_exceeds_relation_size(self, n, machines):
+        ns = sample_matrix_size(n, machines)
+        assert 1 <= ns <= max(n, 4)
+
+
+class TestInputSampleSize:
+    def test_theta_ns_log_n(self):
+        assert input_sample_size(100, 10_000, constant=4.0) == math.ceil(
+            4.0 * 100 * math.log(10_000)
+        )
+
+    def test_clamped_to_relation(self):
+        assert input_sample_size(100, 50) == 50
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            input_sample_size(0, 100)
+        with pytest.raises(ValueError):
+            input_sample_size(10, 0)
+
+    @given(ns=st.integers(1, 5000), n=st.integers(1, 10**7))
+    @settings(max_examples=100)
+    def test_positive_and_bounded(self, ns, n):
+        size = input_sample_size(ns, n)
+        assert 1 <= size <= n or size == n
+
+
+class TestOutputSampleSize:
+    def test_kolmogorov_floor(self):
+        assert output_sample_size(10) == KOLMOGOROV_MIN_SAMPLE
+        assert output_sample_size(0) == KOLMOGOROV_MIN_SAMPLE
+
+    def test_multiple_of_candidates_above_floor(self):
+        assert output_sample_size(10_000, multiple=2.0) == 20_000
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            output_sample_size(-1)
+
+    @given(candidates=st.integers(0, 10**6), multiple=st.floats(0.5, 8.0))
+    @settings(max_examples=100)
+    def test_never_below_floor(self, candidates, multiple):
+        assert output_sample_size(candidates, multiple=multiple) >= KOLMOGOROV_MIN_SAMPLE

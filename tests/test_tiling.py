@@ -1,0 +1,262 @@
+"""Tests for the tiling algorithms (BSP and MonotonicBSP) and regionalization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bsp import bsp_partition
+from repro.core.grid import WeightedGrid
+from repro.core.monotonic_bsp import (
+    enumerate_minimal_candidate_rectangles,
+    monotonic_bsp_partition,
+)
+from repro.core.region import GridRegion
+from repro.core.regionalization import regionalize
+from repro.core.validation import validate_grid_regions
+from repro.core.weights import WeightFunction
+from repro.joins.conditions import BandJoinCondition
+
+
+def band_grid(size: int, beta: float, seed: int = 0) -> WeightedGrid:
+    rng = np.random.default_rng(seed)
+    boundaries = np.sort(rng.uniform(0, 5 * size, size=size + 1))
+    condition = BandJoinCondition(beta=beta)
+    candidate = condition.candidate_grid(
+        boundaries[:-1], boundaries[1:], boundaries[:-1], boundaries[1:]
+    )
+    frequency = np.where(candidate, rng.integers(0, 10, size=(size, size)), 0)
+    return WeightedGrid(
+        frequency=frequency.astype(np.float64),
+        row_input=rng.integers(1, 10, size=size).astype(np.float64),
+        col_input=rng.integers(1, 10, size=size).astype(np.float64),
+        candidate=candidate,
+    )
+
+
+def empty_grid(size: int = 4) -> WeightedGrid:
+    return WeightedGrid(
+        frequency=np.zeros((size, size)),
+        row_input=np.ones(size),
+        col_input=np.ones(size),
+        candidate=np.zeros((size, size), dtype=bool),
+    )
+
+
+UNIT = WeightFunction(1.0, 1.0)
+
+
+class TestBSP:
+    def test_covers_all_candidates_exactly_once(self):
+        grid = band_grid(8, beta=10.0, seed=1)
+        delta = 0.3 * UNIT.weight(grid.total_input, grid.total_output)
+        result = bsp_partition(grid, UNIT, delta)
+        coverage = validate_grid_regions(grid, result.regions)
+        assert coverage.is_valid, coverage.summary()
+
+    def test_respects_delta_when_feasible(self):
+        grid = band_grid(8, beta=10.0, seed=2)
+        delta = max(
+            grid.max_cell_weight(UNIT, candidates_only=True),
+            0.4 * UNIT.weight(grid.total_input, grid.total_output),
+        )
+        result = bsp_partition(grid, UNIT, delta)
+        assert result.max_region_weight <= delta + 1e-9
+        for region in result.regions:
+            assert grid.region_weight(region, UNIT) <= delta + 1e-9
+
+    def test_large_delta_single_region(self):
+        grid = band_grid(6, beta=8.0, seed=3)
+        delta = UNIT.weight(grid.total_input, grid.total_output) + 1
+        result = bsp_partition(grid, UNIT, delta)
+        assert result.num_regions == 1
+
+    def test_small_delta_more_regions(self):
+        grid = band_grid(6, beta=8.0, seed=4)
+        loose = UNIT.weight(grid.total_input, grid.total_output)
+        tight = max(
+            grid.max_cell_weight(UNIT, candidates_only=True), loose / 10
+        )
+        loose_result = bsp_partition(grid, UNIT, loose)
+        tight_result = bsp_partition(grid, UNIT, tight)
+        assert tight_result.num_regions >= loose_result.num_regions
+
+    def test_empty_grid_yields_no_regions(self):
+        result = bsp_partition(empty_grid(), UNIT, delta=10.0)
+        assert result.regions == []
+        assert result.max_region_weight == 0.0
+
+    def test_refuses_large_grids(self):
+        grid = band_grid(30, beta=40.0, seed=5)
+        with pytest.raises(ValueError):
+            bsp_partition(grid, UNIT, delta=1e9, max_grid_size=28)
+
+    def test_regions_are_minimal_candidate_rectangles(self):
+        grid = band_grid(8, beta=10.0, seed=6)
+        delta = 0.3 * UNIT.weight(grid.total_input, grid.total_output)
+        result = bsp_partition(grid, UNIT, delta)
+        for region in result.regions:
+            assert grid.minimal_candidate_rectangle(region) == region
+
+
+class TestMonotonicBSP:
+    def test_covers_all_candidates_exactly_once(self):
+        grid = band_grid(12, beta=15.0, seed=1)
+        delta = 0.25 * UNIT.weight(grid.total_input, grid.total_output)
+        delta = max(delta, grid.max_cell_weight(UNIT, candidates_only=True))
+        result = monotonic_bsp_partition(grid, UNIT, delta)
+        coverage = validate_grid_regions(grid, result.regions)
+        assert coverage.is_valid, coverage.summary()
+
+    def test_matches_baseline_bsp_region_count(self):
+        for seed in range(5):
+            grid = band_grid(7, beta=9.0, seed=seed)
+            delta = max(
+                grid.max_cell_weight(UNIT, candidates_only=True),
+                0.3 * UNIT.weight(grid.total_input, grid.total_output),
+            )
+            baseline = bsp_partition(grid, UNIT, delta)
+            monotonic = monotonic_bsp_partition(grid, UNIT, delta)
+            # Both solve the same dynamic program, so the minimum number of
+            # regions must agree (the chosen splits may differ).
+            assert monotonic.num_regions == baseline.num_regions
+            assert monotonic.max_region_weight <= delta + 1e-9
+
+    def test_evaluates_fewer_rectangles_than_baseline(self):
+        grid = band_grid(10, beta=12.0, seed=7)
+        delta = max(
+            grid.max_cell_weight(UNIT, candidates_only=True),
+            0.3 * UNIT.weight(grid.total_input, grid.total_output),
+        )
+        baseline = bsp_partition(grid, UNIT, delta)
+        monotonic = monotonic_bsp_partition(grid, UNIT, delta)
+        assert monotonic.rectangles_evaluated < baseline.rectangles_evaluated
+
+    def test_empty_grid(self):
+        result = monotonic_bsp_partition(empty_grid(), UNIT, delta=5.0)
+        assert result.regions == []
+
+    @given(seed=st.integers(0, 300), fraction=st.floats(0.15, 0.8))
+    @settings(max_examples=25, deadline=None)
+    def test_valid_cover_property(self, seed, fraction):
+        grid = band_grid(9, beta=12.0, seed=seed)
+        if grid.num_candidate_cells == 0:
+            return
+        delta = max(
+            grid.max_cell_weight(UNIT, candidates_only=True),
+            fraction * UNIT.weight(grid.total_input, grid.total_output),
+        )
+        result = monotonic_bsp_partition(grid, UNIT, delta)
+        coverage = validate_grid_regions(grid, result.regions)
+        assert coverage.is_valid, coverage.summary()
+        assert result.max_region_weight <= delta + 1e-9
+
+
+class TestEnumerateMinimalCandidateRectangles:
+    def test_lemma_3_4_corner_property(self):
+        grid = band_grid(6, beta=8.0, seed=2)
+        rectangles = enumerate_minimal_candidate_rectangles(grid)
+        for rect in rectangles:
+            assert grid.candidate[rect.row_lo, rect.col_lo] or grid.candidate[
+                rect.row_lo, rect.col_hi
+            ]
+            assert grid.candidate[rect.row_hi, rect.col_hi] or grid.candidate[
+                rect.row_hi, rect.col_lo
+            ]
+
+    def test_count_is_quadratic_in_candidates(self):
+        grid = band_grid(6, beta=8.0, seed=3)
+        n_candidates = grid.num_candidate_cells
+        rectangles = enumerate_minimal_candidate_rectangles(grid)
+        assert len(rectangles) <= n_candidates * n_candidates
+
+    def test_sorted_by_semi_perimeter(self):
+        grid = band_grid(6, beta=8.0, seed=4)
+        rectangles = enumerate_minimal_candidate_rectangles(grid)
+        perims = [r.semi_perimeter for r in rectangles]
+        assert perims == sorted(perims)
+
+    def test_contains_every_single_candidate_cell(self):
+        grid = band_grid(5, beta=7.0, seed=5)
+        rectangles = set(enumerate_minimal_candidate_rectangles(grid))
+        for row, col in zip(*np.nonzero(grid.candidate)):
+            assert GridRegion(int(row), int(row), int(col), int(col)) in rectangles
+
+    def test_empty_grid(self):
+        assert enumerate_minimal_candidate_rectangles(empty_grid()) == []
+
+
+class TestRegionalize:
+    def test_respects_machine_budget(self):
+        grid = band_grid(12, beta=15.0, seed=1)
+        for machines in (2, 4, 8):
+            result = regionalize(grid, machines, UNIT)
+            assert result.num_regions <= machines
+            coverage = validate_grid_regions(grid, result.regions)
+            assert coverage.is_valid, coverage.summary()
+
+    def test_more_machines_never_hurts(self):
+        grid = band_grid(14, beta=18.0, seed=2)
+        weights = [
+            regionalize(grid, machines, UNIT).max_region_weight
+            for machines in (1, 2, 4, 8)
+        ]
+        # Maximum region weight is non-increasing in the machine budget, up to
+        # the binary-search tolerance.
+        for smaller, larger in zip(weights, weights[1:]):
+            assert larger <= smaller * 1.05 + 1e-9
+
+    def test_single_machine_single_region(self):
+        grid = band_grid(8, beta=10.0, seed=3)
+        result = regionalize(grid, 1, UNIT)
+        assert result.num_regions == 1
+        root = grid.minimal_candidate_rectangle(grid.full_region())
+        assert result.max_region_weight == pytest.approx(
+            grid.region_weight(root, UNIT)
+        )
+
+    def test_max_weight_at_least_lower_bound(self):
+        grid = band_grid(10, beta=12.0, seed=4)
+        machines = 4
+        result = regionalize(grid, machines, UNIT)
+        lower = max(
+            grid.max_cell_weight(UNIT, candidates_only=True),
+            UNIT.weight(grid.total_input, grid.total_output) / machines,
+        )
+        # No partitioning into <= J rectangular regions that each pay their
+        # own semi-perimeter can beat the no-replication lower bound by more
+        # than the search tolerance.
+        assert result.max_region_weight >= 0.5 * lower
+
+    def test_empty_grid(self):
+        result = regionalize(empty_grid(), 4, UNIT)
+        assert result.regions == []
+        assert result.max_region_weight == 0.0
+        assert result.search_steps == 0
+
+    def test_invalid_machine_count(self):
+        with pytest.raises(ValueError):
+            regionalize(band_grid(5, 6.0), 0, UNIT)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            regionalize(band_grid(5, 6.0), 2, UNIT, algorithm="mystery")
+
+    def test_bsp_algorithm_option(self):
+        grid = band_grid(8, beta=10.0, seed=5)
+        mono = regionalize(grid, 3, UNIT, algorithm="monotonic_bsp")
+        base = regionalize(grid, 3, UNIT, algorithm="bsp")
+        assert base.num_regions <= 3
+        assert mono.num_regions <= 3
+        # The two solve the same problem; their achieved max weights are close.
+        assert mono.max_region_weight == pytest.approx(
+            base.max_region_weight, rel=0.25
+        )
+
+    def test_estimate_tracks_regions(self):
+        grid = band_grid(10, beta=12.0, seed=6)
+        result = regionalize(grid, 4, UNIT)
+        achieved = max(grid.region_weight(r, UNIT) for r in result.regions)
+        assert result.max_region_weight == pytest.approx(achieved)

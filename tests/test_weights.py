@@ -1,0 +1,100 @@
+"""Tests for the cost model (repro.core.weights)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weights import (
+    BAND_JOIN_WEIGHTS,
+    EQUI_BAND_JOIN_WEIGHTS,
+    WeightFunction,
+)
+
+sizes = st.integers(min_value=0, max_value=10**9)
+costs = st.floats(min_value=0.01, max_value=100.0, allow_nan=False)
+
+
+class TestWeightFunction:
+    def test_weight_is_linear_combination(self):
+        fn = WeightFunction(input_cost=2.0, output_cost=0.5)
+        assert fn.weight(10, 4) == pytest.approx(2.0 * 10 + 0.5 * 4)
+
+    def test_call_is_weight(self):
+        fn = WeightFunction(input_cost=1.0, output_cost=0.2)
+        assert fn(7, 3) == fn.weight(7, 3)
+
+    def test_defaults_are_unit_costs(self):
+        fn = WeightFunction()
+        assert fn.input_cost == 1.0
+        assert fn.output_cost == 1.0
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            WeightFunction(input_cost=-1.0, output_cost=1.0)
+        with pytest.raises(ValueError):
+            WeightFunction(input_cost=1.0, output_cost=-0.1)
+
+    def test_all_zero_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            WeightFunction(input_cost=0.0, output_cost=0.0)
+
+    def test_one_zero_coefficient_allowed(self):
+        assert WeightFunction(input_cost=0.0, output_cost=1.0).weight(100, 5) == 5.0
+        assert WeightFunction(input_cost=1.0, output_cost=0.0).weight(100, 5) == 100.0
+
+    def test_paper_presets(self):
+        assert BAND_JOIN_WEIGHTS.input_cost == 1.0
+        assert BAND_JOIN_WEIGHTS.output_cost == pytest.approx(0.2)
+        assert EQUI_BAND_JOIN_WEIGHTS.output_cost == pytest.approx(0.3)
+
+    def test_frozen(self):
+        fn = WeightFunction()
+        with pytest.raises(AttributeError):
+            fn.input_cost = 3.0  # type: ignore[misc]
+
+    @given(input_a=sizes, input_b=sizes, output_a=sizes, output_b=sizes,
+           wi=costs, wo=costs)
+    @settings(max_examples=100)
+    def test_superadditivity(self, input_a, input_b, output_a, output_b, wi, wo):
+        # Lemma 3.1 requires c_i and c_o to be superadditive; a linear model
+        # is exactly additive, which satisfies the requirement.
+        fn = WeightFunction(input_cost=wi, output_cost=wo)
+        combined = fn.weight(input_a + input_b, output_a + output_b)
+        split = fn.weight(input_a, output_a) + fn.weight(input_b, output_b)
+        assert combined == pytest.approx(split, rel=1e-9)
+
+    @given(inputs=sizes, outputs=sizes, extra=sizes, wi=costs, wo=costs)
+    @settings(max_examples=100)
+    def test_monotonicity(self, inputs, outputs, extra, wi, wo):
+        fn = WeightFunction(input_cost=wi, output_cost=wo)
+        assert fn.weight(inputs + extra, outputs) >= fn.weight(inputs, outputs)
+        assert fn.weight(inputs, outputs + extra) >= fn.weight(inputs, outputs)
+
+
+class TestLowerBoundOptimum:
+    def test_divides_total_work_by_machines(self):
+        fn = WeightFunction(input_cost=1.0, output_cost=0.5)
+        bound = fn.lower_bound_optimum(total_input=100, total_output=40, num_machines=4)
+        assert bound == pytest.approx((100 + 0.5 * 40) / 4)
+
+    def test_single_machine_gets_total(self):
+        fn = WeightFunction()
+        assert fn.lower_bound_optimum(10, 10, 1) == pytest.approx(20.0)
+
+    def test_invalid_machine_count(self):
+        fn = WeightFunction()
+        with pytest.raises(ValueError):
+            fn.lower_bound_optimum(10, 10, 0)
+        with pytest.raises(ValueError):
+            fn.lower_bound_optimum(10, 10, -3)
+
+    @given(total_input=sizes, total_output=sizes,
+           machines=st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=100)
+    def test_bound_never_exceeds_total_work(self, total_input, total_output, machines):
+        fn = WeightFunction(input_cost=1.0, output_cost=0.2)
+        bound = fn.lower_bound_optimum(total_input, total_output, machines)
+        assert bound <= fn.weight(total_input, total_output) + 1e-9
+        assert bound >= 0.0

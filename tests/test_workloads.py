@@ -1,0 +1,125 @@
+"""Tests for the Table IV evaluation workloads (repro.workloads)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.weights import BAND_JOIN_WEIGHTS, EQUI_BAND_JOIN_WEIGHTS
+from repro.joins.conditions import BandJoinCondition, CompositeEquiBandCondition
+from repro.joins.local import count_join_output
+from repro.workloads.definitions import (
+    make_bcb,
+    make_beocd,
+    make_bicd,
+    table_iv_workloads,
+)
+
+
+class TestBICD:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return make_bicd(num_orders=6_000, seed=7)
+
+    def test_structure(self, workload):
+        assert workload.name == "B_ICD"
+        assert isinstance(workload.condition, BandJoinCondition)
+        assert workload.condition.beta == 2.0
+        assert workload.weight_fn == BAND_JOIN_WEIGHTS
+        assert workload.num_input_tuples == len(workload.keys1) + len(workload.keys2)
+
+    def test_input_cost_dominated(self, workload):
+        """B_ICD's defining property: the output is smaller than the input."""
+        assert workload.output_input_ratio() < 1.5
+
+    def test_exact_output_cached(self, workload):
+        first = workload.exact_output_size()
+        second = workload.exact_output_size()
+        assert first == second
+        assert first == count_join_output(
+            workload.keys1, workload.keys2, workload.condition
+        )
+
+
+class TestBCB:
+    def test_structure(self):
+        workload = make_bcb(beta=3, small_segment_size=1_500)
+        assert workload.name == "B_CB-3"
+        assert isinstance(workload.condition, BandJoinCondition)
+        assert workload.condition.beta == 3.0
+        # X dataset: each relation has 5x the small-segment size.
+        assert len(workload.keys1) == 5 * 1_500
+        assert len(workload.keys2) == 5 * 1_500
+
+    def test_cost_balanced_regime(self):
+        workload = make_bcb(beta=3, small_segment_size=1_500)
+        ratio = workload.output_input_ratio()
+        assert 0.5 < ratio < 20.0
+
+    def test_ratio_grows_with_band_width(self):
+        ratios = [
+            make_bcb(beta=beta, small_segment_size=1_200, seed=11).output_input_ratio()
+            for beta in (1, 4, 16)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_output_concentrated_on_small_segment(self):
+        """The X dataset's defining property: the hot segment causes JPS."""
+        workload = make_bcb(beta=2, small_segment_size=1_200, seed=11)
+        x = 1_200
+        hot_threshold = x  # hot keys live in [0, x/6], well below x.
+        hot1 = workload.keys1[workload.keys1 <= hot_threshold]
+        hot2 = workload.keys2[workload.keys2 <= hot_threshold]
+        hot_output = count_join_output(hot1, hot2, workload.condition)
+        assert hot_output >= 0.8 * workload.exact_output_size()
+
+
+class TestBEOCD:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return make_beocd(num_orders=12_000, seed=7)
+
+    def test_structure(self, workload):
+        assert workload.name == "BE_OCD"
+        assert isinstance(workload.condition, CompositeEquiBandCondition)
+        assert workload.weight_fn == EQUI_BAND_JOIN_WEIGHTS
+
+    def test_selection_predicates_shrink_input(self, workload):
+        # The order-priority and price predicates keep only a fraction of the
+        # generated orders on each side.
+        assert len(workload.keys1) < 12_000
+        assert len(workload.keys2) < 12_000
+        assert len(workload.keys1) > 0
+        assert len(workload.keys2) > 0
+
+    def test_output_cost_dominated(self, workload):
+        assert workload.output_input_ratio() > 5.0
+
+
+class TestTableIVWorkloads:
+    def test_full_lineup(self):
+        workloads = table_iv_workloads(scale=0.05, seed=7)
+        names = [w.name for w in workloads]
+        assert names[0] == "B_ICD"
+        assert names[-1] == "BE_OCD"
+        assert [n for n in names if n.startswith("B_CB")] == [
+            "B_CB-1", "B_CB-2", "B_CB-3", "B_CB-4", "B_CB-8", "B_CB-16",
+        ]
+
+    def test_scale_controls_sizes(self):
+        small = table_iv_workloads(scale=0.05, seed=7)
+        large = table_iv_workloads(scale=0.1, seed=7)
+        for s, l in zip(small, large):
+            assert s.num_input_tuples < l.num_input_tuples
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            table_iv_workloads(scale=0.0)
+
+    def test_ratio_spectrum_ordering(self):
+        """The line-up spans the ICD -> CB -> OCD spectrum of rho_oi."""
+        workloads = {w.name: w for w in table_iv_workloads(scale=0.05, seed=7)}
+        rho_icd = workloads["B_ICD"].output_input_ratio()
+        rho_cb3 = workloads["B_CB-3"].output_input_ratio()
+        rho_ocd = workloads["BE_OCD"].output_input_ratio()
+        assert rho_icd < rho_cb3 < rho_ocd
