@@ -1,0 +1,84 @@
+"""Online streaming join with drift-triggered repartitioning.
+
+Feeds a micro-batched stream whose Zipf skew shifts mid-stream (near-uniform
+at first, then a hot spot at a fresh location) to three engines:
+
+* CI-static -- 1-Bucket built once: immune to skew, pays replication forever;
+* CSIO-static -- the equi-weight histogram built from the stream prefix and
+  frozen, the online analogue of trusting a stale batch build;
+* CSIO-adaptive -- the same initial build, plus a drift detector that
+  rebuilds the histogram from the incrementally maintained sample state and
+  pays an explicit state-migration cost for every repartitioning.
+
+Run with::
+
+    python examples/streaming_join.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_streaming_table
+from repro.core.weights import BAND_JOIN_WEIGHTS
+from repro.joins.conditions import BandJoinCondition
+from repro.streaming import (
+    DriftAdaptiveEWHPolicy,
+    DriftDetector,
+    DriftingZipfSource,
+    StaticEWHPolicy,
+    StaticOneBucketPolicy,
+    compare_streaming_schemes,
+)
+
+
+def main() -> None:
+    num_machines = 16
+    source = DriftingZipfSource(
+        num_batches=16,
+        tuples_per_batch=800,
+        num_values=400,
+        z_initial=0.1,
+        z_final=0.9,
+        shift_at_batch=6,
+        seed=42,
+    )
+    print(
+        "Streaming a band join over 16 micro-batches; the key skew shifts "
+        "at batch 6...\n"
+    )
+    results = compare_streaming_schemes(
+        source,
+        num_machines,
+        BandJoinCondition(beta=1.0),
+        BAND_JOIN_WEIGHTS,
+        policies={
+            "CI-static": StaticOneBucketPolicy(num_machines),
+            "CSIO-static": StaticEWHPolicy(),
+            "CSIO-adaptive": DriftAdaptiveEWHPolicy(
+                DriftDetector(threshold=1.3, warmup_batches=2, cooldown_batches=3)
+            ),
+        },
+        sample_capacity=2048,
+        sample_decay=0.7,
+        seed=3,
+    )
+    print(format_streaming_table(results))
+
+    adaptive = results["CSIO-adaptive"]
+    rebuild_batches = [
+        batch.batch_index for batch in adaptive.batches if batch.repartitioned
+    ]
+    print(
+        f"\nThe adaptive engine repartitioned at batch(es) {rebuild_batches}, "
+        f"moving {adaptive.total_migrated:,} tuples of retained state between "
+        "machines (charged into its load above)."
+    )
+    print(
+        "Reading the table: once the hot spot appears, the frozen histogram's "
+        "busiest machine absorbs most of the new output while the adaptive "
+        "engine restores balance and ends with a lower max-machine load -- "
+        "migration cost included."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -47,6 +47,21 @@ from repro.joins.relations import Relation
 from repro.partitioning.ewh import build_ewh_partitioning
 from repro.partitioning.m_bucket import MBucketConfig, build_m_bucket_partitioning
 from repro.partitioning.one_bucket import build_one_bucket_partitioning
+from repro.streaming import (
+    ArrayStreamSource,
+    BatchMetrics,
+    DriftAdaptiveEWHPolicy,
+    DriftDetector,
+    DriftingZipfSource,
+    IncrementalHistogram,
+    MicroBatch,
+    StaticEWHPolicy,
+    StaticOneBucketPolicy,
+    StreamingJoinEngine,
+    StreamRunResult,
+    StreamSource,
+    compare_streaming_schemes,
+)
 from repro.workloads.definitions import make_bcb, make_beocd, make_bicd
 
 __version__ = "1.0.0"
@@ -83,6 +98,20 @@ __all__ = [
     "run_heterogeneous_join",
     "MultiwayJoinStep",
     "run_multiway_join",
+    # Streaming subsystem.
+    "MicroBatch",
+    "StreamSource",
+    "ArrayStreamSource",
+    "DriftingZipfSource",
+    "IncrementalHistogram",
+    "DriftDetector",
+    "BatchMetrics",
+    "StreamRunResult",
+    "StaticOneBucketPolicy",
+    "StaticEWHPolicy",
+    "DriftAdaptiveEWHPolicy",
+    "StreamingJoinEngine",
+    "compare_streaming_schemes",
     # Workloads.
     "make_bicd",
     "make_bcb",

@@ -8,6 +8,7 @@ wrapped together with the workload's characteristics (the Table IV columns).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -100,7 +101,10 @@ def compare_operators(
     )
 
     for scheme in schemes:
-        rng = np.random.default_rng([seed, hash(scheme) % (2**31)])
+        # zlib.crc32 rather than hash(): string hashes are randomised per
+        # process, which made the comparisons (and the benchmark assertions
+        # built on them) flaky across runs.
+        rng = np.random.default_rng([seed, zlib.crc32(scheme.encode("utf-8"))])
         if scheme == "CI":
             operator = CIOperator(num_machines)
         elif scheme == "CSI":

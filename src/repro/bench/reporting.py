@@ -9,11 +9,14 @@ from __future__ import annotations
 
 from repro.bench.experiments import ComparisonResult
 from repro.bench.scalability import ScalabilityPoint
+from repro.streaming.metrics import StreamRunResult
 from repro.workloads.definitions import JoinWorkload
 
 __all__ = [
     "format_comparison_table",
     "format_scalability_table",
+    "format_streaming_table",
+    "format_streaming_batches",
     "format_table_iv",
     "format_rows",
 ]
@@ -89,6 +92,71 @@ def format_comparison_table(comparisons: list[ComparisonResult]) -> str:
                     "yes" if result.output_correct else "NO",
                 ]
             )
+    return format_rows(headers, rows)
+
+
+def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
+    """Streaming-drift summary: one row per scheme over the whole stream."""
+    headers = [
+        "scheme",
+        "batches",
+        "tuples",
+        "output",
+        "max mach. load",
+        "latency cost",
+        "imbalance",
+        "migrated",
+        "rebuilds",
+        "throughput",
+        "correct",
+    ]
+    rows = []
+    for scheme, result in results.items():
+        rows.append(
+            [
+                scheme,
+                str(result.num_batches),
+                f"{result.total_tuples:,}",
+                f"{result.total_output:,}",
+                f"{result.max_machine_load:,.0f}",
+                f"{result.latency_cost:,.0f}",
+                f"{result.load_imbalance:.2f}",
+                f"{result.total_migrated:,}",
+                str(result.num_repartitions),
+                f"{result.mean_throughput:.3f}",
+                "-"
+                if result.output_correct is None
+                else ("yes" if result.output_correct else "NO"),
+            ]
+        )
+    return format_rows(headers, rows)
+
+
+def format_streaming_batches(results: dict[str, StreamRunResult]) -> str:
+    """Per-batch max-machine-load series, schemes side by side.
+
+    Runs of unequal length (e.g. one engine stopped early) render blank
+    cells past their last batch.
+    """
+    schemes = list(results)
+    headers = ["batch", "tuples"] + [f"{s} max load" for s in schemes] + [
+        f"{s} repart." for s in schemes
+    ]
+    num_batches = max(result.num_batches for result in results.values())
+    rows = []
+    for index in range(num_batches):
+        per_scheme = [
+            result.batches[index] if index < result.num_batches else None
+            for result in results.values()
+        ]
+        tuples = next(
+            (batch.new_tuples for batch in per_scheme if batch is not None), 0
+        )
+        rows.append(
+            [str(index), f"{tuples:,}"]
+            + ["" if b is None else f"{b.max_load:,.0f}" for b in per_scheme]
+            + ["" if b is None else ("*" if b.repartitioned else "") for b in per_scheme]
+        )
     return format_rows(headers, rows)
 
 

@@ -95,18 +95,28 @@ def run_join_multiprocess(
 
     assignments1 = partitioning.assign_r1(keys1, rng)
     assignments2 = partitioning.assign_r2(keys2, rng)
+    # A region with an empty side cannot produce output; spawning a worker
+    # for it would only pay process start-up and pickling overhead.
+    busy_machines = [
+        machine
+        for machine, (idx1, idx2) in enumerate(zip(assignments1, assignments2))
+        if len(idx1) > 0 and len(idx2) > 0
+    ]
     tasks = [
-        (keys1[idx1], keys2[idx2], condition)
-        for idx1, idx2 in zip(assignments1, assignments2)
+        (keys1[assignments1[machine]], keys2[assignments2[machine]], condition)
+        for machine in busy_machines
     ]
 
     start = time.perf_counter()
-    outputs = np.zeros(len(tasks), dtype=np.int64)
-    seconds = np.zeros(len(tasks))
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        for machine, (output, elapsed) in enumerate(pool.map(_join_region, tasks)):
-            outputs[machine] = output
-            seconds[machine] = elapsed
+    outputs = np.zeros(partitioning.num_regions, dtype=np.int64)
+    seconds = np.zeros(partitioning.num_regions)
+    if tasks:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            for machine, (output, elapsed) in zip(
+                busy_machines, pool.map(_join_region, tasks)
+            ):
+                outputs[machine] = output
+                seconds[machine] = elapsed
     wall = time.perf_counter() - start
     return MultiprocessJoinResult(
         per_machine_output=outputs,

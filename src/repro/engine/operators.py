@@ -128,6 +128,29 @@ class Operator(abc.ABC):
         partitioning, stats_cost, build_seconds = self.build_partitioning(
             keys1, keys2, condition, weight_fn, rng
         )
+        return self.execute_and_report(
+            partitioning, stats_cost, build_seconds,
+            keys1, keys2, condition, weight_fn, rng, expected_output,
+        )
+
+    def execute_and_report(
+        self,
+        partitioning: Partitioning,
+        stats_cost: float,
+        build_seconds: float,
+        keys1: np.ndarray,
+        keys2: np.ndarray,
+        condition: JoinCondition,
+        weight_fn: WeightFunction,
+        rng: np.random.Generator,
+        expected_output: int,
+    ) -> OperatorRunResult:
+        """Execute an already-built partitioning and assemble the report.
+
+        Split out of :meth:`run` so callers that interpose on the build phase
+        (the adaptive fallback operator) can reuse the execution/reporting
+        half unchanged.
+        """
         execution = run_partitioned_join(partitioning, keys1, keys2, condition, rng)
         estimated = getattr(partitioning, "estimated_max_weight", None)
         return OperatorRunResult(

@@ -1,0 +1,47 @@
+"""Online streaming join subsystem.
+
+Runs partitioned joins over micro-batched, unbounded input: the equi-weight
+histogram's sample state is maintained incrementally across batches, a drift
+detector compares the live load imbalance against the histogram's own
+prediction, and the engine rebuilds the partitioning online -- charging the
+state-migration cost explicitly -- when the prediction goes stale.
+"""
+
+from repro.streaming.drift import DriftDetector, DriftObservation
+from repro.streaming.engine import StreamingJoinEngine, compare_streaming_schemes
+from repro.streaming.incremental import DecayedReservoir, IncrementalHistogram
+from repro.streaming.metrics import BatchMetrics, StreamRunResult
+from repro.streaming.migration import MigrationPlan, plan_migration
+from repro.streaming.policies import (
+    DriftAdaptiveEWHPolicy,
+    RepartitioningPolicy,
+    StaticEWHPolicy,
+    StaticOneBucketPolicy,
+)
+from repro.streaming.source import (
+    ArrayStreamSource,
+    DriftingZipfSource,
+    MicroBatch,
+    StreamSource,
+)
+
+__all__ = [
+    "MicroBatch",
+    "StreamSource",
+    "ArrayStreamSource",
+    "DriftingZipfSource",
+    "DecayedReservoir",
+    "IncrementalHistogram",
+    "DriftDetector",
+    "DriftObservation",
+    "MigrationPlan",
+    "plan_migration",
+    "BatchMetrics",
+    "StreamRunResult",
+    "RepartitioningPolicy",
+    "StaticOneBucketPolicy",
+    "StaticEWHPolicy",
+    "DriftAdaptiveEWHPolicy",
+    "StreamingJoinEngine",
+    "compare_streaming_schemes",
+]

@@ -1,0 +1,357 @@
+"""The micro-batch streaming join engine.
+
+:class:`StreamingJoinEngine` consumes a :class:`~repro.streaming.source.StreamSource`
+and runs a stateful partitioned join over it:
+
+* every machine retains the tuples routed to its region so far (new arrivals
+  on one side must join the other side's full history);
+* each micro-batch is routed by the current partitioning, the per-machine
+  incremental output is counted exactly, and the batch's cost-model load is
+  charged per machine (arrivals at the input cost, produced output at the
+  output cost);
+* after each batch the :class:`~repro.streaming.policies.RepartitioningPolicy`
+  may swap in a new partitioning, in which case the retained state is
+  migrated (:mod:`repro.streaming.migration`) and the moved tuples are
+  charged into the same cost model -- rebalancing is never free.
+
+Correctness mirrors the batch simulator: grid-routed partitionings cover
+every candidate cell exactly once, so summing each machine's incremental
+output over the run reproduces the exact join cardinality of the full
+history, which :meth:`StreamingJoinEngine.run` verifies at end of stream.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.histogram import EWHConfig
+from repro.core.weights import WeightFunction
+from repro.joins.conditions import JoinCondition
+from repro.joins.local import count_join_output
+from repro.partitioning.base import Partitioning
+from repro.streaming.incremental import IncrementalHistogram
+from repro.streaming.metrics import BatchMetrics, StreamRunResult
+from repro.streaming.migration import pad_assignments, plan_migration
+from repro.streaming.policies import (
+    DriftAdaptiveEWHPolicy,
+    RepartitioningPolicy,
+    StaticEWHPolicy,
+    StaticOneBucketPolicy,
+)
+from repro.streaming.source import StreamSource
+
+__all__ = ["StreamingJoinEngine", "compare_streaming_schemes"]
+
+
+class StreamingJoinEngine:
+    """Run a stateful partitioned join over a micro-batched stream.
+
+    Parameters
+    ----------
+    num_machines:
+        Cluster size ``J``.
+    condition:
+        The monotonic join condition.
+    weight_fn:
+        Cost model charging arrivals and output per machine.
+    policy:
+        The repartitioning policy (defaults to drift-adaptive EWH).
+    histogram:
+        Optional pre-configured :class:`IncrementalHistogram`; built from
+        ``sample_capacity`` / ``sample_decay`` / ``ewh_config`` when omitted.
+    sample_capacity, sample_decay:
+        Per-side reservoir capacity and per-batch decay of the maintained
+        sample state.
+    ewh_config:
+        Histogram configuration used by (re)builds.
+    migration_cost_factor:
+        Input-cost multiplier for migrated tuples (1.0 charges a migrated
+        tuple like any other network arrival).
+    rebuild_scan_factor:
+        Per-tuple cost of scanning the sample state during a rebuild, as a
+        fraction of the join input cost (mirrors the batch operators'
+        statistics scan factor).
+    seed:
+        Seed of the engine's internal generator (routing and sampling).
+    """
+
+    def __init__(
+        self,
+        num_machines: int,
+        condition: JoinCondition,
+        weight_fn: WeightFunction,
+        policy: RepartitioningPolicy | None = None,
+        histogram: IncrementalHistogram | None = None,
+        sample_capacity: int = 2048,
+        sample_decay: float = 0.8,
+        ewh_config: EWHConfig | None = None,
+        migration_cost_factor: float = 1.0,
+        rebuild_scan_factor: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if num_machines <= 0:
+            raise ValueError("num_machines must be positive")
+        if migration_cost_factor < 0:
+            raise ValueError("migration_cost_factor must be non-negative")
+        self.num_machines = num_machines
+        self.condition = condition
+        self.weight_fn = weight_fn
+        self.policy = policy or DriftAdaptiveEWHPolicy()
+        self.histogram = histogram or IncrementalHistogram(
+            num_machines,
+            weight_fn,
+            capacity=sample_capacity,
+            decay=sample_decay,
+            config=ewh_config,
+        )
+        self.migration_cost_factor = migration_cost_factor
+        self.rebuild_scan_factor = rebuild_scan_factor
+        self.seed = seed
+        self._consumed = False
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _rebuild_charge(self) -> float:
+        """Cost of one histogram (re)build, spread over the cluster."""
+        return (
+            self.rebuild_scan_factor
+            * self.weight_fn.input_cost
+            * self.histogram.sample_tuples
+            / self.num_machines
+        )
+
+    def _region_outputs(
+        self,
+        assignments1: list[np.ndarray],
+        assignments2: list[np.ndarray],
+        keys1: np.ndarray,
+        keys2: np.ndarray,
+    ) -> np.ndarray:
+        """Exact per-machine output of joining the currently held state."""
+        outputs = np.zeros(self.num_machines, dtype=np.int64)
+        for machine in range(self.num_machines):
+            idx1, idx2 = assignments1[machine], assignments2[machine]
+            if len(idx1) == 0 or len(idx2) == 0:
+                continue
+            outputs[machine] = count_join_output(
+                keys1[idx1], keys2[idx2], self.condition
+            )
+        return outputs
+
+    @staticmethod
+    def _globalise(
+        local_assignments: list[np.ndarray], offset: int, num_machines: int
+    ) -> list[np.ndarray]:
+        """Convert per-region batch-local indices to padded global indices."""
+        shifted = [
+            np.asarray(a, dtype=np.int64) + offset for a in local_assignments
+        ]
+        return pad_assignments(shifted, num_machines)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, source: StreamSource, verify: bool = True) -> StreamRunResult:
+        """Consume the stream and return the per-batch and end-to-end metrics.
+
+        ``verify`` checks, at end of stream, that the summed incremental
+        output equals the exact join cardinality of the full history.
+
+        An engine can only consume one stream: the maintained sample state
+        and the policy's drift bookkeeping are not reset between runs, so a
+        second call raises instead of silently mixing streams.
+        """
+        if self._consumed:
+            raise RuntimeError(
+                "this engine has already consumed a stream; create a fresh "
+                "StreamingJoinEngine (and policy) per run"
+            )
+        self._consumed = True
+        rng = np.random.default_rng(self.seed)
+        J = self.num_machines
+        weight = self.weight_fn
+
+        history1 = np.empty(0, dtype=np.float64)
+        history2 = np.empty(0, dtype=np.float64)
+        state1: list[np.ndarray] = [np.empty(0, dtype=np.int64) for _ in range(J)]
+        state2: list[np.ndarray] = [np.empty(0, dtype=np.int64) for _ in range(J)]
+        prev_outputs = np.zeros(J, dtype=np.int64)
+        partitioning: Partitioning | None = None
+
+        result = StreamRunResult(
+            scheme=self.policy.scheme_name, num_machines=J
+        )
+        cumulative = np.zeros(J, dtype=np.float64)
+
+        for batch in source.batches():
+            start = time.perf_counter()
+            if self.policy.needs_statistics(partitioning is not None):
+                self.histogram.observe(batch, rng)
+
+            rebuild_cost = 0.0
+            initial_build = False
+            if partitioning is None and self.policy.ready(self.histogram):
+                builds_before = self.histogram.rebuilds
+                partitioning = self.policy.initial_partitioning(
+                    self.histogram, self.condition, rng
+                )
+                if self.histogram.rebuilds > builds_before:
+                    rebuild_cost = self._rebuild_charge()
+                initial_build = True
+
+            offset1, offset2 = len(history1), len(history2)
+            history1 = np.concatenate([history1, batch.keys1])
+            history2 = np.concatenate([history2, batch.keys2])
+
+            if partitioning is None:
+                # One side is still entirely unseen, so no partitioning can
+                # be built and no output is possible yet; the arrivals just
+                # accumulate in the (unrouted) history.
+                arrivals = np.zeros(J, dtype=np.int64)
+                deltas = np.zeros(J, dtype=np.int64)
+            else:
+                if initial_build:
+                    # Tuples that arrived before the first build were never
+                    # shipped anywhere: route the entire retained history.
+                    new1 = pad_assignments(
+                        partitioning.assign_r1(history1, rng), J
+                    )
+                    new2 = pad_assignments(
+                        partitioning.assign_r2(history2, rng), J
+                    )
+                    state1, state2 = new1, new2
+                else:
+                    # Route only the batch's arrivals and fold them into the
+                    # held state.
+                    new1 = self._globalise(
+                        partitioning.assign_r1(batch.keys1, rng), offset1, J
+                    )
+                    new2 = self._globalise(
+                        partitioning.assign_r2(batch.keys2, rng), offset2, J
+                    )
+                    state1 = [np.concatenate([s, n]) for s, n in zip(state1, new1)]
+                    state2 = [np.concatenate([s, n]) for s, n in zip(state2, new2)]
+                arrivals = np.array(
+                    [len(a) + len(b) for a, b in zip(new1, new2)], dtype=np.int64
+                )
+
+                # Exact incremental output: recount each region's held state
+                # and difference against the previous cumulative count.
+                totals = self._region_outputs(state1, state2, history1, history2)
+                deltas = totals - prev_outputs
+                prev_outputs = totals
+
+            loads = (
+                weight.input_cost * arrivals.astype(np.float64)
+                + weight.output_cost * deltas.astype(np.float64)
+                + rebuild_cost
+            )
+            mean_load = float(loads.mean()) if J else 0.0
+            live_imbalance = (
+                float(loads.max()) / mean_load if mean_load > 0 else 1.0
+            )
+            metrics = BatchMetrics(
+                batch_index=batch.index,
+                new_tuples=batch.num_tuples,
+                per_machine_load=loads,
+                output_delta=int(deltas.sum()),
+                rebuild_cost=rebuild_cost,
+                live_imbalance=live_imbalance,
+                predicted_imbalance=self.policy.predicted_imbalance(
+                    self.histogram
+                ),
+            )
+
+            # Give the policy a chance to swap partitionings; migration and
+            # rebuild charges land on this batch.  Before the initial build
+            # there is nothing to replace.
+            builds_before = self.histogram.rebuilds
+            replacement = (
+                self.policy.maybe_repartition(
+                    self.histogram, metrics, self.condition, rng
+                )
+                if partitioning is not None
+                else None
+            )
+            if replacement is not None:
+                plan = plan_migration(
+                    state1, state2, replacement, history1, history2, J, rng
+                )
+                partitioning = replacement
+                state1 = plan.new_assignments1
+                state2 = plan.new_assignments2
+                prev_outputs = self._region_outputs(
+                    state1, state2, history1, history2
+                )
+                migration_load = (
+                    self.migration_cost_factor
+                    * weight.input_cost
+                    * plan.per_machine_arrivals.astype(np.float64)
+                )
+                if self.histogram.rebuilds > builds_before:
+                    charge = self._rebuild_charge()
+                    migration_load = migration_load + charge
+                    metrics.rebuild_cost += charge
+                metrics.per_machine_load = metrics.per_machine_load + migration_load
+                metrics.migrated_tuples = plan.total_moved
+                metrics.repartitioned = True
+
+            metrics.wall_seconds = time.perf_counter() - start
+            cumulative += metrics.per_machine_load
+            result.batches.append(metrics)
+
+        result.cumulative_load = cumulative
+        result.total_output = int(
+            sum(batch.output_delta for batch in result.batches)
+        )
+        if verify:
+            result.expected_output = count_join_output(
+                history1, history2, self.condition
+            )
+            result.output_correct = result.total_output == result.expected_output
+        return result
+
+
+def compare_streaming_schemes(
+    source: StreamSource,
+    num_machines: int,
+    condition: JoinCondition,
+    weight_fn: WeightFunction,
+    policies: dict[str, RepartitioningPolicy] | None = None,
+    ewh_config: EWHConfig | None = None,
+    sample_capacity: int = 2048,
+    sample_decay: float = 0.8,
+    migration_cost_factor: float = 1.0,
+    seed: int = 0,
+) -> dict[str, StreamRunResult]:
+    """Run the same stream under several policies and collect the results.
+
+    The default line-up is the benchmark's: static 1-Bucket, static CSIO and
+    drift-adaptive CSIO.  Every engine consumes an independent replay of the
+    source (sources are deterministic and re-iterable), so the comparisons
+    see identical input.
+    """
+    if policies is None:
+        policies = {
+            "CI-static": StaticOneBucketPolicy(num_machines),
+            "CSIO-static": StaticEWHPolicy(),
+            "CSIO-adaptive": DriftAdaptiveEWHPolicy(),
+        }
+    results: dict[str, StreamRunResult] = {}
+    for name, policy in policies.items():
+        engine = StreamingJoinEngine(
+            num_machines,
+            condition,
+            weight_fn,
+            policy=policy,
+            sample_capacity=sample_capacity,
+            sample_decay=sample_decay,
+            ewh_config=ewh_config,
+            migration_cost_factor=migration_cost_factor,
+            seed=seed,
+        )
+        results[name] = engine.run(source)
+    return results

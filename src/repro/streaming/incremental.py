@@ -1,0 +1,221 @@
+"""Incremental maintenance of the equi-weight histogram's sample state.
+
+The batch pipeline samples both relations from scratch every time it builds
+the histogram.  Over an unbounded stream that is impossible -- the input can
+no longer be rescanned -- so the streaming subsystem keeps the *sample* state
+alive across micro-batches and rebuilds the histogram from it on demand:
+
+* Each side feeds a :class:`DecayedReservoir`, an Efraimidis--Spirakis
+  weighted reservoir whose item weights grow geometrically with the batch
+  index.  Algebraically this is time-biased sampling: an item that arrived
+  ``a`` batches ago is retained with probability proportional to
+  ``decay ** a``, so the reservoir tracks the *recent* key distribution and
+  forgets stale phases at a configurable half-life.  Priorities are kept in
+  log space (``ln(u) / w``) so the geometric weights never overflow or lose
+  float resolution.
+* Rebuilding runs the ordinary 3-stage pipeline
+  (:func:`~repro.core.histogram.build_equi_weight_histogram`) over the two
+  reservoir snapshots.  The cost is proportional to the reservoir capacity,
+  not to the stream length -- the whole point of maintaining the state
+  incrementally.
+
+The rebuilt histogram routes *real* keys correctly because the outermost
+region boundaries are opened to +-infinity, and its predicted region-weight
+imbalance (a scale-free ratio) is what the drift detector compares against
+the live load imbalance.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.core.histogram import (
+    EWHConfig,
+    EquiWeightHistogram,
+    build_equi_weight_histogram,
+)
+from repro.core.weights import WeightFunction
+from repro.joins.conditions import JoinCondition
+from repro.partitioning.ewh import EWHPartitioning
+from repro.streaming.source import MicroBatch
+
+__all__ = ["DecayedReservoir", "IncrementalHistogram"]
+
+
+class DecayedReservoir:
+    """A bounded weighted reservoir that favours recent arrivals.
+
+    Entries are ``(priority_key, counter, key)`` triples in a min-heap of
+    bounded size.  The Efraimidis--Spirakis priority of an item offered in
+    batch ``b`` with weight ``w = decay ** -b`` is ``u ** (1/w)``; comparing
+    those directly (or their logs ``ln(u) * decay**b``) underflows once
+    ``decay**b`` hits the float floor, which would silently freeze the sample
+    on long streams.  Only the *order* matters, so the heap stores the
+    doubly-logarithmic rebasing
+
+        priority_key = -ln(-ln(u)) + b * ln(1/decay)
+
+    which is strictly increasing in the original priority and grows only
+    linearly with the batch index.  The retained set is exactly the weighted
+    sample without replacement.
+    """
+
+    def __init__(self, capacity: int, decay: float = 1.0) -> None:
+        if capacity <= 0:
+            raise ValueError("reservoir capacity must be positive")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.capacity = capacity
+        self.decay = decay
+        self._log_inv_decay = -math.log(decay)
+        self._heap: list[tuple[float, int, float]] = []
+        self._counter = 0
+        self.tuples_seen = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def add_batch(
+        self, keys: np.ndarray, batch_index: int, rng: np.random.Generator
+    ) -> None:
+        """Offer one micro-batch of keys, all weighted by the batch's age."""
+        keys = np.asarray(keys, dtype=np.float64)
+        self.tuples_seen += len(keys)
+        if len(keys) == 0:
+            return
+        with np.errstate(divide="ignore"):
+            # -ln(-ln u): u -> 0 gives -inf (never sampled), u -> 1 gives +inf.
+            priorities = -np.log(-np.log(rng.random(len(keys))))
+        priorities += batch_index * self._log_inv_decay
+        if len(self._heap) >= self.capacity:
+            # Entries below the current minimum can never enter (the heap
+            # minimum only rises), so drop them vectorised before the
+            # per-entry heap loop.
+            mask = priorities > self._heap[0][0]
+            keys, priorities = keys[mask], priorities[mask]
+        for key, priority in zip(keys, priorities):
+            entry = (float(priority), self._counter, float(key))
+            self._counter += 1
+            if len(self._heap) < self.capacity:
+                heapq.heappush(self._heap, entry)
+            elif entry[0] > self._heap[0][0]:
+                heapq.heapreplace(self._heap, entry)
+
+    def keys(self) -> np.ndarray:
+        """Snapshot of the sampled keys (unordered)."""
+        return np.array([entry[2] for entry in self._heap], dtype=np.float64)
+
+
+class IncrementalHistogram:
+    """EWH sample state maintained across micro-batches.
+
+    Parameters
+    ----------
+    num_machines:
+        ``J`` -- the number of regions the rebuilt histogram targets.
+    weight_fn:
+        The cost model used by coarsening and regionalization.
+    capacity:
+        Per-side reservoir capacity (the rebuild cost scales with it).
+    decay:
+        Per-batch retention factor of old samples; 1.0 keeps the whole
+        history uniformly, 0.8 halves an old batch's influence roughly every
+        three batches.
+    config:
+        Histogram configuration used by rebuilds.  The sample-matrix size is
+        derived from the reservoir size, so the streaming default caps it
+        lower than the batch default.
+    """
+
+    def __init__(
+        self,
+        num_machines: int,
+        weight_fn: WeightFunction,
+        capacity: int = 2048,
+        decay: float = 0.8,
+        config: EWHConfig | None = None,
+    ) -> None:
+        if num_machines <= 0:
+            raise ValueError("num_machines must be positive")
+        self.num_machines = num_machines
+        self.weight_fn = weight_fn
+        self.config = config or EWHConfig(max_sample_matrix_size=256)
+        self.reservoir1 = DecayedReservoir(capacity, decay)
+        self.reservoir2 = DecayedReservoir(capacity, decay)
+        self.batches_observed = 0
+        self.rebuilds = 0
+        self.last_histogram: EquiWeightHistogram | None = None
+        self._predicted_imbalance = 1.0
+
+    @property
+    def tuples_seen(self) -> int:
+        """Total stream tuples observed (both sides)."""
+        return self.reservoir1.tuples_seen + self.reservoir2.tuples_seen
+
+    @property
+    def sample_tuples(self) -> int:
+        """Tuples currently held in the two reservoirs."""
+        return len(self.reservoir1) + len(self.reservoir2)
+
+    def observe(self, batch: MicroBatch, rng: np.random.Generator) -> None:
+        """Fold one micro-batch into the maintained sample state."""
+        self.reservoir1.add_batch(batch.keys1, batch.index, rng)
+        self.reservoir2.add_batch(batch.keys2, batch.index, rng)
+        self.batches_observed += 1
+
+    def can_build(self) -> bool:
+        """Whether both sides have sample mass to build from."""
+        return len(self.reservoir1) > 0 and len(self.reservoir2) > 0
+
+    def build_partitioning(
+        self, condition: JoinCondition, rng: np.random.Generator
+    ) -> EWHPartitioning:
+        """Rebuild the EWH partitioning from the current sample state.
+
+        Runs sampling/coarsening/regionalization over the reservoir
+        snapshots; cost is ``O(capacity)`` work regardless of how long the
+        stream has run.
+        """
+        if not self.can_build():
+            raise ValueError(
+                "cannot build a histogram before both sides have been observed"
+            )
+        histogram = build_equi_weight_histogram(
+            self.reservoir1.keys(),
+            self.reservoir2.keys(),
+            condition,
+            self.num_machines,
+            self.weight_fn,
+            config=self.config,
+            rng=rng,
+        )
+        self.last_histogram = histogram
+        self.rebuilds += 1
+        # Freeze the predicted imbalance at build time: the ratio of the
+        # estimated maximum region weight to the no-replication lower bound
+        # over the sample the histogram was actually built from.
+        lower = self.weight_fn.lower_bound_optimum(
+            self.sample_tuples, histogram.total_output, self.num_machines
+        )
+        if lower > 0 and math.isfinite(lower):
+            self._predicted_imbalance = max(
+                1.0, histogram.estimated_max_weight / lower
+            )
+        else:
+            self._predicted_imbalance = 1.0
+        return EWHPartitioning(histogram)
+
+    def predicted_imbalance(self) -> float:
+        """The last build's predicted max/mean region-weight ratio.
+
+        The ratio is scale-free, so it transfers from sample space to the
+        live stream: it is the imbalance the histogram *expects* the cluster
+        to exhibit if the key distribution has not drifted.  Computed against
+        the no-replication lower bound at build time, it is slightly
+        conservative (the denominator ignores replicated input), which biases
+        the drift detector towards fewer, more certain triggers.
+        """
+        return self._predicted_imbalance

@@ -1,0 +1,165 @@
+"""Per-batch and end-to-end metrics of a streaming join run.
+
+The quantities mirror the batch pipeline's cost accounting (everything is in
+cost-model units, ``w_i * input + w_o * output``) extended with the streaming
+specifics: migration volume, rebuild charges and per-batch throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BatchMetrics", "StreamRunResult"]
+
+
+@dataclass
+class BatchMetrics:
+    """Everything measured while processing one micro-batch.
+
+    Attributes
+    ----------
+    batch_index:
+        Sequence number of the batch.
+    new_tuples:
+        Arrivals in the batch (both sides, before replication).
+    per_machine_load:
+        Cost-model load charged to each machine for this batch: routed
+        arrivals (with replication) and migrated tuples at the input cost,
+        plus produced output at the output cost, plus the rebuild's
+        statistics charge.
+    output_delta:
+        Output tuples produced cluster-wide by this batch.
+    migrated_tuples:
+        Tuples shipped between machines by a repartitioning in this batch.
+    rebuild_cost:
+        Statistics charge of rebuilding the histogram in this batch (zero
+        when no rebuild happened).
+    repartitioned:
+        Whether a new partitioning was adopted during this batch.
+    live_imbalance, predicted_imbalance:
+        Measured max/mean load ratio of the batch versus the histogram's
+        scale-free prediction.
+    wall_seconds:
+        Real time spent processing the batch (including any rebuild).
+    """
+
+    batch_index: int
+    new_tuples: int
+    per_machine_load: np.ndarray
+    output_delta: int
+    migrated_tuples: int = 0
+    rebuild_cost: float = 0.0
+    repartitioned: bool = False
+    live_imbalance: float = 1.0
+    predicted_imbalance: float = 1.0
+    wall_seconds: float = 0.0
+
+    @property
+    def max_load(self) -> float:
+        """Load of the busiest machine in this batch."""
+        return float(self.per_machine_load.max()) if len(self.per_machine_load) else 0.0
+
+    @property
+    def mean_load(self) -> float:
+        """Mean machine load in this batch."""
+        return float(self.per_machine_load.mean()) if len(self.per_machine_load) else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Modelled throughput: arrivals per unit of busiest-machine work."""
+        max_load = self.max_load
+        return self.new_tuples / max_load if max_load > 0 else float("inf")
+
+
+@dataclass
+class StreamRunResult:
+    """End-to-end accounting of one engine run over one stream.
+
+    Attributes
+    ----------
+    scheme:
+        Reporting name of the policy that drove the run.
+    num_machines:
+        Cluster size ``J``.
+    batches:
+        Per-batch metrics in stream order.
+    cumulative_load:
+        Total cost-model load charged to each machine over the whole run
+        (including migration and rebuild charges).
+    total_output:
+        Output tuples produced over the run.
+    expected_output:
+        Exact output of joining the full history (when verification ran).
+    output_correct:
+        Whether ``total_output`` matched the exact count; ``None`` when the
+        run skipped verification.
+    """
+
+    scheme: str
+    num_machines: int
+    batches: list[BatchMetrics] = field(default_factory=list)
+    cumulative_load: np.ndarray | None = None
+    total_output: int = 0
+    expected_output: int | None = None
+    output_correct: bool | None = None
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def total_tuples(self) -> int:
+        """Stream arrivals processed (both sides, before replication)."""
+        return sum(batch.new_tuples for batch in self.batches)
+
+    @property
+    def max_machine_load(self) -> float:
+        """Cumulative load of the busiest machine -- what balancing minimises."""
+        if self.cumulative_load is None or len(self.cumulative_load) == 0:
+            return 0.0
+        return float(self.cumulative_load.max())
+
+    @property
+    def mean_machine_load(self) -> float:
+        """Mean cumulative machine load."""
+        if self.cumulative_load is None or len(self.cumulative_load) == 0:
+            return 0.0
+        return float(self.cumulative_load.mean())
+
+    @property
+    def load_imbalance(self) -> float:
+        """Cumulative max/mean load ratio (1.0 is perfectly balanced)."""
+        mean = self.mean_machine_load
+        return self.max_machine_load / mean if mean > 0 else 1.0
+
+    @property
+    def latency_cost(self) -> float:
+        """Sum over batches of the busiest machine's load.
+
+        Models end-to-end latency when batches are barriers: every batch
+        waits for its slowest machine.
+        """
+        return float(sum(batch.max_load for batch in self.batches))
+
+    @property
+    def total_migrated(self) -> int:
+        """Tuples moved between machines by repartitionings."""
+        return sum(batch.migrated_tuples for batch in self.batches)
+
+    @property
+    def num_repartitions(self) -> int:
+        """Repartitionings adopted during the run."""
+        return sum(1 for batch in self.batches if batch.repartitioned)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Real time spent processing the whole stream."""
+        return float(sum(batch.wall_seconds for batch in self.batches))
+
+    @property
+    def mean_throughput(self) -> float:
+        """Modelled stream throughput: arrivals per unit of latency cost."""
+        latency = self.latency_cost
+        return self.total_tuples / latency if latency > 0 else float("inf")

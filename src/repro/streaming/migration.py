@@ -1,0 +1,113 @@
+"""State migration between partitionings of a running streaming join.
+
+A streaming join is stateful: every machine retains the tuples routed to its
+region so far, because future arrivals on the other side must join against
+them.  Swapping in a new partitioning therefore has a real cost -- every
+retained tuple whose new region set includes a machine that does not already
+hold it must be shipped there.  :func:`plan_migration` computes that plan
+exactly from the old per-machine index sets and the new partitioning, and the
+engine charges the moved tuples into the cost model (they are received,
+demarshalled and indexed like any other network arrival).
+
+Tuples are identified by their global arrival index, so "already present on
+machine r" is an exact set test, and replicated tuples (a tuple may live on
+several machines under either partitioning) are handled naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.partitioning.base import Partitioning
+
+__all__ = ["MigrationPlan", "pad_assignments", "plan_migration"]
+
+
+@dataclass
+class MigrationPlan:
+    """The exact tuple movements required to adopt a new partitioning.
+
+    Attributes
+    ----------
+    new_assignments1, new_assignments2:
+        Per-machine global-index arrays of the retained R1/R2 state under
+        the *new* partitioning (machines beyond the new region count hold
+        nothing).
+    per_machine_arrivals:
+        Tuples each machine must newly receive (it did not hold them under
+        the old partitioning).
+    total_moved:
+        Sum of the per-machine arrivals -- the migration volume in tuples.
+    """
+
+    new_assignments1: list[np.ndarray]
+    new_assignments2: list[np.ndarray]
+    per_machine_arrivals: np.ndarray
+
+    @property
+    def total_moved(self) -> int:
+        return int(self.per_machine_arrivals.sum())
+
+
+def pad_assignments(
+    assignments: list[np.ndarray], num_machines: int
+) -> list[np.ndarray]:
+    """Extend a per-region assignment list to the full machine count.
+
+    A partitioning may produce fewer regions than there are machines (the
+    equi-weight histogram uses at most J); machines beyond the region count
+    hold nothing.  Shared by the engine's routing and the migration planner
+    so both paths pad identically.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    padded = [np.asarray(a, dtype=np.int64) for a in assignments]
+    padded.extend(empty for _ in range(num_machines - len(padded)))
+    return padded
+
+
+def plan_migration(
+    old_assignments1: list[np.ndarray],
+    old_assignments2: list[np.ndarray],
+    new_partitioning: Partitioning,
+    keys1: np.ndarray,
+    keys2: np.ndarray,
+    num_machines: int,
+    rng: np.random.Generator,
+) -> MigrationPlan:
+    """Plan the state movement from the old machine assignment to a new scheme.
+
+    Parameters
+    ----------
+    old_assignments1, old_assignments2:
+        Per-machine arrays of global tuple indices currently held (R1/R2).
+    new_partitioning:
+        The scheme taking over; it is asked to route the full retained
+        history.
+    keys1, keys2:
+        The retained key history, indexed by the global indices.
+    num_machines:
+        Cluster size (at least the region count of either partitioning).
+    rng:
+        Generator for randomised schemes.
+    """
+    new1 = pad_assignments(
+        new_partitioning.assign_r1(np.asarray(keys1), rng), num_machines
+    )
+    new2 = pad_assignments(
+        new_partitioning.assign_r2(np.asarray(keys2), rng), num_machines
+    )
+    old1 = pad_assignments(old_assignments1, num_machines)
+    old2 = pad_assignments(old_assignments2, num_machines)
+
+    arrivals = np.zeros(num_machines, dtype=np.int64)
+    for machine in range(num_machines):
+        moved1 = np.setdiff1d(new1[machine], old1[machine], assume_unique=True)
+        moved2 = np.setdiff1d(new2[machine], old2[machine], assume_unique=True)
+        arrivals[machine] = len(moved1) + len(moved2)
+    return MigrationPlan(
+        new_assignments1=new1,
+        new_assignments2=new2,
+        per_machine_arrivals=arrivals,
+    )

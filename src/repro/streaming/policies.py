@@ -1,0 +1,148 @@
+"""Repartitioning policies: when (and with what) to replace the partitioning.
+
+The engine is scheme-agnostic; a policy decides which partitioning starts the
+run and whether to adopt a new one after a batch.  Three policies reproduce
+the comparison of interest:
+
+* :class:`StaticOneBucketPolicy` -- 1-Bucket, built once, never changed.
+  Immune to skew by construction but pays input replication forever.
+* :class:`StaticEWHPolicy` -- the equi-weight histogram built from the first
+  observed batch(es) and then frozen: the online analogue of running the
+  batch pipeline on a prefix and hoping the distribution holds.
+* :class:`DriftAdaptiveEWHPolicy` -- the same initial build, plus a
+  :class:`~repro.streaming.drift.DriftDetector` that rebuilds from the
+  incrementally maintained sample state when the live imbalance leaves the
+  histogram's prediction, paying the migration cost in exchange for restored
+  balance.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.joins.conditions import JoinCondition
+from repro.partitioning.base import Partitioning
+from repro.partitioning.one_bucket import build_one_bucket_partitioning
+from repro.streaming.drift import DriftDetector
+from repro.streaming.incremental import IncrementalHistogram
+from repro.streaming.metrics import BatchMetrics
+
+__all__ = [
+    "RepartitioningPolicy",
+    "StaticOneBucketPolicy",
+    "StaticEWHPolicy",
+    "DriftAdaptiveEWHPolicy",
+]
+
+
+class RepartitioningPolicy(abc.ABC):
+    """Decides the initial partitioning and any mid-stream replacement."""
+
+    #: Reporting name used by the benchmark tables.
+    scheme_name: str = "policy"
+
+    def ready(self, histogram: IncrementalHistogram) -> bool:
+        """Whether enough of the stream has been seen to build a partitioning.
+
+        The engine defers the initial build (and buffers nothing but the
+        retained history) until this returns True.
+        """
+        return True
+
+    def needs_statistics(self, has_partitioning: bool) -> bool:
+        """Whether the engine should keep folding batches into the sample state.
+
+        Maintaining the reservoirs costs per-tuple work; policies that will
+        never (or never again) build from them let the engine skip it.
+        """
+        return True
+
+    @abc.abstractmethod
+    def initial_partitioning(
+        self,
+        histogram: IncrementalHistogram,
+        condition: JoinCondition,
+        rng: np.random.Generator,
+    ) -> Partitioning:
+        """Build the partitioning that starts the run (first batch observed)."""
+
+    def maybe_repartition(
+        self,
+        histogram: IncrementalHistogram,
+        metrics: BatchMetrics,
+        condition: JoinCondition,
+        rng: np.random.Generator,
+    ) -> Partitioning | None:
+        """Return a replacement partitioning, or None to keep the current one.
+
+        Called after every processed batch with that batch's metrics; static
+        policies never replace.
+        """
+        return None
+
+    def predicted_imbalance(self, histogram: IncrementalHistogram) -> float:
+        """The imbalance the current partitioning is expected to exhibit."""
+        return histogram.predicted_imbalance()
+
+
+class StaticOneBucketPolicy(RepartitioningPolicy):
+    """1-Bucket built once; random routing needs no statistics and no rebuilds."""
+
+    scheme_name = "CI-static"
+
+    def __init__(self, num_machines: int) -> None:
+        if num_machines <= 0:
+            raise ValueError("num_machines must be positive")
+        self.num_machines = num_machines
+
+    def initial_partitioning(self, histogram, condition, rng):
+        return build_one_bucket_partitioning(self.num_machines)
+
+    def needs_statistics(self, has_partitioning: bool) -> bool:
+        # Random routing never consults the sample state.
+        return False
+
+    def predicted_imbalance(self, histogram) -> float:
+        # Randomised routing balances in expectation regardless of content.
+        return 1.0
+
+
+class _EWHPolicyBase(RepartitioningPolicy):
+    """Shared EWH behaviour: build from the sample state once both sides exist."""
+
+    def ready(self, histogram):
+        return histogram.can_build()
+
+    def initial_partitioning(self, histogram, condition, rng):
+        return histogram.build_partitioning(condition, rng)
+
+
+class StaticEWHPolicy(_EWHPolicyBase):
+    """The equi-weight histogram built from the stream prefix, then frozen."""
+
+    scheme_name = "CSIO-static"
+
+    def needs_statistics(self, has_partitioning: bool) -> bool:
+        # The sample only feeds the one initial build.
+        return not has_partitioning
+
+
+class DriftAdaptiveEWHPolicy(_EWHPolicyBase):
+    """EWH with drift-triggered rebuilds from the maintained sample state."""
+
+    scheme_name = "CSIO-adaptive"
+
+    def __init__(self, detector: DriftDetector | None = None) -> None:
+        self.detector = detector or DriftDetector()
+
+    def maybe_repartition(self, histogram, metrics, condition, rng):
+        drifted = self.detector.update(
+            metrics.batch_index,
+            metrics.live_imbalance,
+            metrics.predicted_imbalance,
+        )
+        if not drifted or not histogram.can_build():
+            return None
+        return histogram.build_partitioning(condition, rng)

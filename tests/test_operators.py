@@ -164,3 +164,69 @@ class TestAdaptiveOperator:
         )
         result = operator.run(keys1, keys2, condition, weight_fn, expected_output=exact)
         assert result.output_correct
+
+
+class TestAdaptiveOperatorInjectableClock:
+    """The fallback threshold, driven deterministically by a fake clock."""
+
+    @staticmethod
+    def _fake_clock(build_seconds: float):
+        """A clock whose two reads report exactly ``build_seconds`` elapsed."""
+        ticks = iter([0.0, build_seconds])
+        return lambda: next(ticks)
+
+    def test_slow_build_falls_back(self, jps_workload):
+        keys1, keys2, condition, weight_fn, exact = jps_workload
+        # 4000 input tuples at 0.5 s/M gives a 0.002 s threshold; a fake
+        # 10 s build must trip it no matter how fast the machine is.
+        operator = AdaptiveOperator(
+            8, fallback_seconds_per_million=0.5, clock=self._fake_clock(10.0)
+        )
+        result = operator.run(keys1, keys2, condition, weight_fn, expected_output=exact)
+        assert operator.fell_back
+        assert result.scheme == "CSIO-adaptive"
+        assert result.output_correct
+        assert result.estimated_max_weight is None
+
+    def test_fast_build_keeps_csio(self, jps_workload):
+        keys1, keys2, condition, weight_fn, exact = jps_workload
+        # A zero-second build can never exceed the threshold, even on a
+        # machine slow enough that the real build would have tripped it.
+        operator = AdaptiveOperator(
+            8, fallback_seconds_per_million=0.5, clock=self._fake_clock(0.0)
+        )
+        result = operator.run(keys1, keys2, condition, weight_fn, expected_output=exact)
+        assert not operator.fell_back
+        assert result.scheme == "CSIO"
+        assert result.output_correct
+        assert result.estimated_max_weight is not None
+
+    def test_threshold_boundary_is_exclusive(self, jps_workload):
+        keys1, keys2, condition, weight_fn, exact = jps_workload
+        input_millions = (len(keys1) + len(keys2)) / 1_000_000
+        threshold = 0.5 * input_millions
+        at_threshold = AdaptiveOperator(
+            8, fallback_seconds_per_million=0.5, clock=self._fake_clock(threshold)
+        )
+        at_threshold.run(keys1, keys2, condition, weight_fn, expected_output=exact)
+        assert not at_threshold.fell_back
+        just_over = AdaptiveOperator(
+            8,
+            fallback_seconds_per_million=0.5,
+            clock=self._fake_clock(threshold * 1.01),
+        )
+        just_over.run(keys1, keys2, condition, weight_fn, expected_output=exact)
+        assert just_over.fell_back
+
+    def test_fallback_charges_wasted_stats(self, jps_workload):
+        keys1, keys2, condition, weight_fn, exact = jps_workload
+        operator = AdaptiveOperator(
+            8, fallback_seconds_per_million=0.5, clock=self._fake_clock(10.0)
+        )
+        result = operator.run(keys1, keys2, condition, weight_fn, expected_output=exact)
+        csio_stats = CSIOOperator(8).run(
+            keys1, keys2, condition, weight_fn, expected_output=exact
+        ).stats_cost
+        ci = CIOperator(8).run(keys1, keys2, condition, weight_fn, expected_output=exact)
+        assert result.stats_cost == pytest.approx(ci.stats_cost + csio_stats, rel=0.05)
+        assert result.join_cost == pytest.approx(ci.join_cost, rel=0.2)

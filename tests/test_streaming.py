@@ -1,0 +1,513 @@
+"""Tests for the online streaming join subsystem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import format_streaming_batches, format_streaming_table
+from repro.core.weights import WeightFunction
+from repro.joins.conditions import BandJoinCondition
+from repro.joins.local import count_join_output
+from repro.partitioning.one_bucket import build_one_bucket_partitioning
+from repro.streaming import (
+    ArrayStreamSource,
+    DecayedReservoir,
+    DriftAdaptiveEWHPolicy,
+    DriftDetector,
+    DriftingZipfSource,
+    IncrementalHistogram,
+    MicroBatch,
+    StaticEWHPolicy,
+    StaticOneBucketPolicy,
+    StreamingJoinEngine,
+    compare_streaming_schemes,
+    plan_migration,
+)
+from repro.workloads.definitions import make_bcb
+
+UNIT = WeightFunction(1.0, 1.0)
+BAND = BandJoinCondition(beta=1.0)
+
+
+# ----------------------------------------------------------------------
+# Sources
+# ----------------------------------------------------------------------
+class TestArrayStreamSource:
+    def test_batches_partition_the_arrays(self):
+        keys1 = np.arange(17, dtype=np.float64)
+        keys2 = np.arange(100, 123, dtype=np.float64)
+        source = ArrayStreamSource(keys1, keys2, num_batches=5)
+        batches = list(source.batches())
+        assert len(batches) == 5
+        assert [batch.index for batch in batches] == list(range(5))
+        np.testing.assert_array_equal(
+            np.concatenate([b.keys1 for b in batches]), keys1
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([b.keys2 for b in batches]), keys2
+        )
+
+    def test_reiterable(self):
+        source = ArrayStreamSource(np.arange(10.0), np.arange(10.0), 3)
+        first = [b.keys1.tolist() for b in source.batches()]
+        second = [b.keys1.tolist() for b in source.batches()]
+        assert first == second
+
+    def test_from_workload(self):
+        workload = make_bcb(beta=1, small_segment_size=400)
+        source = ArrayStreamSource.from_workload(workload, num_batches=4)
+        assert source.total_tuples == workload.num_input_tuples
+
+    def test_invalid_batches(self):
+        with pytest.raises(ValueError):
+            ArrayStreamSource(np.arange(5.0), np.arange(5.0), 0)
+
+
+class TestDriftingZipfSource:
+    def test_deterministic_and_sized(self):
+        source = DriftingZipfSource(
+            num_batches=6, tuples_per_batch=200, num_values=50,
+            shift_at_batch=3, seed=9,
+        )
+        runs = [
+            [(b.keys1.tolist(), b.keys2.tolist()) for b in source.batches()]
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        for batch in source.batches():
+            assert len(batch.keys1) == 200
+            assert len(batch.keys2) == 200
+            assert batch.num_tuples == 400
+
+    def test_shift_moves_the_hot_value(self):
+        source = DriftingZipfSource(
+            num_batches=8, tuples_per_batch=500, num_values=40,
+            z_initial=0.0, z_final=1.5, shift_at_batch=4, seed=5,
+        )
+        batches = list(source.batches())
+
+        def top_share(keys):
+            _, counts = np.unique(keys, return_counts=True)
+            return counts.max() / len(keys)
+
+        # Near-uniform before the shift, concentrated after it.
+        assert top_share(batches[0].keys1) < 0.1
+        assert top_share(batches[7].keys1) > 0.2
+        # The hot value persists within the post-shift phase.
+        def hot_value(keys):
+            values, counts = np.unique(keys, return_counts=True)
+            return values[counts.argmax()]
+
+        assert hot_value(batches[5].keys1) == hot_value(batches[7].keys1)
+
+    def test_z_schedule_override(self):
+        source = DriftingZipfSource(
+            num_batches=4, tuples_per_batch=300, num_values=30,
+            z_schedule=lambda index: 2.0 if index >= 2 else 0.0, seed=1,
+        )
+        batches = list(source.batches())
+        _, early = np.unique(batches[0].keys1, return_counts=True)
+        _, late = np.unique(batches[3].keys1, return_counts=True)
+        assert late.max() > early.max()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftingZipfSource(0, 10, 10)
+        with pytest.raises(ValueError):
+            DriftingZipfSource(5, 0, 10)
+        with pytest.raises(ValueError):
+            DriftingZipfSource(5, 10, 0)
+
+
+# ----------------------------------------------------------------------
+# Incremental sample state
+# ----------------------------------------------------------------------
+class TestDecayedReservoir:
+    def test_capacity_bound(self, rng):
+        reservoir = DecayedReservoir(capacity=32, decay=0.9)
+        for index in range(5):
+            reservoir.add_batch(np.arange(100.0), index, rng)
+        assert len(reservoir) == 32
+        assert reservoir.tuples_seen == 500
+
+    def test_recent_batches_dominate(self, rng):
+        reservoir = DecayedReservoir(capacity=100, decay=0.5)
+        # 20 old batches of zeros, then 5 recent batches of ones, all equal
+        # size: with decay 0.5 the recent keys should dominate the sample far
+        # beyond their 20% share of the stream.
+        for index in range(20):
+            reservoir.add_batch(np.zeros(200), index, rng)
+        for index in range(20, 25):
+            reservoir.add_batch(np.ones(200), index, rng)
+        keys = reservoir.keys()
+        assert keys.mean() > 0.8
+
+    def test_long_streams_do_not_freeze_the_sample(self, rng):
+        # decay**batch_index underflows to 0.0 near batch 3330 for
+        # decay=0.8; the rebased log-space priorities must keep admitting
+        # recent keys far beyond that point.
+        reservoir = DecayedReservoir(capacity=50, decay=0.8)
+        reservoir.add_batch(np.zeros(200), 0, rng)
+        reservoir.add_batch(np.ones(200), 5_000, rng)
+        keys = reservoir.keys()
+        assert keys.mean() > 0.9
+
+    def test_no_decay_is_uniform_reservoir(self, rng):
+        reservoir = DecayedReservoir(capacity=200, decay=1.0)
+        for index in range(10):
+            reservoir.add_batch(np.full(100, float(index)), index, rng)
+        keys = reservoir.keys()
+        # Every batch should be represented roughly equally.
+        assert len(np.unique(keys)) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecayedReservoir(capacity=0)
+        with pytest.raises(ValueError):
+            DecayedReservoir(capacity=8, decay=0.0)
+        with pytest.raises(ValueError):
+            DecayedReservoir(capacity=8, decay=1.5)
+
+
+class TestIncrementalHistogram:
+    def test_build_requires_observations(self, rng):
+        histogram = IncrementalHistogram(4, UNIT)
+        assert not histogram.can_build()
+        with pytest.raises(ValueError):
+            histogram.build_partitioning(BAND, rng)
+
+    def test_build_from_observed_batches(self, rng):
+        source = ArrayStreamSource(
+            rng.uniform(0, 1000, 800), rng.uniform(0, 1000, 800), 4
+        )
+        histogram = IncrementalHistogram(4, UNIT, capacity=256)
+        for batch in source.batches():
+            histogram.observe(batch, rng)
+        partitioning = histogram.build_partitioning(BAND, rng)
+        assert 1 <= partitioning.num_regions <= 4
+        assert histogram.rebuilds == 1
+        assert histogram.predicted_imbalance() >= 1.0
+        assert histogram.batches_observed == 4
+        assert histogram.tuples_seen == 1600
+
+    def test_rebuild_cost_independent_of_stream_length(self, rng):
+        histogram = IncrementalHistogram(4, UNIT, capacity=128)
+        for index in range(50):
+            keys = rng.uniform(0, 100, 500)
+            histogram.observe(MicroBatch(index=index, keys1=keys, keys2=keys), rng)
+        assert histogram.sample_tuples <= 2 * 128
+        partitioning = histogram.build_partitioning(BAND, rng)
+        assert partitioning.num_regions <= 4
+
+
+# ----------------------------------------------------------------------
+# Drift detection
+# ----------------------------------------------------------------------
+class TestDriftDetector:
+    def test_warmup_suppresses_triggers(self):
+        detector = DriftDetector(threshold=1.2, warmup_batches=3)
+        assert not detector.update(0, 100.0, 1.0)
+        assert not detector.update(1, 100.0, 1.0)
+        assert not detector.update(2, 100.0, 1.0)
+        assert detector.update(3, 100.0, 1.0)
+
+    def test_no_trigger_when_balanced(self):
+        detector = DriftDetector(threshold=1.5, warmup_batches=0)
+        for index in range(10):
+            assert not detector.update(index, 1.1, 1.0)
+
+    def test_prediction_scales_the_threshold(self):
+        # A live imbalance of 3 matches a *predicted* imbalance of 3: no drift.
+        detector = DriftDetector(threshold=1.5, warmup_batches=0)
+        assert not detector.update(0, 3.0, 3.0)
+        # The same live imbalance against a prediction of 1 is drift.
+        other = DriftDetector(threshold=1.5, warmup_batches=0)
+        assert other.update(0, 3.0, 1.0)
+
+    def test_cooldown(self):
+        detector = DriftDetector(
+            threshold=1.2, warmup_batches=0, cooldown_batches=4, ewma_alpha=1.0
+        )
+        assert detector.update(0, 10.0, 1.0)
+        assert not detector.update(1, 10.0, 1.0)
+        assert not detector.update(3, 10.0, 1.0)
+        assert detector.update(4, 10.0, 1.0)
+
+    def test_ewma_smooths_single_spikes(self):
+        detector = DriftDetector(
+            threshold=2.0, warmup_batches=0, ewma_alpha=0.2
+        )
+        assert not detector.update(0, 1.0, 1.0)
+        # One spike is damped below the threshold by the EWMA...
+        assert not detector.update(1, 6.0, 1.0)
+        # ...but a sustained shift accumulates and triggers.
+        triggered = [detector.update(2 + i, 6.0, 1.0) for i in range(6)]
+        assert any(triggered)
+        assert len(detector.history) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftDetector(threshold=1.0)
+        with pytest.raises(ValueError):
+            DriftDetector(ewma_alpha=0.0)
+
+
+# ----------------------------------------------------------------------
+# Migration
+# ----------------------------------------------------------------------
+class TestMigration:
+    def test_unchanged_partitioning_moves_nothing(self, rng):
+        keys1 = rng.uniform(0, 100, 300)
+        keys2 = rng.uniform(0, 100, 300)
+        partitioning = build_one_bucket_partitioning(4)
+        routing_rng = np.random.default_rng(7)
+        old1 = partitioning.assign_r1(keys1, routing_rng)
+        old2 = partitioning.assign_r2(keys2, routing_rng)
+        # Re-routing with the same generator state reproduces the assignment.
+        replay_rng = np.random.default_rng(7)
+
+        class _Fixed:
+            num_regions = partitioning.num_regions
+
+            def assign_r1(self, keys, rng):
+                return partitioning.assign_r1(keys, replay_rng)
+
+            def assign_r2(self, keys, rng):
+                return partitioning.assign_r2(keys, replay_rng)
+
+        plan = plan_migration(old1, old2, _Fixed(), keys1, keys2, 4, rng)
+        assert plan.total_moved == 0
+
+    def test_disjoint_assignment_moves_everything(self, rng):
+        keys = np.arange(10.0)
+        old1 = [np.arange(10, dtype=np.int64), np.empty(0, dtype=np.int64)]
+        old2 = [np.arange(10, dtype=np.int64), np.empty(0, dtype=np.int64)]
+
+        class _Swapped:
+            num_regions = 2
+
+            def assign_r1(self, k, rng):
+                return [np.empty(0, dtype=np.int64), np.arange(10, dtype=np.int64)]
+
+            def assign_r2(self, k, rng):
+                return [np.empty(0, dtype=np.int64), np.arange(10, dtype=np.int64)]
+
+        plan = plan_migration(old1, old2, _Swapped(), keys, keys, 2, rng)
+        assert plan.total_moved == 20
+        assert plan.per_machine_arrivals.tolist() == [0, 20]
+
+    def test_pads_fewer_regions_than_machines(self, rng):
+        keys = np.arange(6.0)
+        old1 = [np.arange(6, dtype=np.int64)] + [
+            np.empty(0, dtype=np.int64) for _ in range(3)
+        ]
+        old2 = list(old1)
+
+        class _Single:
+            num_regions = 1
+
+            def assign_r1(self, k, rng):
+                return [np.arange(6, dtype=np.int64)]
+
+            def assign_r2(self, k, rng):
+                return [np.arange(6, dtype=np.int64)]
+
+        plan = plan_migration(old1, old2, _Single(), keys, keys, 4, rng)
+        assert len(plan.new_assignments1) == 4
+        assert plan.total_moved == 0
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+class TestStreamingJoinEngine:
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            lambda: StaticOneBucketPolicy(4),
+            lambda: StaticEWHPolicy(),
+            lambda: DriftAdaptiveEWHPolicy(),
+        ],
+    )
+    def test_exact_output_on_stationary_stream(self, rng, policy_factory):
+        keys1 = rng.uniform(0, 500, 600)
+        keys2 = rng.uniform(0, 500, 600)
+        source = ArrayStreamSource(keys1, keys2, num_batches=5)
+        engine = StreamingJoinEngine(
+            4, BAND, UNIT, policy=policy_factory(), sample_capacity=256, seed=2
+        )
+        result = engine.run(source)
+        assert result.output_correct
+        assert result.total_output == count_join_output(keys1, keys2, BAND)
+        assert result.num_batches == 5
+        assert result.total_tuples == 1200
+        assert result.max_machine_load > 0
+        assert all(batch.max_load >= 0 for batch in result.batches)
+
+    def test_exact_output_under_drift_and_repartitioning(self):
+        source = DriftingZipfSource(
+            num_batches=10, tuples_per_batch=400, num_values=120,
+            z_initial=0.1, z_final=1.2, shift_at_batch=4, seed=11,
+        )
+        policy = DriftAdaptiveEWHPolicy(
+            DriftDetector(threshold=1.3, warmup_batches=1, cooldown_batches=2)
+        )
+        engine = StreamingJoinEngine(
+            8, BAND, UNIT, policy=policy, sample_capacity=512, seed=4
+        )
+        result = engine.run(source)
+        assert result.output_correct
+        assert result.num_repartitions >= 1
+        assert result.total_migrated > 0
+        repartition_batches = [
+            batch for batch in result.batches if batch.repartitioned
+        ]
+        assert all(batch.migrated_tuples > 0 for batch in repartition_batches)
+        assert all(batch.rebuild_cost > 0 for batch in repartition_batches)
+
+    def test_static_policies_never_migrate(self, rng):
+        source = DriftingZipfSource(
+            num_batches=6, tuples_per_batch=300, num_values=80,
+            z_initial=0.0, z_final=1.5, shift_at_batch=3, seed=13,
+        )
+        for policy in (StaticOneBucketPolicy(4), StaticEWHPolicy()):
+            engine = StreamingJoinEngine(
+                4, BAND, UNIT, policy=policy, sample_capacity=256, seed=1
+            )
+            result = engine.run(source)
+            assert result.output_correct
+            assert result.num_repartitions == 0
+            assert result.total_migrated == 0
+
+    def test_migration_cost_enters_the_load(self):
+        source = DriftingZipfSource(
+            num_batches=8, tuples_per_batch=300, num_values=100,
+            z_initial=0.1, z_final=1.4, shift_at_batch=3, seed=21,
+        )
+
+        def run(factor):
+            policy = DriftAdaptiveEWHPolicy(
+                DriftDetector(threshold=1.3, warmup_batches=1, cooldown_batches=2)
+            )
+            engine = StreamingJoinEngine(
+                4, BAND, UNIT, policy=policy, sample_capacity=256,
+                migration_cost_factor=factor, seed=6,
+            )
+            return engine.run(source)
+
+        cheap = run(0.0)
+        expensive = run(5.0)
+        assert cheap.num_repartitions >= 1
+        assert expensive.num_repartitions == cheap.num_repartitions
+        assert expensive.max_machine_load > cheap.max_machine_load
+
+    def test_single_machine(self, rng):
+        keys = rng.uniform(0, 50, 200)
+        source = ArrayStreamSource(keys, keys, 3)
+        engine = StreamingJoinEngine(
+            1, BAND, UNIT, policy=StaticEWHPolicy(), sample_capacity=128
+        )
+        result = engine.run(source)
+        assert result.output_correct
+        assert result.load_imbalance == pytest.approx(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            StreamingJoinEngine(0, BAND, UNIT)
+        with pytest.raises(ValueError):
+            StreamingJoinEngine(2, BAND, UNIT, migration_cost_factor=-1.0)
+
+    def test_one_side_arrives_late(self, rng):
+        # R1 is silent for the first two batches: the EWH build must be
+        # deferred until both sides have been observed, and the pre-build
+        # arrivals routed when it finally happens.
+        keys1 = rng.uniform(0, 100, 300)
+        keys2 = rng.uniform(0, 100, 300)
+        stream = [
+            MicroBatch(0, np.empty(0), keys2[:100]),
+            MicroBatch(1, np.empty(0), keys2[100:200]),
+            MicroBatch(2, keys1[:150], keys2[200:]),
+            MicroBatch(3, keys1[150:], np.empty(0)),
+        ]
+
+        class _Source:
+            num_batches = len(stream)
+
+            def batches(self):
+                return iter(stream)
+
+        engine = StreamingJoinEngine(
+            4, BAND, UNIT, policy=StaticEWHPolicy(), sample_capacity=256, seed=8
+        )
+        result = engine.run(_Source())
+        assert result.output_correct
+        assert result.total_output == count_join_output(keys1, keys2, BAND)
+        # The first two batches cannot produce output or route anything.
+        assert result.batches[0].max_load == 0
+        assert result.batches[1].max_load == 0
+        assert result.batches[2].max_load > 0
+
+    def test_engine_refuses_a_second_stream(self, rng):
+        keys = rng.uniform(0, 100, 120)
+        source = ArrayStreamSource(keys, keys, 2)
+        engine = StreamingJoinEngine(
+            2, BAND, UNIT, policy=StaticEWHPolicy(), sample_capacity=128
+        )
+        engine.run(source)
+        with pytest.raises(RuntimeError):
+            engine.run(source)
+
+    def test_unverified_run_reports_unknown_correctness(self, rng):
+        keys = rng.uniform(0, 100, 200)
+        source = ArrayStreamSource(keys, keys, 2)
+        engine = StreamingJoinEngine(
+            2, BAND, UNIT, policy=StaticEWHPolicy(), sample_capacity=128
+        )
+        result = engine.run(source, verify=False)
+        assert result.output_correct is None
+        assert result.expected_output is None
+        # The summary table must not claim correctness it never checked.
+        table = format_streaming_table({"CSIO-static": result})
+        assert table.splitlines()[-1].rstrip().endswith("-")
+
+
+class TestStreamingReporting:
+    def test_batch_table_handles_unequal_run_lengths(self, rng):
+        keys = rng.uniform(0, 100, 240)
+        long_run = StreamingJoinEngine(
+            2, BAND, UNIT, policy=StaticEWHPolicy(), sample_capacity=128
+        ).run(ArrayStreamSource(keys, keys, 3))
+        short_run = StreamingJoinEngine(
+            2, BAND, UNIT, policy=StaticEWHPolicy(), sample_capacity=128
+        ).run(ArrayStreamSource(keys, keys, 2))
+        table = format_streaming_batches({"long": long_run, "short": short_run})
+        # Three batch rows plus two header lines; the short run's last cell
+        # is blank rather than an IndexError.
+        assert len(table.splitlines()) == 5
+
+    def test_drift_history_records_the_triggering_ewma(self):
+        detector = DriftDetector(
+            threshold=4.0, warmup_batches=0, ewma_alpha=0.5
+        )
+        assert not detector.update(0, 2.0, 1.0)
+        triggered = detector.update(1, 10.0, 1.0)
+        assert triggered
+        # EWMA at the decision: 0.5*10 + 0.5*2 = 6, not the raw 10.
+        assert detector.history[-1].smoothed_imbalance == pytest.approx(6.0)
+        assert detector.history[-1].triggered
+
+
+class TestCompareStreamingSchemes:
+    def test_all_schemes_agree_on_output(self):
+        source = DriftingZipfSource(
+            num_batches=8, tuples_per_batch=300, num_values=100,
+            z_initial=0.1, z_final=1.2, shift_at_batch=3, seed=17,
+        )
+        results = compare_streaming_schemes(
+            source, 8, BAND, UNIT, sample_capacity=256, seed=5
+        )
+        assert set(results) == {"CI-static", "CSIO-static", "CSIO-adaptive"}
+        outputs = {r.total_output for r in results.values()}
+        assert len(outputs) == 1
+        assert all(r.output_correct for r in results.values())
