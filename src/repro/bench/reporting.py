@@ -96,9 +96,15 @@ def format_comparison_table(comparisons: list[ComparisonResult]) -> str:
 
 
 def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
-    """Streaming-drift summary: one row per scheme over the whole stream."""
+    """Streaming-drift summary: one row per scheme over the whole stream.
+
+    ``join s`` is the execution backend's real wall clock over the run's
+    per-region joins -- the only column that depends on the backend; all the
+    cost-model columns are backend-independent.
+    """
     headers = [
         "scheme",
+        "backend",
         "batches",
         "tuples",
         "output",
@@ -108,6 +114,7 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
         "migrated",
         "rebuilds",
         "throughput",
+        "join s",
         "correct",
     ]
     rows = []
@@ -115,6 +122,7 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
         rows.append(
             [
                 scheme,
+                result.backend,
                 str(result.num_batches),
                 f"{result.total_tuples:,}",
                 f"{result.total_output:,}",
@@ -124,6 +132,7 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
                 f"{result.total_migrated:,}",
                 str(result.num_repartitions),
                 f"{result.mean_throughput:.3f}",
+                f"{result.join_seconds:.3f}",
                 "-"
                 if result.output_correct is None
                 else ("yes" if result.output_correct else "NO"),

@@ -21,7 +21,11 @@ from repro.joins.conditions import JoinCondition
 from repro.joins.local import count_join_output
 from repro.partitioning.base import Partitioning
 
-__all__ = ["MultiprocessJoinResult", "run_join_multiprocess"]
+__all__ = [
+    "MultiprocessJoinResult",
+    "join_assigned_regions",
+    "run_join_multiprocess",
+]
 
 
 def _join_region(args: tuple[np.ndarray, np.ndarray, JoinCondition]) -> tuple[int, float]:
@@ -30,6 +34,54 @@ def _join_region(args: tuple[np.ndarray, np.ndarray, JoinCondition]) -> tuple[in
     start = time.perf_counter()
     output = count_join_output(keys1, keys2, condition)
     return output, time.perf_counter() - start
+
+
+def _busy_machines(pairs: list[tuple]) -> list[int]:
+    """Machines whose region has both sides non-empty and so can produce output.
+
+    The single definition of the skip rule, shared by the pool caller (which
+    uses it on index arrays, before materializing any keys) and
+    :func:`join_assigned_regions` (which uses it on the key arrays).
+    """
+    return [
+        machine
+        for machine, (side1, side2) in enumerate(pairs)
+        if len(side1) > 0 and len(side2) > 0
+    ]
+
+
+def join_assigned_regions(
+    pool: ProcessPoolExecutor,
+    region_keys: list[tuple[np.ndarray, np.ndarray]],
+    condition: JoinCondition,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Join already-assigned regions on an existing worker pool.
+
+    ``region_keys[m]`` holds the (R1, R2) key arrays of machine ``m``'s
+    region.  Regions with an empty side cannot produce output and are never
+    shipped to a worker.  Returns per-machine output counts, per-machine
+    worker seconds, and the end-to-end wall time of the parallel execution.
+
+    This is the piece :func:`run_join_multiprocess` and the streaming
+    :class:`~repro.streaming.backends.MultiprocessBackend` share: the caller
+    owns the pool, so a streaming engine can amortise process start-up over
+    every micro-batch instead of paying it per join.
+    """
+    busy_machines = _busy_machines(region_keys)
+    tasks = [
+        (region_keys[machine][0], region_keys[machine][1], condition)
+        for machine in busy_machines
+    ]
+    start = time.perf_counter()
+    outputs = np.zeros(len(region_keys), dtype=np.int64)
+    seconds = np.zeros(len(region_keys))
+    if tasks:
+        for machine, (output, elapsed) in zip(
+            busy_machines, pool.map(_join_region, tasks)
+        ):
+            outputs[machine] = output
+            seconds[machine] = elapsed
+    return outputs, seconds, time.perf_counter() - start
 
 
 @dataclass
@@ -95,28 +147,25 @@ def run_join_multiprocess(
 
     assignments1 = partitioning.assign_r1(keys1, rng)
     assignments2 = partitioning.assign_r2(keys2, rng)
-    # A region with an empty side cannot produce output; spawning a worker
-    # for it would only pay process start-up and pickling overhead.
-    busy_machines = [
-        machine
+    # Regions with an empty side are never joined, so their keys are never
+    # materialized either -- only busy regions pay the fancy-index copy.
+    empty = np.empty(0, dtype=np.float64)
+    busy = set(_busy_machines(list(zip(assignments1, assignments2))))
+    region_keys = [
+        (keys1[idx1], keys2[idx2]) if machine in busy else (empty, empty)
         for machine, (idx1, idx2) in enumerate(zip(assignments1, assignments2))
-        if len(idx1) > 0 and len(idx2) > 0
-    ]
-    tasks = [
-        (keys1[assignments1[machine]], keys2[assignments2[machine]], condition)
-        for machine in busy_machines
     ]
 
+    # The wall clock includes pool start-up: a one-shot join pays it, which
+    # is exactly why the streaming backend keeps its pool alive instead.
+    # Pool start-up is skipped entirely when no region can produce output.
     start = time.perf_counter()
-    outputs = np.zeros(partitioning.num_regions, dtype=np.int64)
-    seconds = np.zeros(partitioning.num_regions)
-    if tasks:
+    if busy:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            for machine, (output, elapsed) in zip(
-                busy_machines, pool.map(_join_region, tasks)
-            ):
-                outputs[machine] = output
-                seconds[machine] = elapsed
+            outputs, seconds, _ = join_assigned_regions(pool, region_keys, condition)
+    else:
+        outputs = np.zeros(len(region_keys), dtype=np.int64)
+        seconds = np.zeros(len(region_keys))
     wall = time.perf_counter() - start
     return MultiprocessJoinResult(
         per_machine_output=outputs,

@@ -4,9 +4,21 @@ Runs partitioned joins over micro-batched, unbounded input: the equi-weight
 histogram's sample state is maintained incrementally across batches, a drift
 detector compares the live load imbalance against the histogram's own
 prediction, and the engine rebuilds the partitioning online -- charging the
-state-migration cost explicitly -- when the prediction goes stale.
+state-migration cost explicitly -- when the prediction goes stale.  Rebuilds
+default to *partial repartitioning* (only the regions whose region-to-machine
+assignment changed migrate state), and the per-batch region joins execute on
+a pluggable :class:`~repro.streaming.backends.ExecutionBackend` (in-process
+simulation, or a persistent multiprocess worker pool with real wall-clock
+timings).
 """
 
+from repro.streaming.backends import (
+    ExecutionBackend,
+    MultiprocessBackend,
+    RegionJoinResult,
+    SimulatedBackend,
+    make_backend,
+)
 from repro.streaming.drift import DriftDetector, DriftObservation
 from repro.streaming.engine import StreamingJoinEngine, compare_streaming_schemes
 from repro.streaming.incremental import DecayedReservoir, IncrementalHistogram
@@ -26,6 +38,11 @@ from repro.streaming.source import (
 )
 
 __all__ = [
+    "ExecutionBackend",
+    "SimulatedBackend",
+    "MultiprocessBackend",
+    "RegionJoinResult",
+    "make_backend",
     "MicroBatch",
     "StreamSource",
     "ArrayStreamSource",

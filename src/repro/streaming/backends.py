@@ -1,0 +1,206 @@
+"""Pluggable execution backends for the streaming join engine.
+
+The engine decides *what* to join each micro-batch — the per-machine region
+state under the current partitioning — and an :class:`ExecutionBackend`
+decides *how* those per-region joins actually run:
+
+* :class:`SimulatedBackend` counts each region's join output in the engine's
+  own process (the original simulator loop, extracted).  Cost-model load is
+  the quantity of interest; wall timings are recorded but reflect a single
+  core.
+* :class:`MultiprocessBackend` ships the busy regions to a persistent
+  ``ProcessPoolExecutor`` — the same worker-pool machinery as the batch
+  :func:`~repro.engine.executor.run_join_multiprocess` — so the incremental
+  joins of one batch run in parallel OS processes and the metrics carry
+  *real* per-region wall-clock timings.  The pool is created once and reused
+  across every batch of the stream, amortising process start-up.
+
+Every backend receives identical per-region key arrays and counts output with
+the same exact kernel, so the cost-model numbers, incremental output deltas
+and migration plans of a run are backend-independent; only the measured
+timings differ.  ``tests/test_backends.py`` locks that equivalence down.
+
+Select a backend by passing it to :class:`StreamingJoinEngine` (default:
+simulated) or by name through :func:`make_backend`::
+
+    with make_backend("multiprocess", max_workers=4) as backend:
+        engine = StreamingJoinEngine(8, condition, weights, backend=backend)
+        result = engine.run(source)
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.executor import join_assigned_regions
+from repro.joins.conditions import JoinCondition
+from repro.joins.local import count_join_output
+
+__all__ = [
+    "RegionJoinResult",
+    "ExecutionBackend",
+    "SimulatedBackend",
+    "MultiprocessBackend",
+    "make_backend",
+]
+
+
+@dataclass
+class RegionJoinResult:
+    """Output counts and timings of executing one batch's per-region joins.
+
+    Attributes
+    ----------
+    per_machine_output:
+        Exact join output counted for each machine's region state.
+    per_machine_seconds:
+        Wall-clock seconds spent joining each region (worker time under the
+        multiprocess backend, in-process time under the simulated one).
+    wall_seconds:
+        End-to-end time of the whole execution, including scheduling.
+    """
+
+    per_machine_output: np.ndarray
+    per_machine_seconds: np.ndarray
+    wall_seconds: float
+
+    @property
+    def total_output(self) -> int:
+        """Total output tuples across machines."""
+        return int(self.per_machine_output.sum())
+
+
+class ExecutionBackend(abc.ABC):
+    """How the per-region joins of a micro-batch are executed.
+
+    Backends are resources: :class:`MultiprocessBackend` owns a worker pool,
+    so every backend supports ``close()`` and the context-manager protocol.
+    A backend may be shared by several engines (e.g. to reuse one pool across
+    the schemes of a comparison); an engine only closes a backend it created
+    itself.
+    """
+
+    #: Reporting name recorded on the run result.
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def join_regions(
+        self,
+        region_keys: list[tuple[np.ndarray, np.ndarray]],
+        condition: JoinCondition,
+    ) -> RegionJoinResult:
+        """Join each machine's (R1, R2) region state; count exact output.
+
+        ``region_keys[m]`` is machine ``m``'s currently held key arrays.
+        Regions with an empty side produce no output and must not be charged
+        any work.
+        """
+
+    def close(self) -> None:
+        """Release any resources held by the backend (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SimulatedBackend(ExecutionBackend):
+    """Count every region's join in-process (the simulator's original loop)."""
+
+    name = "simulated"
+
+    def join_regions(
+        self,
+        region_keys: list[tuple[np.ndarray, np.ndarray]],
+        condition: JoinCondition,
+    ) -> RegionJoinResult:
+        outputs = np.zeros(len(region_keys), dtype=np.int64)
+        seconds = np.zeros(len(region_keys))
+        start = time.perf_counter()
+        for machine, (keys1, keys2) in enumerate(region_keys):
+            if len(keys1) == 0 or len(keys2) == 0:
+                continue
+            region_start = time.perf_counter()
+            outputs[machine] = count_join_output(keys1, keys2, condition)
+            seconds[machine] = time.perf_counter() - region_start
+        return RegionJoinResult(
+            per_machine_output=outputs,
+            per_machine_seconds=seconds,
+            wall_seconds=time.perf_counter() - start,
+        )
+
+
+class MultiprocessBackend(ExecutionBackend):
+    """Run each batch's busy regions on a persistent OS-process worker pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Upper bound on concurrent worker processes (defaults to the pool's
+        own default, usually the CPU count).
+
+    The pool is created lazily on the first batch and kept alive for the
+    lifetime of the backend, so a stream of many small batches pays process
+    start-up once, not per batch.  ``close()`` shuts the pool down; a later
+    ``join_regions`` call transparently starts a fresh one.
+    """
+
+    name = "multiprocess"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def join_regions(
+        self,
+        region_keys: list[tuple[np.ndarray, np.ndarray]],
+        condition: JoinCondition,
+    ) -> RegionJoinResult:
+        outputs, seconds, wall = join_assigned_regions(
+            self._ensure_pool(), region_keys, condition
+        )
+        return RegionJoinResult(
+            per_machine_output=outputs,
+            per_machine_seconds=seconds,
+            wall_seconds=wall,
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+_BACKENDS: dict[str, type[ExecutionBackend]] = {
+    SimulatedBackend.name: SimulatedBackend,
+    MultiprocessBackend.name: MultiprocessBackend,
+}
+
+
+def make_backend(name: str, **kwargs: object) -> ExecutionBackend:
+    """Instantiate an execution backend by its reporting name.
+
+    ``make_backend("simulated")`` or ``make_backend("multiprocess",
+    max_workers=4)``; unknown names raise ``ValueError`` listing the
+    available backends.
+    """
+    try:
+        backend_cls = _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(_BACKENDS))
+        raise ValueError(f"unknown backend {name!r} (available: {known})") from None
+    return backend_cls(**kwargs)  # type: ignore[arg-type]

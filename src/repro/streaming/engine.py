@@ -6,23 +6,36 @@ and runs a stateful partitioned join over it:
 * every machine retains the tuples routed to its region so far (new arrivals
   on one side must join the other side's full history);
 * each micro-batch is routed by the current partitioning, the per-machine
-  incremental output is counted exactly, and the batch's cost-model load is
-  charged per machine (arrivals at the input cost, produced output at the
+  incremental output is counted exactly by a pluggable
+  :class:`~repro.streaming.backends.ExecutionBackend` (in-process simulation
+  or a persistent multiprocess worker pool), and the batch's cost-model load
+  is charged per machine (arrivals at the input cost, produced output at the
   output cost);
 * after each batch the :class:`~repro.streaming.policies.RepartitioningPolicy`
   may swap in a new partitioning, in which case the retained state is
   migrated (:mod:`repro.streaming.migration`) and the moved tuples are
-  charged into the same cost model -- rebalancing is never free.
+  charged into the same cost model -- rebalancing is never free.  Under the
+  default ``repartition_mode="partial"`` the engine diffs the old and new
+  region-to-machine mappings and migrates only the regions whose assignment
+  changed; ``"full"`` reproduces the naive positional rebuild that re-routes
+  the whole history.
+
+The adopted region-to-machine mapping is remembered between rebuilds: later
+arrivals routed to new region ``r`` are shipped to the machine that actually
+holds ``r``'s state, so partial repartitioning never degrades correctness.
 
 Correctness mirrors the batch simulator: grid-routed partitionings cover
 every candidate cell exactly once, so summing each machine's incremental
 output over the run reproduces the exact join cardinality of the full
 history, which :meth:`StreamingJoinEngine.run` verifies at end of stream.
+All of this is backend-independent -- every backend counts with the same
+exact kernel -- which ``tests/test_backends.py`` pins down.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
 import numpy as np
 
@@ -31,9 +44,18 @@ from repro.core.weights import WeightFunction
 from repro.joins.conditions import JoinCondition
 from repro.joins.local import count_join_output
 from repro.partitioning.base import Partitioning
+from repro.streaming.backends import (
+    ExecutionBackend,
+    RegionJoinResult,
+    SimulatedBackend,
+)
 from repro.streaming.incremental import IncrementalHistogram
 from repro.streaming.metrics import BatchMetrics, StreamRunResult
-from repro.streaming.migration import pad_assignments, plan_migration
+from repro.streaming.migration import (
+    MIGRATION_MODES,
+    pad_assignments,
+    plan_migration,
+)
 from repro.streaming.policies import (
     DriftAdaptiveEWHPolicy,
     RepartitioningPolicy,
@@ -58,6 +80,16 @@ class StreamingJoinEngine:
         Cost model charging arrivals and output per machine.
     policy:
         The repartitioning policy (defaults to drift-adaptive EWH).
+    backend:
+        The :class:`~repro.streaming.backends.ExecutionBackend` running the
+        per-batch, per-region joins.  Defaults to a fresh
+        :class:`~repro.streaming.backends.SimulatedBackend`; a backend the
+        engine creates itself is closed at end of run, a caller-provided one
+        (e.g. a shared multiprocess pool) is left open.
+    repartition_mode:
+        ``"partial"`` (default) migrates only the regions whose
+        region-to-machine assignment changed on a rebuild; ``"full"``
+        re-routes the whole history positionally.
     histogram:
         Optional pre-configured :class:`IncrementalHistogram`; built from
         ``sample_capacity`` / ``sample_decay`` / ``ewh_config`` when omitted.
@@ -83,6 +115,8 @@ class StreamingJoinEngine:
         condition: JoinCondition,
         weight_fn: WeightFunction,
         policy: RepartitioningPolicy | None = None,
+        backend: ExecutionBackend | None = None,
+        repartition_mode: str = "partial",
         histogram: IncrementalHistogram | None = None,
         sample_capacity: int = 2048,
         sample_decay: float = 0.8,
@@ -95,10 +129,18 @@ class StreamingJoinEngine:
             raise ValueError("num_machines must be positive")
         if migration_cost_factor < 0:
             raise ValueError("migration_cost_factor must be non-negative")
+        if repartition_mode not in MIGRATION_MODES:
+            raise ValueError(
+                f"unknown repartition_mode {repartition_mode!r} "
+                f"(expected one of {MIGRATION_MODES})"
+            )
         self.num_machines = num_machines
         self.condition = condition
         self.weight_fn = weight_fn
         self.policy = policy or DriftAdaptiveEWHPolicy()
+        self._owns_backend = backend is None
+        self.backend = backend or SimulatedBackend()
+        self.repartition_mode = repartition_mode
         self.histogram = histogram or IncrementalHistogram(
             num_machines,
             weight_fn,
@@ -123,33 +165,39 @@ class StreamingJoinEngine:
             / self.num_machines
         )
 
-    def _region_outputs(
+    def _execute_regions(
         self,
         assignments1: list[np.ndarray],
         assignments2: list[np.ndarray],
         keys1: np.ndarray,
         keys2: np.ndarray,
-    ) -> np.ndarray:
-        """Exact per-machine output of joining the currently held state."""
-        outputs = np.zeros(self.num_machines, dtype=np.int64)
-        for machine in range(self.num_machines):
-            idx1, idx2 = assignments1[machine], assignments2[machine]
-            if len(idx1) == 0 or len(idx2) == 0:
-                continue
-            outputs[machine] = count_join_output(
-                keys1[idx1], keys2[idx2], self.condition
-            )
-        return outputs
+    ) -> RegionJoinResult:
+        """Run the held state's per-region joins on the execution backend."""
+        region_keys = [
+            (keys1[idx1], keys2[idx2])
+            for idx1, idx2 in zip(assignments1, assignments2)
+        ]
+        return self.backend.join_regions(region_keys, self.condition)
 
     @staticmethod
     def _globalise(
-        local_assignments: list[np.ndarray], offset: int, num_machines: int
+        local_assignments: list[np.ndarray],
+        offset: int,
+        region_to_machine: np.ndarray,
+        num_machines: int,
     ) -> list[np.ndarray]:
-        """Convert per-region batch-local indices to padded global indices."""
-        shifted = [
-            np.asarray(a, dtype=np.int64) + offset for a in local_assignments
-        ]
-        return pad_assignments(shifted, num_machines)
+        """Convert per-region batch-local indices to per-machine global indices.
+
+        Region ``r``'s arrivals are shipped to ``region_to_machine[r]`` --
+        the machine actually holding that region's state after any partial
+        repartitioning remap.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        per_machine: list[np.ndarray] = [empty] * num_machines
+        for region, local in enumerate(local_assignments):
+            machine = int(region_to_machine[region])
+            per_machine[machine] = np.asarray(local, dtype=np.int64) + offset
+        return per_machine
 
     # ------------------------------------------------------------------
     # Main loop
@@ -170,6 +218,13 @@ class StreamingJoinEngine:
                 "StreamingJoinEngine (and policy) per run"
             )
         self._consumed = True
+        try:
+            return self._run(source, verify)
+        finally:
+            if self._owns_backend:
+                self.backend.close()
+
+    def _run(self, source: StreamSource, verify: bool) -> StreamRunResult:
         rng = np.random.default_rng(self.seed)
         J = self.num_machines
         weight = self.weight_fn
@@ -180,9 +235,13 @@ class StreamingJoinEngine:
         state2: list[np.ndarray] = [np.empty(0, dtype=np.int64) for _ in range(J)]
         prev_outputs = np.zeros(J, dtype=np.int64)
         partitioning: Partitioning | None = None
+        # Where each region's state lives; partial repartitioning may remap.
+        region_to_machine = np.arange(J, dtype=np.int64)
 
         result = StreamRunResult(
-            scheme=self.policy.scheme_name, num_machines=J
+            scheme=self.policy.scheme_name,
+            num_machines=J,
+            backend=self.backend.name,
         )
         cumulative = np.zeros(J, dtype=np.float64)
 
@@ -206,6 +265,8 @@ class StreamingJoinEngine:
             history1 = np.concatenate([history1, batch.keys1])
             history2 = np.concatenate([history2, batch.keys2])
 
+            join_seconds = 0.0
+            per_machine_join_seconds = np.zeros(J)
             if partitioning is None:
                 # One side is still entirely unseen, so no partitioning can
                 # be built and no output is possible yet; the arrivals just
@@ -223,14 +284,21 @@ class StreamingJoinEngine:
                         partitioning.assign_r2(history2, rng), J
                     )
                     state1, state2 = new1, new2
+                    region_to_machine = np.arange(J, dtype=np.int64)
                 else:
                     # Route only the batch's arrivals and fold them into the
-                    # held state.
+                    # held state of the machine owning each region.
                     new1 = self._globalise(
-                        partitioning.assign_r1(batch.keys1, rng), offset1, J
+                        partitioning.assign_r1(batch.keys1, rng),
+                        offset1,
+                        region_to_machine,
+                        J,
                     )
                     new2 = self._globalise(
-                        partitioning.assign_r2(batch.keys2, rng), offset2, J
+                        partitioning.assign_r2(batch.keys2, rng),
+                        offset2,
+                        region_to_machine,
+                        J,
                     )
                     state1 = [np.concatenate([s, n]) for s, n in zip(state1, new1)]
                     state2 = [np.concatenate([s, n]) for s, n in zip(state2, new2)]
@@ -239,8 +307,14 @@ class StreamingJoinEngine:
                 )
 
                 # Exact incremental output: recount each region's held state
-                # and difference against the previous cumulative count.
-                totals = self._region_outputs(state1, state2, history1, history2)
+                # on the backend and difference against the previous
+                # cumulative count.
+                execution = self._execute_regions(
+                    state1, state2, history1, history2
+                )
+                join_seconds += execution.wall_seconds
+                per_machine_join_seconds += execution.per_machine_seconds
+                totals = execution.per_machine_output
                 deltas = totals - prev_outputs
                 prev_outputs = totals
 
@@ -263,6 +337,9 @@ class StreamingJoinEngine:
                 predicted_imbalance=self.policy.predicted_imbalance(
                     self.histogram
                 ),
+                per_machine_output_delta=deltas
+                if partitioning is not None
+                else None,
             )
 
             # Give the policy a chance to swap partitionings; migration and
@@ -278,14 +355,25 @@ class StreamingJoinEngine:
             )
             if replacement is not None:
                 plan = plan_migration(
-                    state1, state2, replacement, history1, history2, J, rng
+                    state1,
+                    state2,
+                    replacement,
+                    history1,
+                    history2,
+                    J,
+                    rng,
+                    mode=self.repartition_mode,
                 )
                 partitioning = replacement
                 state1 = plan.new_assignments1
                 state2 = plan.new_assignments2
-                prev_outputs = self._region_outputs(
+                region_to_machine = plan.region_to_machine
+                execution = self._execute_regions(
                     state1, state2, history1, history2
                 )
+                join_seconds += execution.wall_seconds
+                per_machine_join_seconds += execution.per_machine_seconds
+                prev_outputs = execution.per_machine_output
                 migration_load = (
                     self.migration_cost_factor
                     * weight.input_cost
@@ -298,7 +386,16 @@ class StreamingJoinEngine:
                 metrics.per_machine_load = metrics.per_machine_load + migration_load
                 metrics.migrated_tuples = plan.total_moved
                 metrics.repartitioned = True
+                # Keep the plan's accounting for reports and equivalence
+                # tests, but drop the O(history) state index arrays -- the
+                # engine's own state already holds them, and a result object
+                # must not pin full-history snapshots per rebuild.
+                metrics.migration_plan = replace(
+                    plan, new_assignments1=[], new_assignments2=[]
+                )
 
+            metrics.join_seconds = join_seconds
+            metrics.per_machine_join_seconds = per_machine_join_seconds
             metrics.wall_seconds = time.perf_counter() - start
             cumulative += metrics.per_machine_load
             result.batches.append(metrics)
@@ -321,6 +418,8 @@ def compare_streaming_schemes(
     condition: JoinCondition,
     weight_fn: WeightFunction,
     policies: dict[str, RepartitioningPolicy] | None = None,
+    backend_factory=None,
+    repartition_mode: str = "partial",
     ewh_config: EWHConfig | None = None,
     sample_capacity: int = 2048,
     sample_decay: float = 0.8,
@@ -333,6 +432,12 @@ def compare_streaming_schemes(
     drift-adaptive CSIO.  Every engine consumes an independent replay of the
     source (sources are deterministic and re-iterable), so the comparisons
     see identical input.
+
+    ``backend_factory`` builds one fresh
+    :class:`~repro.streaming.backends.ExecutionBackend` per engine (e.g.
+    ``lambda: MultiprocessBackend(max_workers=4)``); each backend is closed
+    after its run.  The default runs every engine on the in-process
+    simulated backend.
     """
     if policies is None:
         policies = {
@@ -342,16 +447,23 @@ def compare_streaming_schemes(
         }
     results: dict[str, StreamRunResult] = {}
     for name, policy in policies.items():
+        backend = backend_factory() if backend_factory is not None else None
         engine = StreamingJoinEngine(
             num_machines,
             condition,
             weight_fn,
             policy=policy,
+            backend=backend,
+            repartition_mode=repartition_mode,
             sample_capacity=sample_capacity,
             sample_decay=sample_decay,
             ewh_config=ewh_config,
             migration_cost_factor=migration_cost_factor,
             seed=seed,
         )
-        results[name] = engine.run(source)
+        try:
+            results[name] = engine.run(source)
+        finally:
+            if backend is not None:
+                backend.close()
     return results

@@ -8,8 +8,12 @@ specifics: migration volume, rebuild charges and per-batch throughput.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.streaming.migration import MigrationPlan
 
 __all__ = ["BatchMetrics", "StreamRunResult"]
 
@@ -43,6 +47,23 @@ class BatchMetrics:
         scale-free prediction.
     wall_seconds:
         Real time spent processing the batch (including any rebuild).
+    join_seconds:
+        Real time the execution backend spent running this batch's
+        per-region joins (worker wall clock under the multiprocess backend;
+        in-process time under the simulated one).
+    per_machine_join_seconds:
+        The backend's per-region join timings, summed over the batch's
+        executions (the incremental count, plus the post-migration recount
+        on repartitioning batches).
+    per_machine_output_delta:
+        Exact incremental output produced by each machine in this batch
+        (``output_delta`` is its sum); ``None`` before the first build.
+    migration_plan:
+        The :class:`~repro.streaming.migration.MigrationPlan` adopted in
+        this batch, or ``None`` when no repartitioning happened.  Kept so
+        cross-backend equivalence tests can compare plans exactly; the
+        plan's per-machine state index arrays are dropped (emptied) before
+        storing so a run result never pins full-history snapshots.
     """
 
     batch_index: int
@@ -55,6 +76,10 @@ class BatchMetrics:
     live_imbalance: float = 1.0
     predicted_imbalance: float = 1.0
     wall_seconds: float = 0.0
+    join_seconds: float = 0.0
+    per_machine_join_seconds: np.ndarray | None = None
+    per_machine_output_delta: np.ndarray | None = None
+    migration_plan: "MigrationPlan | None" = None
 
     @property
     def max_load(self) -> float:
@@ -83,6 +108,9 @@ class StreamRunResult:
         Reporting name of the policy that drove the run.
     num_machines:
         Cluster size ``J``.
+    backend:
+        Reporting name of the execution backend that ran the per-region
+        joins (``"simulated"`` or ``"multiprocess"``).
     batches:
         Per-batch metrics in stream order.
     cumulative_load:
@@ -99,6 +127,7 @@ class StreamRunResult:
 
     scheme: str
     num_machines: int
+    backend: str = "simulated"
     batches: list[BatchMetrics] = field(default_factory=list)
     cumulative_load: np.ndarray | None = None
     total_output: int = 0
@@ -157,6 +186,11 @@ class StreamRunResult:
     def wall_seconds(self) -> float:
         """Real time spent processing the whole stream."""
         return float(sum(batch.wall_seconds for batch in self.batches))
+
+    @property
+    def join_seconds(self) -> float:
+        """Real time the backend spent on per-region joins over the run."""
+        return float(sum(batch.join_seconds for batch in self.batches))
 
     @property
     def mean_throughput(self) -> float:

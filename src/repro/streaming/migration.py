@@ -3,26 +3,48 @@
 A streaming join is stateful: every machine retains the tuples routed to its
 region so far, because future arrivals on the other side must join against
 them.  Swapping in a new partitioning therefore has a real cost -- every
-retained tuple whose new region set includes a machine that does not already
-hold it must be shipped there.  :func:`plan_migration` computes that plan
-exactly from the old per-machine index sets and the new partitioning, and the
-engine charges the moved tuples into the cost model (they are received,
+retained tuple whose new home includes a machine that does not already hold
+it must be shipped there.  :func:`plan_migration` computes that plan exactly
+from the old per-machine index sets and the new partitioning, and the engine
+charges the moved tuples into the cost model (they are received,
 demarshalled and indexed like any other network arrival).
+
+Two planning modes exist:
+
+* ``mode="full"`` adopts the new partitioning *positionally*: new region
+  ``r`` lands on machine ``r``, and the full routed history is diffed
+  against what each machine already holds.  This is the naive rebuild --
+  nothing ties new region ``r`` to the machine whose old state it most
+  resembles, so a mild boundary shift can still reshuffle most of the
+  cluster.
+* ``mode="partial"`` first diffs the old and new region-to-machine mappings:
+  it computes, for every (new region, machine) pair, how many retained
+  tuples the machine already holds of that region, then picks a bijective
+  region-to-machine assignment maximising that overlap (a greedy matching,
+  never worse than the positional identity).  Only the regions whose
+  assignment actually changed migrate state, and exactly that volume is
+  charged -- the partial-migration volume is therefore always at most the
+  full-migration volume, and zero when the mapping is unchanged.
 
 Tuples are identified by their global arrival index, so "already present on
 machine r" is an exact set test, and replicated tuples (a tuple may live on
-several machines under either partitioning) are handled naturally.
+several machines under either partitioning) are handled naturally.  The plan
+also reports per-machine departures, so tests can assert tuple conservation
+(for non-replicating schemes, migrated-out == migrated-in per rebuild).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.partitioning.base import Partitioning
 
 __all__ = ["MigrationPlan", "pad_assignments", "plan_migration"]
+
+#: Planning modes accepted by :func:`plan_migration`.
+MIGRATION_MODES = ("full", "partial")
 
 
 @dataclass
@@ -33,22 +55,44 @@ class MigrationPlan:
     ----------
     new_assignments1, new_assignments2:
         Per-machine global-index arrays of the retained R1/R2 state under
-        the *new* partitioning (machines beyond the new region count hold
+        the *new* partitioning (machines whose new region is empty hold
         nothing).
     per_machine_arrivals:
         Tuples each machine must newly receive (it did not hold them under
         the old partitioning).
+    per_machine_departures:
+        Tuples each machine held under the old partitioning but no longer
+        holds under the new one (dropped locally, shipped by the sender side
+        of the arrivals above).
+    region_to_machine:
+        The adopted region-to-machine bijection: new region ``r``'s state
+        lives on machine ``region_to_machine[r]``.  The identity permutation
+        under ``mode="full"``.
+    mode:
+        The planning mode that produced this plan (``"full"``/``"partial"``).
     total_moved:
-        Sum of the per-machine arrivals -- the migration volume in tuples.
+        Sum of the per-machine arrivals -- the migration volume in tuples,
+        which is what the engine charges into the cost model.
     """
 
     new_assignments1: list[np.ndarray]
     new_assignments2: list[np.ndarray]
     per_machine_arrivals: np.ndarray
+    per_machine_departures: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+    region_to_machine: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+    mode: str = "full"
 
     @property
     def total_moved(self) -> int:
         return int(self.per_machine_arrivals.sum())
+
+    @property
+    def total_departed(self) -> int:
+        return int(self.per_machine_departures.sum())
 
 
 def pad_assignments(
@@ -67,6 +111,73 @@ def pad_assignments(
     return padded
 
 
+def _overlap(region: np.ndarray, held: np.ndarray) -> int:
+    """Tuples of ``region`` a machine already holds (exact index intersection)."""
+    if len(region) == 0 or len(held) == 0:
+        return 0
+    return len(np.intersect1d(region, held, assume_unique=True))
+
+
+def _best_region_map(
+    routed1: list[np.ndarray],
+    routed2: list[np.ndarray],
+    old1: list[np.ndarray],
+    old2: list[np.ndarray],
+    num_machines: int,
+) -> np.ndarray:
+    """Bijective region-to-machine map maximising already-held tuples.
+
+    Greedy maximal matching on the (region, machine) overlap matrix, taken
+    only if it retains at least as much state as the positional identity --
+    so the resulting partial plan never migrates more than the full plan.
+    Deterministic: ties break towards lower region then machine index.
+    """
+    overlaps = np.zeros((num_machines, num_machines), dtype=np.int64)
+    for region in range(num_machines):
+        if len(routed1[region]) == 0 and len(routed2[region]) == 0:
+            continue
+        for machine in range(num_machines):
+            overlaps[region, machine] = _overlap(
+                routed1[region], old1[machine]
+            ) + _overlap(routed2[region], old2[machine])
+
+    pairs = sorted(
+        (
+            (-overlaps[region, machine], region, machine)
+            for region in range(num_machines)
+            for machine in range(num_machines)
+            if overlaps[region, machine] > 0
+        )
+    )
+    mapping = np.full(num_machines, -1, dtype=np.int64)
+    taken = np.zeros(num_machines, dtype=bool)
+    for negative_overlap, region, machine in pairs:
+        if mapping[region] >= 0 or taken[machine]:
+            continue
+        mapping[region] = machine
+        taken[machine] = True
+    # Unmatched regions (no overlap anywhere) keep their positional slot
+    # when free, else take the lowest free machine.
+    free = [machine for machine in range(num_machines) if not taken[machine]]
+    for region in range(num_machines):
+        if mapping[region] >= 0:
+            continue
+        if not taken[region]:
+            mapping[region] = region
+            taken[region] = True
+            free.remove(region)
+        else:
+            machine = free.pop(0)
+            mapping[region] = machine
+            taken[machine] = True
+
+    greedy_total = int(overlaps[np.arange(num_machines), mapping].sum())
+    identity_total = int(np.trace(overlaps))
+    if greedy_total <= identity_total:
+        return np.arange(num_machines, dtype=np.int64)
+    return mapping
+
+
 def plan_migration(
     old_assignments1: list[np.ndarray],
     old_assignments2: list[np.ndarray],
@@ -75,6 +186,7 @@ def plan_migration(
     keys2: np.ndarray,
     num_machines: int,
     rng: np.random.Generator,
+    mode: str = "full",
 ) -> MigrationPlan:
     """Plan the state movement from the old machine assignment to a new scheme.
 
@@ -91,23 +203,52 @@ def plan_migration(
         Cluster size (at least the region count of either partitioning).
     rng:
         Generator for randomised schemes.
+    mode:
+        ``"full"`` places new region ``r`` on machine ``r``; ``"partial"``
+        remaps regions to the machines already holding most of their state
+        and migrates only the difference (see the module docstring).
     """
-    new1 = pad_assignments(
+    if mode not in MIGRATION_MODES:
+        raise ValueError(
+            f"unknown migration mode {mode!r} (expected one of {MIGRATION_MODES})"
+        )
+    routed1 = pad_assignments(
         new_partitioning.assign_r1(np.asarray(keys1), rng), num_machines
     )
-    new2 = pad_assignments(
+    routed2 = pad_assignments(
         new_partitioning.assign_r2(np.asarray(keys2), rng), num_machines
     )
     old1 = pad_assignments(old_assignments1, num_machines)
     old2 = pad_assignments(old_assignments2, num_machines)
 
+    if mode == "partial":
+        region_to_machine = _best_region_map(
+            routed1, routed2, old1, old2, num_machines
+        )
+    else:
+        region_to_machine = np.arange(num_machines, dtype=np.int64)
+
+    empty = np.empty(0, dtype=np.int64)
+    new1: list[np.ndarray] = [empty] * num_machines
+    new2: list[np.ndarray] = [empty] * num_machines
+    for region, machine in enumerate(region_to_machine):
+        new1[machine] = routed1[region]
+        new2[machine] = routed2[region]
+
     arrivals = np.zeros(num_machines, dtype=np.int64)
+    departures = np.zeros(num_machines, dtype=np.int64)
     for machine in range(num_machines):
-        moved1 = np.setdiff1d(new1[machine], old1[machine], assume_unique=True)
-        moved2 = np.setdiff1d(new2[machine], old2[machine], assume_unique=True)
-        arrivals[machine] = len(moved1) + len(moved2)
+        moved_in1 = np.setdiff1d(new1[machine], old1[machine], assume_unique=True)
+        moved_in2 = np.setdiff1d(new2[machine], old2[machine], assume_unique=True)
+        moved_out1 = np.setdiff1d(old1[machine], new1[machine], assume_unique=True)
+        moved_out2 = np.setdiff1d(old2[machine], new2[machine], assume_unique=True)
+        arrivals[machine] = len(moved_in1) + len(moved_in2)
+        departures[machine] = len(moved_out1) + len(moved_out2)
     return MigrationPlan(
         new_assignments1=new1,
         new_assignments2=new2,
         per_machine_arrivals=arrivals,
+        per_machine_departures=departures,
+        region_to_machine=region_to_machine,
+        mode=mode,
     )

@@ -14,6 +14,15 @@ the comparison of interest:
   incrementally maintained sample state when the live imbalance leaves the
   histogram's prediction, paying the migration cost in exchange for restored
   balance.
+
+Policies only pick the *partitioning*; how much state a rebuild actually
+moves is the engine's ``repartition_mode`` (partial vs. full migration, see
+:mod:`repro.streaming.migration`), and the policy's drift decisions are
+deliberately insensitive to it: the detector consumes the batch's live
+imbalance *before* migration charges land, and that ratio is invariant under
+the region-to-machine remap partial repartitioning performs.  The same
+policy therefore triggers at the same batches under either mode and under
+any execution backend, which the equivalence tests rely on.
 """
 
 from __future__ import annotations

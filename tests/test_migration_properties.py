@@ -1,0 +1,217 @@
+"""Property-based invariants of the migration planner.
+
+``plan_migration`` is the piece later performance work is most likely to
+break subtly, so its invariants are pinned with hypothesis over randomly
+generated histories and partitionings:
+
+* **tuple conservation** -- for non-replicating schemes every rebuild moves
+  as many tuples out of machines as into them (and with replication, the
+  arrival/departure difference is exactly the change in total held state);
+* **zero-cost no-op** -- re-adopting an unchanged mapping moves nothing, in
+  either mode;
+* **partial <= full** -- the partial plan never migrates more than the
+  positional full plan, for the same old state and new partitioning;
+* **state completeness** -- whatever the mode, the planned state is exactly
+  the new partitioning's routing (only possibly living on different
+  machines), so the join after a migration sees every tuple.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streaming.migration import pad_assignments, plan_migration
+
+
+class ModPartitioning:
+    """Deterministic non-replicating scheme: key ``k`` lives on ``(k + salt) % J``."""
+
+    def __init__(self, num_machines: int, salt: int = 0) -> None:
+        self.num_regions = num_machines
+        self.salt = salt
+
+    def _assign(self, keys: np.ndarray) -> list[np.ndarray]:
+        machines = (np.asarray(keys).astype(np.int64) + self.salt) % self.num_regions
+        return [
+            np.flatnonzero(machines == machine).astype(np.int64)
+            for machine in range(self.num_regions)
+        ]
+
+    def assign_r1(self, keys, rng):
+        return self._assign(keys)
+
+    def assign_r2(self, keys, rng):
+        return self._assign(keys)
+
+
+class ReplicatingPartitioning(ModPartitioning):
+    """Each R1 key additionally replicated to the next machine (band-join style)."""
+
+    def assign_r1(self, keys, rng):
+        primary = self._assign(keys)
+        return [
+            np.union1d(primary[machine], primary[(machine + 1) % self.num_regions])
+            for machine in range(self.num_regions)
+        ]
+
+
+def _held(assignments: list[np.ndarray]) -> int:
+    return sum(len(a) for a in assignments)
+
+
+keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=60), min_size=1, max_size=80
+).map(lambda values: np.array(values, dtype=np.float64))
+
+machines_strategy = st.integers(min_value=1, max_value=6)
+salt_strategy = st.integers(min_value=0, max_value=7)
+mode_strategy = st.sampled_from(["full", "partial"])
+
+
+def _old_state(scheme, keys1, keys2, num_machines, rng):
+    old1 = pad_assignments(scheme.assign_r1(keys1, rng), num_machines)
+    old2 = pad_assignments(scheme.assign_r2(keys2, rng), num_machines)
+    return old1, old2
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys1=keys_strategy,
+    keys2=keys_strategy,
+    num_machines=machines_strategy,
+    old_salt=salt_strategy,
+    new_salt=salt_strategy,
+    mode=mode_strategy,
+)
+def test_tuple_conservation_without_replication(
+    keys1, keys2, num_machines, old_salt, new_salt, mode
+):
+    """Non-replicating rebuilds: migrated-out == migrated-in, exactly."""
+    rng = np.random.default_rng(0)
+    old1, old2 = _old_state(
+        ModPartitioning(num_machines, old_salt), keys1, keys2, num_machines, rng
+    )
+    plan = plan_migration(
+        old1, old2, ModPartitioning(num_machines, new_salt),
+        keys1, keys2, num_machines, rng, mode=mode,
+    )
+    assert plan.total_moved == plan.total_departed
+    assert _held(plan.new_assignments1) == len(keys1)
+    assert _held(plan.new_assignments2) == len(keys2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys1=keys_strategy,
+    keys2=keys_strategy,
+    num_machines=st.integers(min_value=2, max_value=6),
+    old_salt=salt_strategy,
+    new_salt=salt_strategy,
+    mode=mode_strategy,
+)
+def test_conservation_accounts_for_replication_changes(
+    keys1, keys2, num_machines, old_salt, new_salt, mode
+):
+    """With replication, arrivals - departures == growth of total held state."""
+    rng = np.random.default_rng(0)
+    old_scheme = ModPartitioning(num_machines, old_salt)
+    new_scheme = ReplicatingPartitioning(num_machines, new_salt)
+    old1, old2 = _old_state(old_scheme, keys1, keys2, num_machines, rng)
+    plan = plan_migration(
+        old1, old2, new_scheme, keys1, keys2, num_machines, rng, mode=mode
+    )
+    old_total = _held(old1) + _held(old2)
+    new_total = _held(plan.new_assignments1) + _held(plan.new_assignments2)
+    assert plan.total_moved - plan.total_departed == new_total - old_total
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys1=keys_strategy,
+    keys2=keys_strategy,
+    num_machines=machines_strategy,
+    salt=salt_strategy,
+    mode=mode_strategy,
+)
+def test_unchanged_mapping_is_a_zero_cost_noop(
+    keys1, keys2, num_machines, salt, mode
+):
+    """Re-adopting the very same scheme moves nothing in either mode."""
+    rng = np.random.default_rng(0)
+    scheme = ModPartitioning(num_machines, salt)
+    old1, old2 = _old_state(scheme, keys1, keys2, num_machines, rng)
+    plan = plan_migration(
+        old1, old2, scheme, keys1, keys2, num_machines, rng, mode=mode
+    )
+    assert plan.total_moved == 0
+    assert plan.total_departed == 0
+    assert np.all(plan.per_machine_arrivals == 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys1=keys_strategy,
+    keys2=keys_strategy,
+    num_machines=machines_strategy,
+    old_salt=salt_strategy,
+    new_salt=salt_strategy,
+    replicate=st.booleans(),
+)
+def test_partial_never_migrates_more_than_full(
+    keys1, keys2, num_machines, old_salt, new_salt, replicate
+):
+    """The partial plan's volume is bounded by the full plan's, always."""
+    rng = np.random.default_rng(0)
+    old1, old2 = _old_state(
+        ModPartitioning(num_machines, old_salt), keys1, keys2, num_machines, rng
+    )
+    new_cls = ReplicatingPartitioning if replicate else ModPartitioning
+    new_scheme = new_cls(num_machines, new_salt)
+    full = plan_migration(
+        old1, old2, new_scheme, keys1, keys2, num_machines, rng, mode="full"
+    )
+    partial = plan_migration(
+        old1, old2, new_scheme, keys1, keys2, num_machines, rng, mode="partial"
+    )
+    assert partial.total_moved <= full.total_moved
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys1=keys_strategy,
+    keys2=keys_strategy,
+    num_machines=machines_strategy,
+    old_salt=salt_strategy,
+    new_salt=salt_strategy,
+    mode=mode_strategy,
+)
+def test_planned_state_is_exactly_the_new_routing(
+    keys1, keys2, num_machines, old_salt, new_salt, mode
+):
+    """The migrated state is the new routing, merely remapped across machines.
+
+    The region-to-machine map must be a bijection, and machine
+    ``region_to_machine[r]`` must hold exactly what the new partitioning
+    routes to region ``r`` -- otherwise the post-migration join would lose
+    or duplicate candidate pairs.
+    """
+    rng = np.random.default_rng(0)
+    old1, old2 = _old_state(
+        ModPartitioning(num_machines, old_salt), keys1, keys2, num_machines, rng
+    )
+    new_scheme = ModPartitioning(num_machines, new_salt)
+    plan = plan_migration(
+        old1, old2, new_scheme, keys1, keys2, num_machines, rng, mode=mode
+    )
+    assert sorted(plan.region_to_machine.tolist()) == list(range(num_machines))
+    routed1 = pad_assignments(new_scheme.assign_r1(keys1, rng), num_machines)
+    routed2 = pad_assignments(new_scheme.assign_r2(keys2, rng), num_machines)
+    for region, machine in enumerate(plan.region_to_machine):
+        np.testing.assert_array_equal(
+            np.sort(plan.new_assignments1[machine]), np.sort(routed1[region])
+        )
+        np.testing.assert_array_equal(
+            np.sort(plan.new_assignments2[machine]), np.sort(routed2[region])
+        )

@@ -234,6 +234,22 @@ class TestDriftDetector:
         assert not detector.update(3, 10.0, 1.0)
         assert detector.update(4, 10.0, 1.0)
 
+    def test_cooldown_window_triggers_exactly_once(self):
+        # Regression guard against off-by-one cooldown drift: with
+        # warmup_batches=2 the first eligible batch is index 2, and
+        # cooldown_batches=3 must suppress batches 3 and 4 exactly --
+        # a sustained overload over batches 0..4 therefore triggers once,
+        # at batch 2, and batch 5 is the first allowed re-trigger.
+        detector = DriftDetector(
+            threshold=1.2, warmup_batches=2, cooldown_batches=3, ewma_alpha=1.0
+        )
+        fired = [detector.update(index, 5.0, 1.0) for index in range(5)]
+        assert fired == [False, False, True, False, False]
+        assert sum(obs.triggered for obs in detector.history) == 1
+        assert detector.history[2].triggered
+        # The cooldown boundary itself: batch 2 + cooldown 3 = batch 5.
+        assert detector.update(5, 5.0, 1.0)
+
     def test_ewma_smooths_single_spikes(self):
         detector = DriftDetector(
             threshold=2.0, warmup_batches=0, ewma_alpha=0.2
@@ -401,6 +417,39 @@ class TestStreamingJoinEngine:
         assert cheap.num_repartitions >= 1
         assert expensive.num_repartitions == cheap.num_repartitions
         assert expensive.max_machine_load > cheap.max_machine_load
+
+    def test_full_and_partial_repartitioning_agree_on_output(self):
+        source = DriftingZipfSource(
+            num_batches=10, tuples_per_batch=400, num_values=120,
+            z_initial=0.1, z_final=1.2, shift_at_batch=4, seed=11,
+        )
+
+        def run(mode):
+            policy = DriftAdaptiveEWHPolicy(
+                DriftDetector(threshold=1.3, warmup_batches=1, cooldown_batches=2)
+            )
+            engine = StreamingJoinEngine(
+                8, BAND, UNIT, policy=policy, sample_capacity=512,
+                repartition_mode=mode, seed=4,
+            )
+            return engine.run(source)
+
+        full = run("full")
+        partial = run("partial")
+        # The modes differ only in how much state a rebuild ships: joins,
+        # trigger batches and exact output are identical.
+        assert full.output_correct and partial.output_correct
+        assert full.total_output == partial.total_output
+        assert full.num_repartitions == partial.num_repartitions >= 1
+        assert partial.total_migrated <= full.total_migrated
+        full_plans = [b.migration_plan for b in full.batches if b.repartitioned]
+        assert all(
+            plan.region_to_machine.tolist() == list(range(8)) for plan in full_plans
+        )
+
+    def test_invalid_repartition_mode(self):
+        with pytest.raises(ValueError, match="repartition_mode"):
+            StreamingJoinEngine(2, BAND, UNIT, repartition_mode="lazy")
 
     def test_single_machine(self, rng):
         keys = rng.uniform(0, 50, 200)
