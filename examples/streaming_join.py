@@ -1,4 +1,4 @@
-"""Online streaming join with drift-triggered repartitioning.
+"""Online streaming join with drift-triggered repartitioning and windows.
 
 Feeds a micro-batched stream whose Zipf skew shifts mid-stream (near-uniform
 at first, then a hot spot at a fresh location) to three engines:
@@ -18,9 +18,18 @@ worker pool (real per-region wall-clock timings in the ``join s`` column)
 instead of the in-process simulator.  The cost-model columns are identical
 under either backend.
 
+Retained state is bounded by a window policy; pass ``--window batches:6``
+(tuples from the last 6 micro-batches stay live), ``--window tuples:5000``
+(most recent 5000 arrivals per side) or ``--window decay:0.9`` (exponential
+decay) to evict expired state after every batch.  The ``peak resident`` and
+``evicted`` columns show the memory the window frees; windowed runs report
+``-`` in the ``correct`` column because the full-history check no longer
+applies once the engine deliberately forgets state.
+
 Run with::
 
     python examples/streaming_join.py [--backend {simulated,multiprocess}]
+                                      [--window SPEC]
 """
 
 from __future__ import annotations
@@ -38,10 +47,12 @@ from repro.streaming import (
     StaticOneBucketPolicy,
     compare_streaming_schemes,
     make_backend,
+    make_window,
 )
 
 
 def main() -> None:
+    """Run the three streaming schemes over a drifting stream and report."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--backend",
@@ -49,7 +60,14 @@ def main() -> None:
         default="simulated",
         help="execution backend for the per-region joins (default: simulated)",
     )
+    parser.add_argument(
+        "--window",
+        default="unbounded",
+        help="window policy bounding the retained state: 'unbounded' "
+        "(default), 'batches:<n>', 'tuples:<n>' or 'decay:<p>'",
+    )
     args = parser.parse_args()
+    window = make_window(args.window)
 
     num_machines = 16
     source = DriftingZipfSource(
@@ -63,7 +81,7 @@ def main() -> None:
     )
     print(
         "Streaming a band join over 16 micro-batches; the key skew shifts "
-        f"at batch 6 (backend: {args.backend})...\n"
+        f"at batch 6 (backend: {args.backend}, window: {window.name})...\n"
     )
     results = compare_streaming_schemes(
         source,
@@ -78,6 +96,7 @@ def main() -> None:
             ),
         },
         backend_factory=lambda: make_backend(args.backend),
+        window=window,
         sample_capacity=2048,
         sample_decay=0.7,
         seed=3,
@@ -94,6 +113,14 @@ def main() -> None:
         "machines (charged into its load above). Partial repartitioning kept "
         "every region whose machine assignment did not change in place."
     )
+    if not window.is_unbounded:
+        print(
+            f"The {window.name} window evicted {adaptive.total_evicted:,} "
+            "state entries from the adaptive engine "
+            f"({adaptive.total_bytes_freed:,} bytes freed), capping its "
+            f"resident state at {adaptive.peak_resident_tuples:,} entries; "
+            "migrations shipped live state only."
+        )
     print(
         "Reading the table: once the hot spot appears, the frozen histogram's "
         "busiest machine absorbs most of the new output while the adaptive "

@@ -53,14 +53,19 @@ from repro.streaming import (
     DriftAdaptiveEWHPolicy,
     DriftDetector,
     DriftingZipfSource,
+    ExponentialDecayWindow,
     IncrementalHistogram,
     MicroBatch,
+    SlidingWindow,
     StaticEWHPolicy,
     StaticOneBucketPolicy,
     StreamingJoinEngine,
     StreamRunResult,
     StreamSource,
+    UnboundedWindow,
+    WindowPolicy,
     compare_streaming_schemes,
+    make_window,
 )
 from repro.workloads.definitions import make_bcb, make_beocd, make_bicd
 
@@ -110,6 +115,11 @@ __all__ = [
     "StaticOneBucketPolicy",
     "StaticEWHPolicy",
     "DriftAdaptiveEWHPolicy",
+    "WindowPolicy",
+    "UnboundedWindow",
+    "SlidingWindow",
+    "ExponentialDecayWindow",
+    "make_window",
     "StreamingJoinEngine",
     "compare_streaming_schemes",
     # Workloads.

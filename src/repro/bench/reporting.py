@@ -100,11 +100,17 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
 
     ``join s`` is the execution backend's real wall clock over the run's
     per-region joins -- the only column that depends on the backend; all the
-    cost-model columns are backend-independent.
+    cost-model columns are backend-independent.  ``window`` is the window
+    policy bounding the retained state, ``peak resident`` the largest
+    end-of-batch state across machines (what the window bounds) and
+    ``evicted`` the state entries the policy dropped over the run.
+    ``correct`` is ``-`` for windowed runs: the full-history check does not
+    apply once the engine deliberately forgets state.
     """
     headers = [
         "scheme",
         "backend",
+        "window",
         "batches",
         "tuples",
         "output",
@@ -113,6 +119,8 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
         "imbalance",
         "migrated",
         "rebuilds",
+        "peak resident",
+        "evicted",
         "throughput",
         "join s",
         "correct",
@@ -123,6 +131,7 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
             [
                 scheme,
                 result.backend,
+                result.window,
                 str(result.num_batches),
                 f"{result.total_tuples:,}",
                 f"{result.total_output:,}",
@@ -131,6 +140,8 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
                 f"{result.load_imbalance:.2f}",
                 f"{result.total_migrated:,}",
                 str(result.num_repartitions),
+                f"{result.peak_resident_tuples:,}",
+                f"{result.total_evicted:,}",
                 f"{result.mean_throughput:.3f}",
                 f"{result.join_seconds:.3f}",
                 "-"
@@ -142,15 +153,19 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
 
 
 def format_streaming_batches(results: dict[str, StreamRunResult]) -> str:
-    """Per-batch max-machine-load series, schemes side by side.
+    """Per-batch max-machine-load and resident-state series, side by side.
 
-    Runs of unequal length (e.g. one engine stopped early) render blank
-    cells past their last batch.
+    One ``max load``, one ``resident`` (end-of-batch retained state entries)
+    and one ``repart.`` column per scheme.  Runs of unequal length (e.g. one
+    engine stopped early) render blank cells past their last batch.
     """
     schemes = list(results)
-    headers = ["batch", "tuples"] + [f"{s} max load" for s in schemes] + [
-        f"{s} repart." for s in schemes
-    ]
+    headers = (
+        ["batch", "tuples"]
+        + [f"{s} max load" for s in schemes]
+        + [f"{s} resident" for s in schemes]
+        + [f"{s} repart." for s in schemes]
+    )
     num_batches = max(result.num_batches for result in results.values())
     rows = []
     for index in range(num_batches):
@@ -164,6 +179,7 @@ def format_streaming_batches(results: dict[str, StreamRunResult]) -> str:
         rows.append(
             [str(index), f"{tuples:,}"]
             + ["" if b is None else f"{b.max_load:,.0f}" for b in per_scheme]
+            + ["" if b is None else f"{b.resident_tuples:,}" for b in per_scheme]
             + ["" if b is None else ("*" if b.repartitioned else "") for b in per_scheme]
         )
     return format_rows(headers, rows)

@@ -23,16 +23,35 @@ from repro.partitioning.base import Partitioning
 
 __all__ = [
     "MultiprocessJoinResult",
+    "broadcast_conditions",
     "join_assigned_regions",
     "run_join_multiprocess",
 ]
 
 
-def _join_region(args: tuple[np.ndarray, np.ndarray, JoinCondition]) -> tuple[int, float]:
+def broadcast_conditions(
+    condition: "JoinCondition | list[JoinCondition]", num_regions: int
+) -> "list[JoinCondition]":
+    """Normalise the one-or-per-region condition argument to a full list.
+
+    Shared by every region-join entry point (:func:`join_assigned_regions`
+    and the streaming backends) so the list-or-scalar contract is validated
+    in exactly one place.
+    """
+    if isinstance(condition, list):
+        if len(condition) != num_regions:
+            raise ValueError("need exactly one condition per region")
+        return condition
+    return [condition] * num_regions
+
+
+def _join_region(
+    args: tuple[np.ndarray, np.ndarray, JoinCondition, bool],
+) -> tuple[int, float]:
     """Worker: join one region's tuples, return (output count, seconds)."""
-    keys1, keys2, condition = args
+    keys1, keys2, condition, keys2_sorted = args
     start = time.perf_counter()
-    output = count_join_output(keys1, keys2, condition)
+    output = count_join_output(keys1, keys2, condition, keys2_sorted=keys2_sorted)
     return output, time.perf_counter() - start
 
 
@@ -53,7 +72,8 @@ def _busy_machines(pairs: list[tuple]) -> list[int]:
 def join_assigned_regions(
     pool: ProcessPoolExecutor,
     region_keys: list[tuple[np.ndarray, np.ndarray]],
-    condition: JoinCondition,
+    condition: "JoinCondition | list[JoinCondition]",
+    keys2_sorted: bool = False,
 ) -> tuple[np.ndarray, np.ndarray, float]:
     """Join already-assigned regions on an existing worker pool.
 
@@ -62,14 +82,30 @@ def join_assigned_regions(
     shipped to a worker.  Returns per-machine output counts, per-machine
     worker seconds, and the end-to-end wall time of the parallel execution.
 
+    ``condition`` is one condition shared by every region, or a list with
+    one condition per region -- the streaming engine's incremental counting
+    mixes the original and the transposed orientation in a single dispatch
+    so each batch costs one pool round-trip, not two.
+
+    ``keys2_sorted`` promises that every region's second key array is
+    already sorted ascending, letting the workers skip the per-region sort
+    -- the streaming engine's incremental counting maintains its state
+    sorted exactly so this path stays ``O(new log state)``.
+
     This is the piece :func:`run_join_multiprocess` and the streaming
     :class:`~repro.streaming.backends.MultiprocessBackend` share: the caller
     owns the pool, so a streaming engine can amortise process start-up over
     every micro-batch instead of paying it per join.
     """
+    conditions = broadcast_conditions(condition, len(region_keys))
     busy_machines = _busy_machines(region_keys)
     tasks = [
-        (region_keys[machine][0], region_keys[machine][1], condition)
+        (
+            region_keys[machine][0],
+            region_keys[machine][1],
+            conditions[machine],
+            keys2_sorted,
+        )
         for machine in busy_machines
     ]
     start = time.perf_counter()

@@ -69,6 +69,25 @@ class JoinCondition:
         """Return ``True`` iff the key ranges ``[lo1, hi1] x [lo2, hi2]`` may join."""
         raise NotImplementedError
 
+    @property
+    def transposed(self) -> "JoinCondition":
+        """The same predicate with the join sides swapped.
+
+        ``transposed.matches(k2, k1) == matches(k1, k2)`` for all keys, so
+        ``transposed.joinable_interval(k2)`` is the interval of *R1* keys
+        joinable with ``k2``.  The streaming engine's incremental counting
+        uses this to count (retained R1 state) x (new R2 arrivals) pairs by
+        binary-searching the sorted state side.  Inequality joins flip the
+        operator; band-like conditions return a wrapper whose interval
+        bounds are the exact floating-point inverses of the original
+        ``[k1 - beta, k1 + beta]`` test, so both orientations agree
+        bit-for-bit on every float input -- including keys exactly at a
+        rounded band boundary.
+        """
+        raise NotImplementedError(
+            f"{self.__class__.__name__} does not define a transposed condition"
+        )
+
     # ------------------------------------------------------------------
     # Vectorised helpers
     # ------------------------------------------------------------------
@@ -163,6 +182,14 @@ class BandJoinCondition(JoinCondition):
     def joinable_interval(self, k1: float) -> tuple[float, float]:
         return (k1 - self.beta, k1 + self.beta)
 
+    @property
+    def transposed(self) -> "JoinCondition":
+        # A band is symmetric mathematically, but the interval test
+        # [fl(k1-beta), fl(k1+beta)] is evaluated from the R1 side; the
+        # wrapper inverts those rounded bounds exactly (see
+        # _TransposedBandCondition) so both orientations agree bit-for-bit.
+        return _TransposedBandCondition(self)
+
     def cell_is_candidate(
         self, lo1: float, hi1: float, lo2: float, hi2: float
     ) -> bool:
@@ -248,6 +275,17 @@ class InequalityJoinCondition(JoinCondition):
         if self.op is InequalityOp.GT:
             return (-math.inf, math.nextafter(k1, -math.inf))
         return (-math.inf, k1)
+
+    @property
+    def transposed(self) -> "InequalityJoinCondition":
+        # k1 < k2 seen from the R2 side is k2 > k1: flip the operator.
+        flipped = {
+            InequalityOp.LT: InequalityOp.GT,
+            InequalityOp.LE: InequalityOp.GE,
+            InequalityOp.GT: InequalityOp.LT,
+            InequalityOp.GE: InequalityOp.LE,
+        }
+        return InequalityJoinCondition(flipped[self.op])
 
     def cell_is_candidate(
         self, lo1: float, hi1: float, lo2: float, hi2: float
@@ -375,6 +413,12 @@ class CompositeEquiBandCondition(JoinCondition):
     def joinable_interval(self, k1: float) -> tuple[float, float]:
         return (k1 - self.beta, k1 + self.beta)
 
+    @property
+    def transposed(self) -> "JoinCondition":
+        # On encoded keys the composite predicate is a band; use the exact
+        # inverse-bound wrapper like BandJoinCondition does.
+        return _TransposedBandCondition(self)
+
     def cell_is_candidate(
         self, lo1: float, hi1: float, lo2: float, hi2: float
     ) -> bool:
@@ -413,3 +457,208 @@ class CompositeEquiBandCondition(JoinCondition):
             f"CompositeEquiBandCondition(beta={self.beta!r}, scale={self.scale!r}, "
             f"band_key_min={self.band_key_min!r}, band_key_max={self.band_key_max!r})"
         )
+
+
+_INT64_MIN = np.int64(np.iinfo(np.int64).min)
+
+
+def _to_ordinal(x: np.ndarray) -> np.ndarray:
+    """Map float64s to int64 ordinals that preserve the numeric order.
+
+    Positive floats already sort by their bit patterns; negative floats
+    sort in reverse, so their bits are reflected (the classic
+    total-ordering trick).  The map is an involution with
+    :func:`_from_ordinal` (up to ``-0.0 == 0.0``).
+    """
+    bits = np.ascontiguousarray(x, dtype=np.float64).view(np.int64)
+    return np.where(bits >= 0, bits, _INT64_MIN - bits)
+
+
+def _from_ordinal(ordinal: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_to_ordinal`."""
+    bits = np.where(ordinal >= 0, ordinal, _INT64_MIN - ordinal)
+    return bits.view(np.float64)
+
+
+def _ordinal_midpoint(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Overflow-safe elementwise int64 midpoint with ``lo <= mid <= hi``."""
+    return (lo >> 1) + (hi >> 1) + (lo & hi & 1)
+
+
+#: Memoised bisection results, keyed by (beta, key, is_lower).  Bisected
+#: keys are the rare scale-mismatch cases (e.g. ``k2 - beta`` near zero),
+#: and streams revisit the same hot key values batch after batch, so the
+#: cache turns the 66-iteration bisection into a dict hit from the second
+#: occurrence on.  Bounded; per process (workers build their own).
+_INVERSE_CACHE: dict[tuple[float, float, bool], float] = {}
+_INVERSE_CACHE_LIMIT = 65536
+
+
+def _bisect_inverse(pending: np.ndarray, beta: float, lower: bool) -> np.ndarray:
+    """Exact inverse band bounds by bisecting float *ordinals*.
+
+    For ``lower=True``: minimal ``x`` with ``fl(x + beta) >= k2``, bracket
+    ``(-inf`` unsatisfied, ``k2`` satisfied] -- rounding a real ``>= k2``
+    cannot fall below the representable ``k2``.  For ``lower=False``:
+    maximal ``x`` with ``fl(x - beta) <= k2``, bracket ``[k2`` satisfied,
+    ``+inf`` unsatisfied).  The whole float range spans fewer than 2**65
+    ordinals, so 66 halvings always reach a gap of one.
+    """
+    if lower:
+        lo = _to_ordinal(np.full_like(pending, -np.inf))
+        hi = _to_ordinal(pending)
+    else:
+        lo = _to_ordinal(pending)
+        hi = _to_ordinal(np.full_like(pending, np.inf))
+    for _ in range(66):
+        mid = _ordinal_midpoint(lo, hi)
+        x = _from_ordinal(mid)
+        satisfied = (x + beta) >= pending if lower else (x - beta) <= pending
+        if lower:
+            hi = np.where(satisfied, mid, hi)
+            lo = np.where(satisfied, lo, mid)
+        else:
+            lo = np.where(satisfied, mid, lo)
+            hi = np.where(satisfied, hi, mid)
+    return _from_ordinal(hi if lower else lo)
+
+
+def _bisect_cached(keys: np.ndarray, beta: float, lower: bool) -> np.ndarray:
+    """Deduplicated, memoised wrapper around :func:`_bisect_inverse`."""
+    unique, inverse = np.unique(keys, return_inverse=True)
+    out = np.empty(len(unique), dtype=np.float64)
+    misses = []
+    for position, key in enumerate(unique):
+        hit = _INVERSE_CACHE.get((beta, float(key), lower))
+        if hit is None:
+            misses.append(position)
+        else:
+            out[position] = hit
+    if misses:
+        solved = _bisect_inverse(unique[misses], beta, lower)
+        for position, value in zip(misses, solved):
+            out[position] = value
+            if len(_INVERSE_CACHE) < _INVERSE_CACHE_LIMIT:
+                _INVERSE_CACHE[(beta, float(unique[position]), lower)] = float(
+                    value
+                )
+    return out[inverse]
+
+
+def _band_lower_inverse(keys2: np.ndarray, beta: float) -> np.ndarray:
+    """Smallest ``x`` per key with ``fl(x + beta) >= k2`` (exact inverse).
+
+    The band test from the R1 side is ``k2 <= fl(k1 + beta)``; seen from the
+    R2 side that is ``k1 >= L(k2)`` with ``L`` this inverse.  ``fl(k2 -
+    beta)`` is within a couple of ulps *of the sum's scale*, so a few
+    :func:`numpy.nextafter` nudges settle the common same-scale case; keys
+    whose own ulp is far smaller than the sum's (e.g. ``x`` near zero with a
+    large ``beta``) would need astronomically many single-ulp steps, so any
+    lane not settled falls back to a memoised float-ordinal bisection
+    (:func:`_bisect_cached`), guaranteed to terminate.
+    """
+    keys2 = np.asarray(keys2, dtype=np.float64)
+    x = keys2 - beta
+    for _ in range(4):
+        unsatisfied = (x + beta) < keys2
+        if unsatisfied.any():
+            x = np.where(unsatisfied, np.nextafter(x, np.inf), x)
+            continue
+        predecessor = np.nextafter(x, -np.inf)
+        movable = (predecessor + beta) >= keys2
+        if not movable.any():
+            return x
+        x = np.where(movable, predecessor, x)
+    settled = ((x + beta) >= keys2) & ((np.nextafter(x, -np.inf) + beta) < keys2)
+    if not settled.all():
+        x = x.copy()
+        pending = ~settled
+        x[pending] = _bisect_cached(keys2[pending], beta, lower=True)
+    return x
+
+
+def _band_upper_inverse(keys2: np.ndarray, beta: float) -> np.ndarray:
+    """Largest ``x`` per key with ``fl(x - beta) <= k2`` (exact inverse).
+
+    Mirror of :func:`_band_lower_inverse` for the ``fl(k1 - beta) <= k2``
+    half of the band test, with the same nudge-then-bisect structure.
+    """
+    keys2 = np.asarray(keys2, dtype=np.float64)
+    x = keys2 + beta
+    for _ in range(4):
+        unsatisfied = (x - beta) > keys2
+        if unsatisfied.any():
+            x = np.where(unsatisfied, np.nextafter(x, -np.inf), x)
+            continue
+        successor = np.nextafter(x, np.inf)
+        movable = (successor - beta) <= keys2
+        if not movable.any():
+            return x
+        x = np.where(movable, successor, x)
+    settled = ((x - beta) <= keys2) & ((np.nextafter(x, np.inf) - beta) > keys2)
+    if not settled.all():
+        x = x.copy()
+        pending = ~settled
+        x[pending] = _bisect_cached(keys2[pending], beta, lower=False)
+    return x
+
+
+@dataclass(frozen=True, repr=False)
+class _TransposedBandCondition(JoinCondition):
+    """A band-like condition evaluated from the R2 side, float-exactly.
+
+    The original predicate is the interval test ``fl(k1 - beta) <= k2 <=
+    fl(k1 + beta)``, evaluated per R1 key.  Counting from the R2 side needs
+    the set of R1 keys matching a given ``k2`` -- and because the bounds are
+    *rounded* functions of ``k1``, that set is ``[L(k2), U(k2)]`` for the
+    exact inverses computed by :func:`_band_lower_inverse` /
+    :func:`_band_upper_inverse`, not the naively mirrored ``[fl(k2 - beta),
+    fl(k2 + beta)]`` (which can disagree by one ulp exactly at a band
+    boundary).  With this wrapper both orientations agree bit-for-bit on
+    every float input, which the streaming engine's incremental counting
+    relies on.
+    """
+
+    base: JoinCondition
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        """Reporting name, derived from the wrapped condition."""
+        return f"transposed({self.base.name})"
+
+    @property
+    def transposed(self) -> JoinCondition:
+        """Transposing twice restores the original orientation."""
+        return self.base
+
+    def matches(self, k1: float, k2: float) -> bool:
+        """Swapped-argument match: this object's R1 side is the base's R2."""
+        return self.base.matches(k2, k1)
+
+    def joinable_interval(self, k1: float) -> tuple[float, float]:
+        """Exact interval of base-R1 keys joinable with base-R2 key ``k1``."""
+        keys = np.asarray([k1], dtype=np.float64)
+        beta = self.base.beta
+        return (
+            float(_band_lower_inverse(keys, beta)[0]),
+            float(_band_upper_inverse(keys, beta)[0]),
+        )
+
+    def joinable_bounds(self, keys1: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised exact inverse bounds (what incremental counting uses)."""
+        keys1 = np.asarray(keys1, dtype=np.float64)
+        beta = self.base.beta
+        return _band_lower_inverse(keys1, beta), _band_upper_inverse(keys1, beta)
+
+    def cell_is_candidate(
+        self, lo1: float, hi1: float, lo2: float, hi2: float
+    ) -> bool:
+        """Delegate to the base condition with the ranges swapped."""
+        return self.base.cell_is_candidate(lo2, hi2, lo1, hi1)
+
+    def matches_many(self, keys1: np.ndarray, keys2: np.ndarray) -> np.ndarray:
+        """Element-wise swapped match."""
+        return self.base.matches_many(keys2, keys1)
+
+    def __repr__(self) -> str:
+        return f"_TransposedBandCondition({self.base!r})"

@@ -10,6 +10,15 @@ assignment changed migrate state), and the per-batch region joins execute on
 a pluggable :class:`~repro.streaming.backends.ExecutionBackend` (in-process
 simulation, or a persistent multiprocess worker pool with real wall-clock
 timings).
+
+Retained state is bounded by a pluggable
+:class:`~repro.streaming.window.WindowPolicy` (unbounded, sliding
+count-or-batch window, or exponential decay): expired tuples are evicted from
+every machine after each batch, the freed memory is charged into the metrics,
+and repartitioning migrates live state only.  Each side's region state is
+kept sorted by join key, so the per-batch output delta is counted
+incrementally in ``O(new log state)`` instead of re-counting whole regions
+(see ``docs/streaming.md`` for the full narrative).
 """
 
 from repro.streaming.backends import (
@@ -20,10 +29,25 @@ from repro.streaming.backends import (
     make_backend,
 )
 from repro.streaming.drift import DriftDetector, DriftObservation
-from repro.streaming.engine import StreamingJoinEngine, compare_streaming_schemes
-from repro.streaming.incremental import DecayedReservoir, IncrementalHistogram
+from repro.streaming.engine import (
+    COUNTING_MODES,
+    StreamingJoinEngine,
+    compare_streaming_schemes,
+)
+from repro.streaming.incremental import (
+    DecayedReservoir,
+    IncrementalHistogram,
+    SortedRegionState,
+)
 from repro.streaming.metrics import BatchMetrics, StreamRunResult
 from repro.streaming.migration import MigrationPlan, plan_migration
+from repro.streaming.window import (
+    ExponentialDecayWindow,
+    SlidingWindow,
+    UnboundedWindow,
+    WindowPolicy,
+    make_window,
+)
 from repro.streaming.policies import (
     DriftAdaptiveEWHPolicy,
     RepartitioningPolicy,
@@ -49,10 +73,17 @@ __all__ = [
     "DriftingZipfSource",
     "DecayedReservoir",
     "IncrementalHistogram",
+    "SortedRegionState",
     "DriftDetector",
     "DriftObservation",
     "MigrationPlan",
     "plan_migration",
+    "WindowPolicy",
+    "UnboundedWindow",
+    "SlidingWindow",
+    "ExponentialDecayWindow",
+    "make_window",
+    "COUNTING_MODES",
     "BatchMetrics",
     "StreamRunResult",
     "RepartitioningPolicy",

@@ -37,7 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.engine.executor import join_assigned_regions
+from repro.engine.executor import broadcast_conditions, join_assigned_regions
 from repro.joins.conditions import JoinCondition
 from repro.joins.local import count_join_output
 
@@ -92,22 +92,31 @@ class ExecutionBackend(abc.ABC):
     def join_regions(
         self,
         region_keys: list[tuple[np.ndarray, np.ndarray]],
-        condition: JoinCondition,
+        condition: "JoinCondition | list[JoinCondition]",
+        keys2_sorted: bool = False,
     ) -> RegionJoinResult:
         """Join each machine's (R1, R2) region state; count exact output.
 
         ``region_keys[m]`` is machine ``m``'s currently held key arrays.
         Regions with an empty side produce no output and must not be charged
-        any work.
+        any work.  ``condition`` is shared by every region, or a list with
+        one condition per region (the engine's incremental counting mixes
+        the original and transposed orientations in one dispatch).
+        ``keys2_sorted`` promises every pair's second array is already
+        sorted ascending so the per-task sort can be skipped -- the engine's
+        incremental counting relies on this to stay ``O(new log state)`` per
+        batch.
         """
 
     def close(self) -> None:
         """Release any resources held by the backend (idempotent)."""
 
     def __enter__(self) -> "ExecutionBackend":
+        """Enter a with-block; the backend closes itself on exit."""
         return self
 
     def __exit__(self, *exc_info: object) -> None:
+        """Close the backend when the with-block ends."""
         self.close()
 
 
@@ -119,8 +128,11 @@ class SimulatedBackend(ExecutionBackend):
     def join_regions(
         self,
         region_keys: list[tuple[np.ndarray, np.ndarray]],
-        condition: JoinCondition,
+        condition: "JoinCondition | list[JoinCondition]",
+        keys2_sorted: bool = False,
     ) -> RegionJoinResult:
+        """Count each non-empty region's join output in the calling process."""
+        conditions = broadcast_conditions(condition, len(region_keys))
         outputs = np.zeros(len(region_keys), dtype=np.int64)
         seconds = np.zeros(len(region_keys))
         start = time.perf_counter()
@@ -128,7 +140,9 @@ class SimulatedBackend(ExecutionBackend):
             if len(keys1) == 0 or len(keys2) == 0:
                 continue
             region_start = time.perf_counter()
-            outputs[machine] = count_join_output(keys1, keys2, condition)
+            outputs[machine] = count_join_output(
+                keys1, keys2, conditions[machine], keys2_sorted=keys2_sorted
+            )
             seconds[machine] = time.perf_counter() - region_start
         return RegionJoinResult(
             per_machine_output=outputs,
@@ -168,10 +182,12 @@ class MultiprocessBackend(ExecutionBackend):
     def join_regions(
         self,
         region_keys: list[tuple[np.ndarray, np.ndarray]],
-        condition: JoinCondition,
+        condition: "JoinCondition | list[JoinCondition]",
+        keys2_sorted: bool = False,
     ) -> RegionJoinResult:
+        """Ship each non-empty region to the worker pool and count there."""
         outputs, seconds, wall = join_assigned_regions(
-            self._ensure_pool(), region_keys, condition
+            self._ensure_pool(), region_keys, condition, keys2_sorted=keys2_sorted
         )
         return RegionJoinResult(
             per_machine_output=outputs,
@@ -180,6 +196,7 @@ class MultiprocessBackend(ExecutionBackend):
         )
 
     def close(self) -> None:
+        """Shut the worker pool down (a later call starts a fresh one)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None

@@ -58,6 +58,7 @@ class DriftDetector:
     _last_trigger: int | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
+        """Validate the threshold and smoothing parameters."""
         if self.threshold <= 1.0:
             raise ValueError("threshold must exceed 1.0")
         if not 0.0 < self.ewma_alpha <= 1.0:

@@ -3,22 +3,40 @@
 :class:`StreamingJoinEngine` consumes a :class:`~repro.streaming.source.StreamSource`
 and runs a stateful partitioned join over it:
 
-* every machine retains the tuples routed to its region so far (new arrivals
-  on one side must join the other side's full history);
-* each micro-batch is routed by the current partitioning, the per-machine
-  incremental output is counted exactly by a pluggable
+* every machine retains the tuples routed to its region, each side kept
+  sorted by join key (:class:`~repro.streaming.incremental.SortedRegionState`);
+  how long a tuple stays retained is the
+  :class:`~repro.streaming.window.WindowPolicy`'s decision -- unbounded
+  history (the default), a sliding count-or-batch window, or exponential
+  decay.  Evictions run after every batch, are charged into
+  :class:`~repro.streaming.metrics.BatchMetrics` (tuples evicted, bytes
+  freed, resident state) and bound both the per-machine join state and the
+  per-batch cost.  (One simulator caveat: the engine keeps the flat
+  ``history1``/``history2`` key arrays for the whole run, because global
+  arrival indices index into them for routing, migration and end-of-stream
+  verification.  The windowed bound applies to the *join state* -- the
+  sorted per-machine arrays that are searched, counted and migrated --
+  which is what ``resident_tuples`` measures; compacting the dead history
+  prefix is a ROADMAP follow-on.);
+* each micro-batch is routed by the current partitioning and its exact
+  incremental output is counted by a pluggable
   :class:`~repro.streaming.backends.ExecutionBackend` (in-process simulation
-  or a persistent multiprocess worker pool), and the batch's cost-model load
-  is charged per machine (arrivals at the input cost, produced output at the
-  output cost);
+  or a persistent multiprocess worker pool).  Under the default
+  ``counting="incremental"`` the batch's output delta is computed directly
+  -- the new arrivals are binary-searched against the maintained sorted
+  state, ``O(new log state)`` per machine -- instead of re-counting the full
+  region and differencing (``counting="recount"``, the legacy baseline,
+  ``O(state log state)`` per batch).  Both produce identical deltas; the
+  cost-model load is charged per machine either way (arrivals at the input
+  cost, produced output at the output cost);
 * after each batch the :class:`~repro.streaming.policies.RepartitioningPolicy`
-  may swap in a new partitioning, in which case the retained state is
+  may swap in a new partitioning, in which case the retained *live* state is
   migrated (:mod:`repro.streaming.migration`) and the moved tuples are
   charged into the same cost model -- rebalancing is never free.  Under the
   default ``repartition_mode="partial"`` the engine diffs the old and new
   region-to-machine mappings and migrates only the regions whose assignment
   changed; ``"full"`` reproduces the naive positional rebuild that re-routes
-  the whole history.
+  the whole (live) history.
 
 The adopted region-to-machine mapping is remembered between rebuilds: later
 arrivals routed to new region ``r`` are shipped to the machine that actually
@@ -26,10 +44,15 @@ holds ``r``'s state, so partial repartitioning never degrades correctness.
 
 Correctness mirrors the batch simulator: grid-routed partitionings cover
 every candidate cell exactly once, so summing each machine's incremental
-output over the run reproduces the exact join cardinality of the full
-history, which :meth:`StreamingJoinEngine.run` verifies at end of stream.
-All of this is backend-independent -- every backend counts with the same
-exact kernel -- which ``tests/test_backends.py`` pins down.
+output over an *unbounded* run reproduces the exact join cardinality of the
+full history, which :meth:`StreamingJoinEngine.run` verifies at end of
+stream.  Under a window the ground truth changes -- an output pair exists
+exactly when the later tuple arrives while the earlier one is still live --
+so windowed runs skip the full-history check (``output_correct`` stays
+``None``) and ``tests/test_window_properties.py`` pins the windowed
+semantics against an independent reference count instead.  All of this is
+backend-independent -- every backend counts with the same exact kernel --
+which ``tests/test_backends.py`` pins down.
 """
 
 from __future__ import annotations
@@ -49,7 +72,7 @@ from repro.streaming.backends import (
     RegionJoinResult,
     SimulatedBackend,
 )
-from repro.streaming.incremental import IncrementalHistogram
+from repro.streaming.incremental import IncrementalHistogram, SortedRegionState
 from repro.streaming.metrics import BatchMetrics, StreamRunResult
 from repro.streaming.migration import (
     MIGRATION_MODES,
@@ -63,8 +86,12 @@ from repro.streaming.policies import (
     StaticOneBucketPolicy,
 )
 from repro.streaming.source import StreamSource
+from repro.streaming.window import WindowPolicy, make_window
 
-__all__ = ["StreamingJoinEngine", "compare_streaming_schemes"]
+__all__ = ["COUNTING_MODES", "StreamingJoinEngine", "compare_streaming_schemes"]
+
+#: Output-delta counting modes accepted by :class:`StreamingJoinEngine`.
+COUNTING_MODES = ("incremental", "recount")
 
 
 class StreamingJoinEngine:
@@ -86,10 +113,27 @@ class StreamingJoinEngine:
         :class:`~repro.streaming.backends.SimulatedBackend`; a backend the
         engine creates itself is closed at end of run, a caller-provided one
         (e.g. a shared multiprocess pool) is left open.
+    window:
+        The :class:`~repro.streaming.window.WindowPolicy` bounding the
+        retained state, or a spec string for
+        :func:`~repro.streaming.window.make_window` (``"batches:8"``,
+        ``"tuples:5000"``, ``"decay:0.9"``).  ``None`` retains the full
+        history (unbounded).
+    counting:
+        ``"incremental"`` (default) computes each batch's output delta by
+        binary-searching the new arrivals against the maintained sorted
+        state -- ``O(new log state)`` per machine per batch.  ``"recount"``
+        is the legacy baseline: re-count every machine's full region each
+        batch and difference against the previous total,
+        ``O(state log state)``.  The deltas are identical
+        (``benchmarks/test_streaming_window.py`` pins this bit-for-bit);
+        recount exists for that equivalence check and as the speedup
+        baseline, and only supports the unbounded window (differencing full
+        recounts breaks once eviction shrinks a region's count).
     repartition_mode:
         ``"partial"`` (default) migrates only the regions whose
         region-to-machine assignment changed on a rebuild; ``"full"``
-        re-routes the whole history positionally.
+        re-routes the whole live history positionally.
     histogram:
         Optional pre-configured :class:`IncrementalHistogram`; built from
         ``sample_capacity`` / ``sample_decay`` / ``ewh_config`` when omitted.
@@ -106,7 +150,8 @@ class StreamingJoinEngine:
         fraction of the join input cost (mirrors the batch operators'
         statistics scan factor).
     seed:
-        Seed of the engine's internal generator (routing and sampling).
+        Seed of the engine's internal generator (routing, sampling and any
+        randomised window policy).
     """
 
     def __init__(
@@ -116,6 +161,8 @@ class StreamingJoinEngine:
         weight_fn: WeightFunction,
         policy: RepartitioningPolicy | None = None,
         backend: ExecutionBackend | None = None,
+        window: WindowPolicy | str | None = None,
+        counting: str = "incremental",
         repartition_mode: str = "partial",
         histogram: IncrementalHistogram | None = None,
         sample_capacity: int = 2048,
@@ -134,12 +181,36 @@ class StreamingJoinEngine:
                 f"unknown repartition_mode {repartition_mode!r} "
                 f"(expected one of {MIGRATION_MODES})"
             )
+        if counting not in COUNTING_MODES:
+            raise ValueError(
+                f"unknown counting mode {counting!r} "
+                f"(expected one of {COUNTING_MODES})"
+            )
+        self.window = make_window(window)
+        if counting == "recount" and not self.window.is_unbounded:
+            raise ValueError(
+                "counting='recount' differences full per-region recounts and "
+                "cannot account for evicted state; windowed runs require "
+                "counting='incremental'"
+            )
         self.num_machines = num_machines
         self.condition = condition
         self.weight_fn = weight_fn
         self.policy = policy or DriftAdaptiveEWHPolicy()
         self._owns_backend = backend is None
         self.backend = backend or SimulatedBackend()
+        self.counting = counting
+        if counting == "incremental":
+            try:
+                self._transposed = condition.transposed
+            except NotImplementedError as error:
+                raise ValueError(
+                    f"condition {condition!r} does not define .transposed, "
+                    "which incremental counting needs to search the sorted "
+                    "R1 state; pass counting='recount' instead"
+                ) from error
+        else:
+            self._transposed = None
         self.repartition_mode = repartition_mode
         self.histogram = histogram or IncrementalHistogram(
             num_machines,
@@ -165,20 +236,6 @@ class StreamingJoinEngine:
             / self.num_machines
         )
 
-    def _execute_regions(
-        self,
-        assignments1: list[np.ndarray],
-        assignments2: list[np.ndarray],
-        keys1: np.ndarray,
-        keys2: np.ndarray,
-    ) -> RegionJoinResult:
-        """Run the held state's per-region joins on the execution backend."""
-        region_keys = [
-            (keys1[idx1], keys2[idx2])
-            for idx1, idx2 in zip(assignments1, assignments2)
-        ]
-        return self.backend.join_regions(region_keys, self.condition)
-
     @staticmethod
     def _globalise(
         local_assignments: list[np.ndarray],
@@ -199,14 +256,124 @@ class StreamingJoinEngine:
             per_machine[machine] = np.asarray(local, dtype=np.int64) + offset
         return per_machine
 
+    def _count_incremental(
+        self,
+        state1: list[SortedRegionState],
+        state2: list[SortedRegionState],
+        new1: list[np.ndarray],
+        new2: list[np.ndarray],
+        history1: np.ndarray,
+        history2: np.ndarray,
+    ) -> tuple[np.ndarray, RegionJoinResult]:
+        """Fold a batch's arrivals into the sorted state and count the delta.
+
+        Per machine the delta decomposes exactly as
+        ``C(new1, state2 + new2) + C(state1, new2)`` -- the first term is
+        counted by searching the (just-updated) sorted R2 state per new R1
+        key, the second by searching the pre-insert sorted R1 state per new
+        R2 key under the transposed condition.  Both are ``O(new log
+        state)``, dispatched to the backend as one 2J-task execution (a
+        single pool round-trip under the multiprocess backend); no
+        full-region recount happens.  Returns the per-machine deltas and
+        the backend execution (for its timings).
+        """
+        J = self.num_machines
+        tasks: list[tuple[np.ndarray, np.ndarray]] = []
+        conditions = []
+        for machine in range(J):
+            new_keys1 = history1[new1[machine]]
+            new_keys2 = history2[new2[machine]]
+            old_keys1 = state1[machine].keys
+            state2[machine].insert(new2[machine], new_keys2)
+            tasks.append((new_keys1, state2[machine].keys))
+            conditions.append(self.condition)
+            tasks.append((new_keys2, old_keys1))
+            conditions.append(self._transposed)
+            state1[machine].insert(new1[machine], new_keys1)
+        execution = self.backend.join_regions(
+            tasks, conditions, keys2_sorted=True
+        )
+        deltas = execution.per_machine_output.reshape(J, 2).sum(axis=1)
+        combined = RegionJoinResult(
+            per_machine_output=deltas,
+            per_machine_seconds=execution.per_machine_seconds.reshape(J, 2).sum(
+                axis=1
+            ),
+            wall_seconds=execution.wall_seconds,
+        )
+        return deltas, combined
+
+    @staticmethod
+    def _remove_sorted(live: np.ndarray, expired: np.ndarray) -> np.ndarray:
+        """Drop ``expired`` (a sorted subset) from the sorted ``live`` array.
+
+        ``O(live log expired)`` membership via ``searchsorted`` -- cheaper
+        than ``np.isin``, which re-sorts both arrays, and this runs on every
+        windowed batch.
+        """
+        positions = np.searchsorted(expired, live)
+        positions[positions == len(expired)] = len(expired) - 1
+        return live[expired[positions] != live]
+
+    def _evict(
+        self,
+        metrics: BatchMetrics,
+        state1: list[SortedRegionState],
+        state2: list[SortedRegionState],
+        live1: np.ndarray,
+        live2: np.ndarray,
+        batch_index: int,
+        starts1: list[int],
+        starts2: list[int],
+        history1_len: int,
+        history2_len: int,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply the window policy after a batch; charge evictions to metrics.
+
+        Returns the updated per-side live index sets.  Per-machine region
+        state is trimmed in place; the freed entries and bytes land in
+        ``metrics.tuples_evicted`` / ``metrics.bytes_freed``.
+        """
+        expired1 = self.window.evictions(
+            live1, batch_index, starts1, history1_len, rng
+        )
+        expired2 = self.window.evictions(
+            live2, batch_index, starts2, history2_len, rng
+        )
+        dropped = 0
+        if len(expired1):
+            live1 = self._remove_sorted(live1, expired1)
+            for state in state1:
+                dropped += state.evict(expired1)
+        if len(expired2):
+            live2 = self._remove_sorted(live2, expired2)
+            for state in state2:
+                dropped += state.evict(expired2)
+        metrics.tuples_evicted = dropped
+        metrics.bytes_freed = dropped * SortedRegionState.BYTES_PER_TUPLE
+        return live1, live2
+
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def run(self, source: StreamSource, verify: bool = True) -> StreamRunResult:
         """Consume the stream and return the per-batch and end-to-end metrics.
 
-        ``verify`` checks, at end of stream, that the summed incremental
-        output equals the exact join cardinality of the full history.
+        ``verify`` checks, at end of an *unbounded* stream, that the summed
+        incremental output equals the exact join cardinality of the full
+        history.  Windowed runs have no full-history ground truth (the
+        window deliberately forgets pairs), so they leave
+        ``output_correct`` as ``None`` regardless of ``verify``.
+
+        Windowed semantics apply from the initial build onwards: the
+        backlog routed by the first build is counted under the liveness *at
+        build time*, so a pair whose tuples coexisted earlier but expired
+        before a (policy-delayed) initial build is not counted.  The
+        built-in EWH policies build at the first batch where both sides
+        have been observed, which makes this indistinguishable from the
+        pair-at-arrival semantics in practice; a custom policy that defers
+        ``ready()`` for many batches trades that backlog output away.
 
         An engine can only consume one stream: the maintained sample state
         and the policy's drift bookkeeping are not reset between runs, so a
@@ -228,20 +395,30 @@ class StreamingJoinEngine:
         rng = np.random.default_rng(self.seed)
         J = self.num_machines
         weight = self.weight_fn
+        windowed = not self.window.is_unbounded
+        incremental = self.counting == "incremental"
 
         history1 = np.empty(0, dtype=np.float64)
         history2 = np.empty(0, dtype=np.float64)
-        state1: list[np.ndarray] = [np.empty(0, dtype=np.int64) for _ in range(J)]
-        state2: list[np.ndarray] = [np.empty(0, dtype=np.int64) for _ in range(J)]
+        state1 = [SortedRegionState() for _ in range(J)]
+        state2 = [SortedRegionState() for _ in range(J)]
         prev_outputs = np.zeros(J, dtype=np.int64)
         partitioning: Partitioning | None = None
         # Where each region's state lives; partial repartitioning may remap.
         region_to_machine = np.arange(J, dtype=np.int64)
+        # Liveness bookkeeping (windowed runs only): sorted global arrival
+        # indices still live per side, and each batch's arrival-index start.
+        live1 = np.empty(0, dtype=np.int64)
+        live2 = np.empty(0, dtype=np.int64)
+        starts1: list[int] = []
+        starts2: list[int] = []
 
         result = StreamRunResult(
             scheme=self.policy.scheme_name,
             num_machines=J,
             backend=self.backend.name,
+            window=self.window.name,
+            counting=self.counting,
         )
         cumulative = np.zeros(J, dtype=np.float64)
 
@@ -262,8 +439,17 @@ class StreamingJoinEngine:
                 initial_build = True
 
             offset1, offset2 = len(history1), len(history2)
+            starts1.append(offset1)
+            starts2.append(offset2)
             history1 = np.concatenate([history1, batch.keys1])
             history2 = np.concatenate([history2, batch.keys2])
+            if windowed:
+                live1 = np.concatenate(
+                    [live1, np.arange(offset1, len(history1), dtype=np.int64)]
+                )
+                live2 = np.concatenate(
+                    [live2, np.arange(offset2, len(history2), dtype=np.int64)]
+                )
 
             join_seconds = 0.0
             per_machine_join_seconds = np.zeros(J)
@@ -276,14 +462,28 @@ class StreamingJoinEngine:
             else:
                 if initial_build:
                     # Tuples that arrived before the first build were never
-                    # shipped anywhere: route the entire retained history.
-                    new1 = pad_assignments(
-                        partitioning.assign_r1(history1, rng), J
-                    )
-                    new2 = pad_assignments(
-                        partitioning.assign_r2(history2, rng), J
-                    )
-                    state1, state2 = new1, new2
+                    # shipped anywhere: route the retained (live) history as
+                    # one big batch of arrivals into the empty state.
+                    if windowed:
+                        new1 = [
+                            live1[local]
+                            for local in pad_assignments(
+                                partitioning.assign_r1(history1[live1], rng), J
+                            )
+                        ]
+                        new2 = [
+                            live2[local]
+                            for local in pad_assignments(
+                                partitioning.assign_r2(history2[live2], rng), J
+                            )
+                        ]
+                    else:
+                        new1 = pad_assignments(
+                            partitioning.assign_r1(history1, rng), J
+                        )
+                        new2 = pad_assignments(
+                            partitioning.assign_r2(history2, rng), J
+                        )
                     region_to_machine = np.arange(J, dtype=np.int64)
                 else:
                     # Route only the batch's arrivals and fold them into the
@@ -300,23 +500,38 @@ class StreamingJoinEngine:
                         region_to_machine,
                         J,
                     )
-                    state1 = [np.concatenate([s, n]) for s, n in zip(state1, new1)]
-                    state2 = [np.concatenate([s, n]) for s, n in zip(state2, new2)]
                 arrivals = np.array(
                     [len(a) + len(b) for a, b in zip(new1, new2)], dtype=np.int64
                 )
 
-                # Exact incremental output: recount each region's held state
-                # on the backend and difference against the previous
-                # cumulative count.
-                execution = self._execute_regions(
-                    state1, state2, history1, history2
-                )
+                if incremental:
+                    deltas, execution = self._count_incremental(
+                        state1, state2, new1, new2, history1, history2
+                    )
+                else:
+                    # Legacy recount: fold the arrivals in, re-count each
+                    # region's full held state and difference against the
+                    # previous cumulative count.  keys2_sorted is
+                    # deliberately NOT passed: the legacy engine sorted
+                    # every region from scratch each batch, and recount
+                    # exists to reproduce that cost profile as the
+                    # speedup baseline.
+                    for machine in range(J):
+                        state1[machine].insert(
+                            new1[machine], history1[new1[machine]]
+                        )
+                        state2[machine].insert(
+                            new2[machine], history2[new2[machine]]
+                        )
+                    execution = self.backend.join_regions(
+                        [(s1.keys, s2.keys) for s1, s2 in zip(state1, state2)],
+                        self.condition,
+                    )
+                    totals = execution.per_machine_output
+                    deltas = totals - prev_outputs
+                    prev_outputs = totals
                 join_seconds += execution.wall_seconds
                 per_machine_join_seconds += execution.per_machine_seconds
-                totals = execution.per_machine_output
-                deltas = totals - prev_outputs
-                prev_outputs = totals
 
             loads = (
                 weight.input_cost * arrivals.astype(np.float64)
@@ -342,6 +557,15 @@ class StreamingJoinEngine:
                 else None,
             )
 
+            # Window eviction runs after the batch is counted and *before*
+            # any repartitioning, so a migration only ever ships live state.
+            if windowed:
+                live1, live2 = self._evict(
+                    metrics, state1, state2, live1, live2,
+                    batch.index, starts1, starts2,
+                    len(history1), len(history2), rng,
+                )
+
             # Give the policy a chance to swap partitionings; migration and
             # rebuild charges land on this batch.  Before the initial build
             # there is nothing to replace.
@@ -355,25 +579,39 @@ class StreamingJoinEngine:
             )
             if replacement is not None:
                 plan = plan_migration(
-                    state1,
-                    state2,
+                    [state.index for state in state1],
+                    [state.index for state in state2],
                     replacement,
                     history1,
                     history2,
                     J,
                     rng,
                     mode=self.repartition_mode,
+                    live1=live1 if windowed else None,
+                    live2=live2 if windowed else None,
                 )
                 partitioning = replacement
-                state1 = plan.new_assignments1
-                state2 = plan.new_assignments2
+                state1 = [
+                    SortedRegionState.from_indices(indices, history1)
+                    for indices in plan.new_assignments1
+                ]
+                state2 = [
+                    SortedRegionState.from_indices(indices, history2)
+                    for indices in plan.new_assignments2
+                ]
                 region_to_machine = plan.region_to_machine
-                execution = self._execute_regions(
-                    state1, state2, history1, history2
-                )
-                join_seconds += execution.wall_seconds
-                per_machine_join_seconds += execution.per_machine_seconds
-                prev_outputs = execution.per_machine_output
+                if not incremental:
+                    # The recount baseline differences cumulative counts, so
+                    # the post-migration layout must be re-counted to reset
+                    # the baseline.  Incremental counting charges output at
+                    # arrival time and needs no recount here.
+                    execution = self.backend.join_regions(
+                        [(s1.keys, s2.keys) for s1, s2 in zip(state1, state2)],
+                        self.condition,
+                    )
+                    join_seconds += execution.wall_seconds
+                    per_machine_join_seconds += execution.per_machine_seconds
+                    prev_outputs = execution.per_machine_output
                 migration_load = (
                     self.migration_cost_factor
                     * weight.input_cost
@@ -394,6 +632,9 @@ class StreamingJoinEngine:
                     plan, new_assignments1=[], new_assignments2=[]
                 )
 
+            metrics.resident_tuples = sum(len(s) for s in state1) + sum(
+                len(s) for s in state2
+            )
             metrics.join_seconds = join_seconds
             metrics.per_machine_join_seconds = per_machine_join_seconds
             metrics.wall_seconds = time.perf_counter() - start
@@ -404,7 +645,7 @@ class StreamingJoinEngine:
         result.total_output = int(
             sum(batch.output_delta for batch in result.batches)
         )
-        if verify:
+        if verify and not windowed:
             result.expected_output = count_join_output(
                 history1, history2, self.condition
             )
@@ -419,6 +660,8 @@ def compare_streaming_schemes(
     weight_fn: WeightFunction,
     policies: dict[str, RepartitioningPolicy] | None = None,
     backend_factory=None,
+    window: WindowPolicy | str | None = None,
+    counting: str = "incremental",
     repartition_mode: str = "partial",
     ewh_config: EWHConfig | None = None,
     sample_capacity: int = 2048,
@@ -437,7 +680,8 @@ def compare_streaming_schemes(
     :class:`~repro.streaming.backends.ExecutionBackend` per engine (e.g.
     ``lambda: MultiprocessBackend(max_workers=4)``); each backend is closed
     after its run.  The default runs every engine on the in-process
-    simulated backend.
+    simulated backend.  ``window`` and ``counting`` apply to every engine
+    (window policies are stateless, so one instance is safely shared).
     """
     if policies is None:
         policies = {
@@ -445,6 +689,7 @@ def compare_streaming_schemes(
             "CSIO-static": StaticEWHPolicy(),
             "CSIO-adaptive": DriftAdaptiveEWHPolicy(),
         }
+    window = make_window(window)
     results: dict[str, StreamRunResult] = {}
     for name, policy in policies.items():
         backend = backend_factory() if backend_factory is not None else None
@@ -454,6 +699,8 @@ def compare_streaming_schemes(
             weight_fn,
             policy=policy,
             backend=backend,
+            window=window,
+            counting=counting,
             repartition_mode=repartition_mode,
             sample_capacity=sample_capacity,
             sample_decay=sample_decay,

@@ -1,4 +1,16 @@
-"""Incremental maintenance of the equi-weight histogram's sample state.
+"""Incremental maintenance of streaming state: histogram samples and join state.
+
+Two kinds of state are maintained incrementally across micro-batches, and
+both live here:
+
+* the equi-weight histogram's **sample state** (:class:`DecayedReservoir`,
+  :class:`IncrementalHistogram`), so the partitioning can be rebuilt online
+  at a cost proportional to the reservoir capacity instead of the stream
+  length; and
+* each machine's **retained join state** (:class:`SortedRegionState`), kept
+  sorted by join key so the engine can count a batch's incremental output
+  with ``O(new log state)`` binary searches instead of re-sorting and
+  re-scanning the whole region every batch (``O(state log state)``).
 
 The batch pipeline samples both relations from scratch every time it builds
 the histogram.  Over an unbounded stream that is impossible -- the input can
@@ -42,7 +54,96 @@ from repro.joins.conditions import JoinCondition
 from repro.partitioning.ewh import EWHPartitioning
 from repro.streaming.source import MicroBatch
 
-__all__ = ["DecayedReservoir", "IncrementalHistogram"]
+__all__ = ["DecayedReservoir", "IncrementalHistogram", "SortedRegionState"]
+
+
+class SortedRegionState:
+    """One machine's retained join state on one side, kept sorted by key.
+
+    The engine's incremental counting needs, per batch and per machine, the
+    number of joinable pairs between the batch's few arrivals and the
+    machine's (much larger) retained state.  Keeping the state sorted by
+    join key turns that into ``O(new log state)`` binary searches: arrivals
+    are merged in with :func:`numpy.searchsorted` + :func:`numpy.insert`,
+    and expired tuples are dropped with one vectorised mask -- no per-batch
+    re-sort of the full region ever happens.
+
+    Attributes
+    ----------
+    keys:
+        The retained join keys, ascending.
+    index:
+        Global arrival indices, parallel to ``keys`` (``keys[i]`` is the key
+        of history tuple ``index[i]``).  Unique within a machine: a machine
+        holds one region, and a region routes each tuple at most once.
+    """
+
+    __slots__ = ("keys", "index")
+
+    #: Resident bytes per retained tuple (float64 key + int64 arrival index).
+    BYTES_PER_TUPLE = 16
+
+    def __init__(
+        self, index: np.ndarray | None = None, keys: np.ndarray | None = None
+    ) -> None:
+        self.index = (
+            np.empty(0, dtype=np.int64) if index is None else np.asarray(index)
+        )
+        self.keys = (
+            np.empty(0, dtype=np.float64) if keys is None else np.asarray(keys)
+        )
+
+    @classmethod
+    def from_indices(
+        cls, indices: np.ndarray, history: np.ndarray
+    ) -> "SortedRegionState":
+        """Build sorted state for ``indices`` looked up in the key history."""
+        indices = np.asarray(indices, dtype=np.int64)
+        keys = np.asarray(history, dtype=np.float64)[indices]
+        order = np.argsort(keys, kind="stable")
+        return cls(index=indices[order], keys=keys[order])
+
+    def __len__(self) -> int:
+        """Number of retained tuples."""
+        return len(self.index)
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the retained state (keys + arrival indices)."""
+        return len(self.index) * self.BYTES_PER_TUPLE
+
+    def insert(self, new_indices: np.ndarray, new_keys: np.ndarray) -> None:
+        """Merge a batch's arrivals into the sorted state.
+
+        ``O(new log state)`` searches plus one ``O(state + new)`` array
+        merge; the keys stay sorted so the next batch's counting can binary
+        search them directly.
+        """
+        if len(new_indices) == 0:
+            return
+        new_indices = np.asarray(new_indices, dtype=np.int64)
+        new_keys = np.asarray(new_keys, dtype=np.float64)
+        order = np.argsort(new_keys, kind="stable")
+        new_keys = new_keys[order]
+        new_indices = new_indices[order]
+        positions = np.searchsorted(self.keys, new_keys)
+        self.keys = np.insert(self.keys, positions, new_keys)
+        self.index = np.insert(self.index, positions, new_indices)
+
+    def evict(self, expired: np.ndarray) -> int:
+        """Drop the given global arrival indices; return how many were held.
+
+        ``expired`` is the window policy's eviction set for the side; only
+        the tuples this machine actually holds are dropped (and counted).
+        """
+        if len(self.index) == 0 or len(expired) == 0:
+            return 0
+        keep = ~np.isin(self.index, expired, assume_unique=True)
+        dropped = int(len(keep) - keep.sum())
+        if dropped:
+            self.index = self.index[keep]
+            self.keys = self.keys[keep]
+        return dropped
 
 
 class DecayedReservoir:
@@ -76,6 +177,7 @@ class DecayedReservoir:
         self.tuples_seen = 0
 
     def __len__(self) -> int:
+        """Number of keys currently held in the reservoir."""
         return len(self._heap)
 
     def add_batch(

@@ -37,6 +37,17 @@ class BatchMetrics:
         Output tuples produced cluster-wide by this batch.
     migrated_tuples:
         Tuples shipped between machines by a repartitioning in this batch.
+    tuples_evicted:
+        Retained state entries dropped by the window policy after this batch
+        (summed over machines and sides; a tuple replicated on two machines
+        counts twice, because two state slots were freed).
+    bytes_freed:
+        Resident bytes released by those evictions (16 bytes per state
+        entry: float64 key + int64 arrival index).
+    resident_tuples:
+        State entries held across all machines and both sides at the end of
+        the batch (after eviction and any migration) -- the quantity a
+        window policy bounds.
     rebuild_cost:
         Statistics charge of rebuilding the histogram in this batch (zero
         when no rebuild happened).
@@ -71,6 +82,9 @@ class BatchMetrics:
     per_machine_load: np.ndarray
     output_delta: int
     migrated_tuples: int = 0
+    tuples_evicted: int = 0
+    bytes_freed: int = 0
+    resident_tuples: int = 0
     rebuild_cost: float = 0.0
     repartitioned: bool = False
     live_imbalance: float = 1.0
@@ -111,6 +125,13 @@ class StreamRunResult:
     backend:
         Reporting name of the execution backend that ran the per-region
         joins (``"simulated"`` or ``"multiprocess"``).
+    window:
+        Reporting name of the window policy that bounded the retained state
+        (``"unbounded"``, ``"batches:8"``, ``"tuples:5000"``, ...).
+    counting:
+        How per-batch output deltas were computed: ``"incremental"``
+        (maintained sorted state, ``O(new log state)`` per batch) or
+        ``"recount"`` (the legacy full per-region recount).
     batches:
         Per-batch metrics in stream order.
     cumulative_load:
@@ -120,14 +141,20 @@ class StreamRunResult:
         Output tuples produced over the run.
     expected_output:
         Exact output of joining the full history (when verification ran).
+        Only computed for unbounded runs: under a window the retained
+        history is no longer the ground truth, so windowed runs leave this
+        ``None`` (the window property tests pin windowed semantics against
+        an independent reference instead).
     output_correct:
         Whether ``total_output`` matched the exact count; ``None`` when the
-        run skipped verification.
+        run skipped (or could not run) verification.
     """
 
     scheme: str
     num_machines: int
     backend: str = "simulated"
+    window: str = "unbounded"
+    counting: str = "incremental"
     batches: list[BatchMetrics] = field(default_factory=list)
     cumulative_load: np.ndarray | None = None
     total_output: int = 0
@@ -136,6 +163,7 @@ class StreamRunResult:
 
     @property
     def num_batches(self) -> int:
+        """Batches processed over the run."""
         return len(self.batches)
 
     @property
@@ -176,6 +204,29 @@ class StreamRunResult:
     def total_migrated(self) -> int:
         """Tuples moved between machines by repartitionings."""
         return sum(batch.migrated_tuples for batch in self.batches)
+
+    @property
+    def total_evicted(self) -> int:
+        """State entries dropped by the window policy over the run."""
+        return sum(batch.tuples_evicted for batch in self.batches)
+
+    @property
+    def total_bytes_freed(self) -> int:
+        """Resident bytes released by window evictions over the run."""
+        return sum(batch.bytes_freed for batch in self.batches)
+
+    @property
+    def peak_resident_tuples(self) -> int:
+        """Largest end-of-batch resident state seen during the run.
+
+        This is what a window policy bounds: under a sliding window it
+        plateaus at roughly the window's tuple capacity (times the
+        replication factor), while an unbounded run grows linearly with the
+        stream.
+        """
+        if not self.batches:
+            return 0
+        return max(batch.resident_tuples for batch in self.batches)
 
     @property
     def num_repartitions(self) -> int:

@@ -31,6 +31,12 @@ machine r" is an exact set test, and replicated tuples (a tuple may live on
 several machines under either partitioning) are handled naturally.  The plan
 also reports per-machine departures, so tests can assert tuple conservation
 (for non-replicating schemes, migrated-out == migrated-in per rebuild).
+
+When the engine runs under a window policy (:mod:`repro.streaming.window`)
+it passes the per-side live index sets (``live1`` / ``live2``): only live
+tuples are routed by the new partitioning, so a rebuild migrates live state
+only -- expired tuples are neither shipped nor resurrected onto machines
+that already dropped them.
 """
 
 from __future__ import annotations
@@ -88,10 +94,12 @@ class MigrationPlan:
 
     @property
     def total_moved(self) -> int:
+        """Migration volume in tuples (sum of per-machine arrivals)."""
         return int(self.per_machine_arrivals.sum())
 
     @property
     def total_departed(self) -> int:
+        """Tuples dropped by their old machines (sum of departures)."""
         return int(self.per_machine_departures.sum())
 
 
@@ -178,6 +186,29 @@ def _best_region_map(
     return mapping
 
 
+def _route_live(
+    assign,
+    keys: np.ndarray,
+    live: np.ndarray | None,
+    num_machines: int,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """Route one side's live tuples; return per-region global-index arrays.
+
+    With ``live=None`` the whole history is routed and the partitioning's
+    batch-local indices already are global indices.  With a live set, only
+    ``keys[live]`` is handed to the partitioning and the local indices are
+    mapped back through ``live`` -- expired tuples are never routed, so a
+    migration ships (and a post-migration machine holds) live state only.
+    """
+    keys = np.asarray(keys)
+    if live is None:
+        return pad_assignments(assign(keys, rng), num_machines)
+    live = np.asarray(live, dtype=np.int64)
+    local = pad_assignments(assign(keys[live], rng), num_machines)
+    return [live[indices] for indices in local]
+
+
 def plan_migration(
     old_assignments1: list[np.ndarray],
     old_assignments2: list[np.ndarray],
@@ -187,6 +218,8 @@ def plan_migration(
     num_machines: int,
     rng: np.random.Generator,
     mode: str = "full",
+    live1: np.ndarray | None = None,
+    live2: np.ndarray | None = None,
 ) -> MigrationPlan:
     """Plan the state movement from the old machine assignment to a new scheme.
 
@@ -195,8 +228,8 @@ def plan_migration(
     old_assignments1, old_assignments2:
         Per-machine arrays of global tuple indices currently held (R1/R2).
     new_partitioning:
-        The scheme taking over; it is asked to route the full retained
-        history.
+        The scheme taking over; it is asked to route the retained history
+        (all of it, or only the live subset when a window is active).
     keys1, keys2:
         The retained key history, indexed by the global indices.
     num_machines:
@@ -207,16 +240,22 @@ def plan_migration(
         ``"full"`` places new region ``r`` on machine ``r``; ``"partial"``
         remaps regions to the machines already holding most of their state
         and migrates only the difference (see the module docstring).
+    live1, live2:
+        Optional global-index arrays of the tuples still live under the
+        engine's window policy.  When given, only those tuples are routed
+        and can appear in the planned state -- a rebuild never ships (or
+        resurrects) expired tuples, and the migration volume charged is the
+        live volume only.  ``None`` routes the full history (unbounded).
     """
     if mode not in MIGRATION_MODES:
         raise ValueError(
             f"unknown migration mode {mode!r} (expected one of {MIGRATION_MODES})"
         )
-    routed1 = pad_assignments(
-        new_partitioning.assign_r1(np.asarray(keys1), rng), num_machines
+    routed1 = _route_live(
+        new_partitioning.assign_r1, keys1, live1, num_machines, rng
     )
-    routed2 = pad_assignments(
-        new_partitioning.assign_r2(np.asarray(keys2), rng), num_machines
+    routed2 = _route_live(
+        new_partitioning.assign_r2, keys2, live2, num_machines, rng
     )
     old1 = pad_assignments(old_assignments1, num_machines)
     old2 = pad_assignments(old_assignments2, num_machines)

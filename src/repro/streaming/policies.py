@@ -107,14 +107,15 @@ class StaticOneBucketPolicy(RepartitioningPolicy):
         self.num_machines = num_machines
 
     def initial_partitioning(self, histogram, condition, rng):
+        """Build the 1-Bucket grid; the sample state is never consulted."""
         return build_one_bucket_partitioning(self.num_machines)
 
     def needs_statistics(self, has_partitioning: bool) -> bool:
-        # Random routing never consults the sample state.
+        """Random routing never consults the sample state."""
         return False
 
     def predicted_imbalance(self, histogram) -> float:
-        # Randomised routing balances in expectation regardless of content.
+        """Randomised routing balances in expectation regardless of content."""
         return 1.0
 
 
@@ -122,9 +123,11 @@ class _EWHPolicyBase(RepartitioningPolicy):
     """Shared EWH behaviour: build from the sample state once both sides exist."""
 
     def ready(self, histogram):
+        """Defer the initial build until both sides have sample mass."""
         return histogram.can_build()
 
     def initial_partitioning(self, histogram, condition, rng):
+        """Build the equi-weight histogram from the maintained sample state."""
         return histogram.build_partitioning(condition, rng)
 
 
@@ -134,7 +137,7 @@ class StaticEWHPolicy(_EWHPolicyBase):
     scheme_name = "CSIO-static"
 
     def needs_statistics(self, has_partitioning: bool) -> bool:
-        # The sample only feeds the one initial build.
+        """The sample only feeds the one initial build."""
         return not has_partitioning
 
 
@@ -147,6 +150,7 @@ class DriftAdaptiveEWHPolicy(_EWHPolicyBase):
         self.detector = detector or DriftDetector()
 
     def maybe_repartition(self, histogram, metrics, condition, rng):
+        """Rebuild from the sample state when the drift detector fires."""
         drifted = self.detector.update(
             metrics.batch_index,
             metrics.live_imbalance,

@@ -74,6 +74,7 @@ class StreamSource(abc.ABC):
         """Yield the stream's micro-batches from the beginning."""
 
     def __iter__(self) -> Iterator[MicroBatch]:
+        """Iterate the stream from the beginning (alias for :meth:`batches`)."""
         return self.batches()
 
     @property
@@ -106,9 +107,11 @@ class ArrayStreamSource(StreamSource):
 
     @property
     def num_batches(self) -> int:
+        """Number of slices the arrays are replayed as."""
         return self._num_batches
 
     def batches(self) -> Iterator[MicroBatch]:
+        """Yield the arrays as contiguous, near-equal micro-batches."""
         splits1 = np.array_split(self.keys1, self._num_batches)
         splits2 = np.array_split(self.keys2, self._num_batches)
         for index, (part1, part2) in enumerate(zip(splits1, splits2)):
@@ -182,6 +185,7 @@ class DriftingZipfSource(StreamSource):
 
     @property
     def num_batches(self) -> int:
+        """Length of the stream in micro-batches."""
         return self._num_batches
 
     def _z_of(self, batch_index: int) -> float:
@@ -197,6 +201,7 @@ class DriftingZipfSource(StreamSource):
         return 0 if batch_index < self.shift_at_batch else 1
 
     def batches(self) -> Iterator[MicroBatch]:
+        """Yield the drifting-Zipf batches deterministically from the seed."""
         rng = np.random.default_rng(self.seed)
         values = np.arange(
             self.domain_min, self.domain_min + self.num_values, dtype=np.int64

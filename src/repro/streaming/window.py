@@ -1,0 +1,230 @@
+"""Window policies: bounding the retained state of a streaming join.
+
+An unbounded streaming join retains every tuple forever -- new arrivals on
+one side must join the other side's full history, so per-machine state (and
+with it the per-batch counting cost) grows linearly with the stream.  A
+:class:`WindowPolicy` bounds that growth by declaring, after every processed
+micro-batch, which retained tuples are still *live*.  Expired tuples are
+evicted from every machine's region state, the freed memory is charged into
+:class:`~repro.streaming.metrics.BatchMetrics` (tuples evicted, bytes freed,
+resident state), and a later repartitioning migrates only the surviving
+tuples (:func:`~repro.streaming.migration.plan_migration` with ``live1`` /
+``live2``).
+
+Three policies are provided:
+
+* :class:`UnboundedWindow` -- the pre-window behaviour: nothing ever
+  expires.  The engine skips all liveness bookkeeping on this fast path.
+* :class:`SlidingWindow` -- a hard horizon, expressed either in **batches**
+  (a tuple is live for the ``batches`` most recent micro-batches, the
+  classic jumping/sliding window) or in **tuples** (only the most recent
+  ``tuples`` arrivals per side are live, a count-based window).  Liveness is
+  a pure cutoff on the global arrival index, so it is identical on every
+  machine -- a replicated tuple expires everywhere at once and can never be
+  resurrected by a migration.
+* :class:`ExponentialDecayWindow` -- a probabilistic horizon: after each
+  batch every live tuple survives independently with probability
+  ``survival`` (one uniform per live tuple, drawn from the engine's seeded
+  generator; the eviction set is computed once per side and applied to all
+  machines, so runs are reproducible and replicas stay consistent).  Tuple
+  lifetimes are
+  geometric with mean ``1 / (1 - survival)`` batches: recent state dominates
+  without a sharp edge, mirroring the decayed reservoir that feeds the
+  histogram (:class:`~repro.streaming.incremental.DecayedReservoir`).
+
+Windowed semantics: an output pair is produced exactly when the later tuple
+arrives while the earlier one is still live.  Because eviction runs *after*
+a batch is counted, a window of one batch still joins each batch against
+itself.  Policies are stateless -- liveness is a pure function of the
+arrival bookkeeping and the generator -- so one policy instance may be
+shared by several engines (``compare_streaming_schemes`` does).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = [
+    "WindowPolicy",
+    "UnboundedWindow",
+    "SlidingWindow",
+    "ExponentialDecayWindow",
+    "make_window",
+]
+
+
+class WindowPolicy(abc.ABC):
+    """Decides, after each batch, which retained tuples remain live.
+
+    The engine calls :meth:`evictions` once per join side per processed
+    batch and removes the returned tuples from every machine's region state
+    and from its own liveness bookkeeping.  Implementations must be
+    stateless: liveness may depend only on the method's arguments, so the
+    same policy instance can drive several engines at once.
+    """
+
+    #: Reporting name recorded on the run result (e.g. ``"batches:8"``).
+    name: str = "window"
+
+    #: True for the no-op policy; lets the engine skip liveness bookkeeping.
+    is_unbounded: bool = False
+
+    @abc.abstractmethod
+    def evictions(
+        self,
+        live: np.ndarray,
+        batch_index: int,
+        batch_starts: list[int],
+        total_arrived: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return the global arrival indices that expire after this batch.
+
+        Parameters
+        ----------
+        live:
+            Sorted global arrival indices of one side's currently live
+            tuples (including this batch's arrivals).
+        batch_index:
+            The batch that was just processed.
+        batch_starts:
+            ``batch_starts[b]`` is the side's history length just before
+            batch ``b`` arrived -- the arrival-index boundary of each batch.
+        total_arrived:
+            The side's total arrivals so far (its history length).
+        rng:
+            The engine's seeded generator, for randomised policies.
+
+        The result must be a sorted subset of ``live`` (``live`` itself is
+        sorted ascending, so any mask or prefix of it qualifies).
+        """
+
+
+class UnboundedWindow(WindowPolicy):
+    """Retain the full history: nothing ever expires (the legacy behaviour)."""
+
+    name = "unbounded"
+    is_unbounded = True
+
+    def evictions(self, live, batch_index, batch_starts, total_arrived, rng):
+        """Evict nothing, ever."""
+        return np.empty(0, dtype=np.int64)
+
+
+class SlidingWindow(WindowPolicy):
+    """A hard horizon in batches or in tuples (exactly one must be given).
+
+    Parameters
+    ----------
+    batches:
+        A tuple is live for this many micro-batches, counting its arrival
+        batch: ``batches=1`` keeps only the current batch's arrivals,
+        ``batches=8`` keeps the last eight batches' worth of state.
+    tuples:
+        Only the most recent ``tuples`` arrivals of each side are live --
+        a count-based bound that holds regardless of batch sizes.
+
+    Both forms are global cutoffs on the arrival index, so every machine
+    (and every replica of a tuple) agrees on liveness, and a repartitioning
+    can never resurrect an expired tuple.
+    """
+
+    def __init__(self, batches: int | None = None, tuples: int | None = None) -> None:
+        if (batches is None) == (tuples is None):
+            raise ValueError("specify exactly one of batches= or tuples=")
+        if batches is not None and batches <= 0:
+            raise ValueError("batches must be positive")
+        if tuples is not None and tuples <= 0:
+            raise ValueError("tuples must be positive")
+        self.batches = batches
+        self.tuples = tuples
+        self.name = f"batches:{batches}" if batches is not None else f"tuples:{tuples}"
+
+    def evictions(self, live, batch_index, batch_starts, total_arrived, rng):
+        """Evict everything older than the batch- or tuple-count cutoff."""
+        if self.batches is not None:
+            first_live_batch = batch_index - self.batches + 1
+            if first_live_batch <= 0:
+                return np.empty(0, dtype=np.int64)
+            cutoff = batch_starts[first_live_batch]
+        else:
+            cutoff = total_arrived - self.tuples
+            if cutoff <= 0:
+                return np.empty(0, dtype=np.int64)
+        return live[:np.searchsorted(live, cutoff)]
+
+
+class ExponentialDecayWindow(WindowPolicy):
+    """Probabilistic decay: each tuple survives a batch with fixed probability.
+
+    Parameters
+    ----------
+    survival:
+        Per-batch survival probability in ``(0, 1)``.  Lifetimes are
+        geometric with mean ``1 / (1 - survival)`` batches, so
+        ``survival=0.9`` retains a soft horizon of roughly ten batches.
+
+    Survival is drawn once per live tuple per side per batch (one vectorised
+    ``rng.random(len(live))`` call on the engine's seeded generator), and
+    the resulting eviction set is applied to every machine -- so runs are
+    reproducible and all replicas of a tuple live or die together.  The
+    decay applies from a tuple's arrival batch onwards: it is counted
+    against the batch it arrives in first, then decays.
+    """
+
+    def __init__(self, survival: float) -> None:
+        if not 0.0 < survival < 1.0:
+            raise ValueError("survival must be in (0, 1)")
+        self.survival = survival
+        self.name = f"decay:{survival:g}"
+
+    def evictions(self, live, batch_index, batch_starts, total_arrived, rng):
+        """Evict each live tuple independently with probability 1 - survival."""
+        if len(live) == 0:
+            return live
+        return live[rng.random(len(live)) >= self.survival]
+
+
+def make_window(spec: "WindowPolicy | str | None") -> WindowPolicy:
+    """Build a window policy from a spec string (or pass a policy through).
+
+    Accepted specs::
+
+        make_window(None)             # unbounded (the default)
+        make_window("unbounded")      # same, by name ("none" also works)
+        make_window("batches:8")      # sliding window of 8 micro-batches
+        make_window("sliding:8")      # alias for batches:8
+        make_window("tuples:5000")    # most recent 5000 arrivals per side
+        make_window("count:5000")     # alias for tuples:5000
+        make_window("decay:0.9")      # exponential decay, survival 0.9
+
+    Unknown names raise ``ValueError`` listing the accepted forms.
+    """
+    if spec is None:
+        return UnboundedWindow()
+    if isinstance(spec, WindowPolicy):
+        return spec
+    name, _, argument = spec.partition(":")
+    name = name.strip().lower()
+    bad_spec = ValueError(
+        f"unknown window spec {spec!r} (expected 'unbounded', 'batches:<n>', "
+        "'tuples:<n>' or 'decay:<p>')"
+    )
+    if name in ("unbounded", "none") and not argument:
+        return UnboundedWindow()
+    if name in ("batches", "sliding", "tuples", "count", "decay"):
+        # Only the numeric parse is guarded: a malformed argument becomes
+        # the spec error, a policy constructor's own ValueError (e.g. a
+        # non-positive size) passes through unchanged.
+        try:
+            value = float(argument) if name == "decay" else int(argument)
+        except ValueError:
+            raise bad_spec from None
+        if name == "decay":
+            return ExponentialDecayWindow(value)
+        if name in ("batches", "sliding"):
+            return SlidingWindow(batches=value)
+        return SlidingWindow(tuples=value)
+    raise bad_spec

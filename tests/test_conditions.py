@@ -214,3 +214,67 @@ class TestJoinableBounds:
         lows, highs = cond.joinable_bounds(np.array([3.0]))
         assert lows[0] == 3.0
         assert math.isinf(highs[0])
+
+
+class TestTransposedConditions:
+    """The transposed condition must agree with the original bit-for-bit."""
+
+    def test_band_transposed_roundtrip(self):
+        cond = BandJoinCondition(beta=1.0)
+        assert cond.transposed.transposed is cond
+        assert "transposed" in cond.transposed.name
+
+    def test_inequality_transposed_flips_operator(self):
+        flips = {
+            InequalityOp.LT: InequalityOp.GT,
+            InequalityOp.LE: InequalityOp.GE,
+            InequalityOp.GT: InequalityOp.LT,
+            InequalityOp.GE: InequalityOp.LE,
+        }
+        for op, expected in flips.items():
+            cond = InequalityJoinCondition(op)
+            assert cond.transposed.op is expected
+            assert cond.transposed.matches(2.0, 1.0) == cond.matches(1.0, 2.0)
+
+    def test_band_boundary_ulp_exactness(self):
+        # 0.1 + 0.2 rounds up: the R2 key fl(0.30000000000000004) matches
+        # k1=0.1 under the original interval test, but the naively mirrored
+        # [fl(k2-beta), fl(k2+beta)] interval would exclude it.  The exact
+        # inverse bounds must include it.
+        cond = BandJoinCondition(beta=0.2)
+        k1, k2 = 0.1, 0.1 + 0.2
+        assert cond.matches(k1, k2)
+        counted = cond.transposed.count_matches_per_key(
+            np.array([k2]), np.array([k1])
+        )
+        assert counted[0] == 1
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        k1=finite_keys,
+        k2=finite_keys,
+        beta=st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+        nudges=st.integers(min_value=-2, max_value=2),
+    )
+    def test_band_transposed_counts_match_original(self, k1, k2, beta, nudges):
+        """Counting from either side gives the same answer for any floats.
+
+        ``k2`` is additionally nudged to within a few ulps of the rounded
+        band boundary ``fl(k1 + beta)`` -- exactly where a naive mirrored
+        interval disagrees with the original test.
+        """
+        cond = BandJoinCondition(beta=beta)
+        boundary = k1 + beta
+        for _ in range(abs(nudges)):
+            boundary = math.nextafter(
+                boundary, math.inf if nudges > 0 else -math.inf
+            )
+        for key2 in (k2, boundary):
+            keys2 = np.array([key2])
+            original = cond.count_matches_per_key(
+                np.array([k1]), np.sort(keys2)
+            )[0]
+            transposed = cond.transposed.count_matches_per_key(
+                keys2, np.array([k1])
+            )[0]
+            assert original == transposed == int(cond.matches(k1, float(key2)))

@@ -1,0 +1,322 @@
+"""Unit tests for window policies, sorted region state and windowed runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import format_streaming_batches, format_streaming_table
+from repro.core.weights import WeightFunction
+from repro.joins.conditions import (
+    BandJoinCondition,
+    InequalityJoinCondition,
+    InequalityOp,
+)
+from repro.streaming import (
+    ArrayStreamSource,
+    DriftAdaptiveEWHPolicy,
+    DriftDetector,
+    DriftingZipfSource,
+    ExponentialDecayWindow,
+    SlidingWindow,
+    SortedRegionState,
+    StaticEWHPolicy,
+    StreamingJoinEngine,
+    UnboundedWindow,
+    compare_streaming_schemes,
+    make_window,
+)
+
+UNIT = WeightFunction(1.0, 1.0)
+BAND = BandJoinCondition(beta=1.0)
+
+
+# ----------------------------------------------------------------------
+# Window policies
+# ----------------------------------------------------------------------
+class TestWindowPolicies:
+    def test_unbounded_never_evicts(self, rng):
+        window = UnboundedWindow()
+        assert window.is_unbounded
+        live = np.arange(100, dtype=np.int64)
+        assert len(window.evictions(live, 50, [0, 40], 100, rng)) == 0
+
+    def test_batch_window_cutoff(self, rng):
+        window = SlidingWindow(batches=2)
+        live = np.arange(30, dtype=np.int64)
+        starts = [0, 10, 20]
+        # After batch 2 only batches 1 and 2 stay: indices < starts[1] expire.
+        expired = window.evictions(live, 2, starts, 30, rng)
+        assert expired.tolist() == list(range(10))
+        # Inside the warm-up (batch 0, 1) nothing expires yet.
+        assert len(window.evictions(live[:10], 0, starts[:1], 10, rng)) == 0
+        assert len(window.evictions(live[:20], 1, starts[:2], 20, rng)) == 0
+
+    def test_tuple_window_cutoff(self, rng):
+        window = SlidingWindow(tuples=12)
+        live = np.arange(30, dtype=np.int64)
+        expired = window.evictions(live, 3, [0, 10, 20, 25], 30, rng)
+        # Only the most recent 12 arrivals stay live.
+        assert expired.tolist() == list(range(18))
+        assert len(window.evictions(live[:10], 0, [0], 10, rng)) == 0
+
+    def test_tuple_window_respects_prior_evictions(self, rng):
+        window = SlidingWindow(tuples=10)
+        # Liveness is a pure cutoff on the arrival index, so an already
+        # thinned live set only loses entries below the new cutoff.
+        live = np.array([5, 6, 20, 21, 22], dtype=np.int64)
+        expired = window.evictions(live, 4, [0, 5, 10, 15, 20], 25, rng)
+        assert expired.tolist() == [5, 6]
+
+    def test_decay_window_is_seeded_and_partial(self):
+        window = ExponentialDecayWindow(survival=0.5)
+        live = np.arange(2000, dtype=np.int64)
+        first = window.evictions(live, 0, [0], 2000, np.random.default_rng(9))
+        replay = window.evictions(live, 0, [0], 2000, np.random.default_rng(9))
+        np.testing.assert_array_equal(first, replay)
+        # With survival 0.5 roughly half expire -- neither none nor all.
+        assert 0 < len(first) < len(live)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindow()
+        with pytest.raises(ValueError):
+            SlidingWindow(batches=2, tuples=3)
+        with pytest.raises(ValueError):
+            SlidingWindow(batches=0)
+        with pytest.raises(ValueError):
+            SlidingWindow(tuples=-1)
+        with pytest.raises(ValueError):
+            ExponentialDecayWindow(survival=0.0)
+        with pytest.raises(ValueError):
+            ExponentialDecayWindow(survival=1.0)
+
+    def test_make_window_specs(self):
+        assert make_window(None).is_unbounded
+        assert make_window("unbounded").is_unbounded
+        assert make_window("none").is_unbounded
+        sliding = make_window("batches:8")
+        assert isinstance(sliding, SlidingWindow) and sliding.batches == 8
+        assert make_window("sliding:8").batches == 8
+        counted = make_window("tuples:5000")
+        assert isinstance(counted, SlidingWindow) and counted.tuples == 5000
+        assert make_window("count:5000").tuples == 5000
+        decay = make_window("decay:0.9")
+        assert isinstance(decay, ExponentialDecayWindow)
+        assert decay.survival == pytest.approx(0.9)
+        # A policy instance passes straight through.
+        policy = SlidingWindow(batches=3)
+        assert make_window(policy) is policy
+
+    def test_make_window_rejects_bad_specs(self):
+        for spec in ("gpu", "batches:", "batches:x", "unbounded:3", "decay"):
+            with pytest.raises(ValueError, match="window spec"):
+                make_window(spec)
+        # Policy-level validation keeps its own message.
+        with pytest.raises(ValueError, match="positive"):
+            make_window("batches:0")
+        with pytest.raises(ValueError, match="survival"):
+            make_window("decay:1.5")
+
+
+# ----------------------------------------------------------------------
+# Sorted region state
+# ----------------------------------------------------------------------
+class TestSortedRegionState:
+    def test_insert_keeps_keys_sorted_and_parallel(self, rng):
+        history = rng.uniform(0, 100, 200)
+        state = SortedRegionState()
+        for chunk in np.array_split(np.arange(200, dtype=np.int64), 7):
+            state.insert(chunk, history[chunk])
+        assert len(state) == 200
+        assert np.all(np.diff(state.keys) >= 0)
+        np.testing.assert_array_equal(state.keys, history[state.index])
+        np.testing.assert_array_equal(np.sort(state.index), np.arange(200))
+
+    def test_from_indices_sorts(self, rng):
+        history = rng.uniform(0, 50, 100)
+        indices = rng.permutation(100)[:40].astype(np.int64)
+        state = SortedRegionState.from_indices(indices, history)
+        assert np.all(np.diff(state.keys) >= 0)
+        np.testing.assert_array_equal(np.sort(state.index), np.sort(indices))
+        np.testing.assert_array_equal(state.keys, history[state.index])
+
+    def test_evict_drops_only_held(self, rng):
+        history = rng.uniform(0, 50, 60)
+        state = SortedRegionState.from_indices(
+            np.arange(30, dtype=np.int64), history
+        )
+        expired = np.arange(20, 40, dtype=np.int64)  # half held, half not
+        dropped = state.evict(expired)
+        assert dropped == 10
+        assert len(state) == 20
+        assert np.all(state.index < 20)
+        assert np.all(np.diff(state.keys) >= 0)
+
+    def test_nbytes_accounting(self):
+        state = SortedRegionState.from_indices(
+            np.arange(5, dtype=np.int64), np.arange(10.0)
+        )
+        assert state.nbytes == 5 * SortedRegionState.BYTES_PER_TUPLE
+        assert state.evict(np.arange(5, dtype=np.int64)) == 5
+        assert state.nbytes == 0
+
+
+# ----------------------------------------------------------------------
+# Windowed engine runs
+# ----------------------------------------------------------------------
+def drift_source(num_batches=10, seed=11):
+    return DriftingZipfSource(
+        num_batches=num_batches, tuples_per_batch=250, num_values=80,
+        z_initial=0.1, z_final=1.2, shift_at_batch=num_batches // 2, seed=seed,
+    )
+
+
+class TestWindowedEngine:
+    def test_recount_rejects_windows(self):
+        with pytest.raises(ValueError, match="incremental"):
+            StreamingJoinEngine(
+                2, BAND, UNIT, counting="recount", window="batches:2"
+            )
+
+    def test_invalid_counting_mode(self):
+        with pytest.raises(ValueError, match="counting mode"):
+            StreamingJoinEngine(2, BAND, UNIT, counting="lazy")
+
+    def test_eviction_metrics_are_charged(self):
+        engine = StreamingJoinEngine(
+            4, BAND, UNIT, policy=StaticEWHPolicy(), window="batches:3",
+            sample_capacity=256, seed=2,
+        )
+        result = engine.run(drift_source())
+        assert result.window == "batches:3"
+        assert result.total_evicted > 0
+        assert result.total_bytes_freed == 16 * result.total_evicted
+        evicting = [b for b in result.batches if b.tuples_evicted > 0]
+        assert evicting
+        assert all(
+            b.bytes_freed == 16 * b.tuples_evicted for b in result.batches
+        )
+        # Windowed runs cannot verify against the full history.
+        assert result.output_correct is None
+        assert result.expected_output is None
+
+    def test_tuple_window_bounds_state_without_replication(self, rng):
+        # J=1 holds a single region with no replication, so the resident
+        # state is exactly the live tuple count: bounded by 2N.
+        keys = rng.uniform(0, 100, 900)
+        source = ArrayStreamSource(keys, keys, num_batches=9)
+        engine = StreamingJoinEngine(
+            1, BAND, UNIT, policy=StaticEWHPolicy(), window="tuples:150",
+            sample_capacity=128, seed=1,
+        )
+        result = engine.run(source)
+        # After the first batch at the latest, every batch ends within the bound.
+        assert all(b.resident_tuples <= 2 * 150 for b in result.batches)
+        assert result.peak_resident_tuples <= 2 * 150
+        assert result.total_evicted > 0
+
+    def test_unbounded_run_keeps_legacy_behaviour(self, rng):
+        keys1 = rng.uniform(0, 500, 600)
+        keys2 = rng.uniform(0, 500, 600)
+        source = ArrayStreamSource(keys1, keys2, num_batches=5)
+        result = StreamingJoinEngine(
+            4, BAND, UNIT, policy=StaticEWHPolicy(), sample_capacity=256, seed=2
+        ).run(source)
+        assert result.window == "unbounded"
+        assert result.counting == "incremental"
+        assert result.output_correct
+        assert result.total_evicted == 0
+        # Resident state is the routed history and never shrinks.
+        residents = [b.resident_tuples for b in result.batches]
+        assert residents == sorted(residents)
+
+    def test_decay_window_evicts_and_stays_consistent(self):
+        engine = StreamingJoinEngine(
+            4, BAND, UNIT, policy=StaticEWHPolicy(), window="decay:0.5",
+            sample_capacity=256, seed=9,
+        )
+        unbounded = StreamingJoinEngine(
+            4, BAND, UNIT, policy=StaticEWHPolicy(), sample_capacity=256, seed=9
+        )
+        decayed_run = engine.run(drift_source())
+        full_run = unbounded.run(drift_source())
+        assert decayed_run.total_evicted > 0
+        assert decayed_run.total_output < full_run.total_output
+        assert decayed_run.peak_resident_tuples < full_run.peak_resident_tuples
+
+    def test_windowed_migration_ships_live_state_only(self):
+        policy = DriftAdaptiveEWHPolicy(
+            DriftDetector(threshold=1.2, warmup_batches=1, cooldown_batches=2)
+        )
+        windowed = StreamingJoinEngine(
+            6, BAND, UNIT, policy=policy, window="batches:2",
+            sample_capacity=512, seed=4,
+        ).run(drift_source(num_batches=12))
+        assert windowed.num_repartitions >= 1
+        unbounded_policy = DriftAdaptiveEWHPolicy(
+            DriftDetector(threshold=1.2, warmup_batches=1, cooldown_batches=2)
+        )
+        unbounded = StreamingJoinEngine(
+            6, BAND, UNIT, policy=unbounded_policy, sample_capacity=512, seed=4,
+        ).run(drift_source(num_batches=12))
+        # A live-state migration can never ship more than the window holds;
+        # the unbounded engine re-routes ever-growing history instead.
+        for batch in windowed.batches:
+            if batch.repartitioned:
+                assert batch.migrated_tuples <= batch.resident_tuples + batch.tuples_evicted
+        if unbounded.num_repartitions and windowed.num_repartitions:
+            assert windowed.total_migrated < unbounded.total_migrated
+
+    def test_incremental_exact_at_float_band_boundaries(self):
+        # 0.1 + 0.2 rounds up to 0.30000000000000004: under BAND beta=0.2
+        # that R2 key matches k1=0.1 per the original interval test.  The
+        # incremental counter's transposed search must agree bit-for-bit
+        # (the naive mirrored interval would drop the pair and fail
+        # verification).
+        condition = BandJoinCondition(beta=0.2)
+        keys1 = np.array([0.1, 5.0, 7.0, 9.0])
+        keys2 = np.array([0.1 + 0.2, 5.1, 7.1, 9.1])
+        source = ArrayStreamSource(keys1, keys2, num_batches=2)
+        for counting in ("incremental", "recount"):
+            result = StreamingJoinEngine(
+                1, condition, UNIT, policy=StaticEWHPolicy(),
+                counting=counting, sample_capacity=64, seed=0,
+            ).run(source)
+            assert result.output_correct, counting
+            assert result.total_output == 4
+
+    def test_incremental_supports_inequality_joins(self, rng):
+        # The transposed condition drives the (state1 x new2) term; an
+        # asymmetric condition exercises it for real.
+        keys1 = rng.uniform(0, 100, 300)
+        keys2 = rng.uniform(0, 100, 300)
+        source = ArrayStreamSource(keys1, keys2, num_batches=4)
+        condition = InequalityJoinCondition(InequalityOp.LT)
+        result = StreamingJoinEngine(
+            3, condition, UNIT, policy=StaticEWHPolicy(),
+            sample_capacity=256, seed=6,
+        ).run(source)
+        assert result.output_correct
+
+    def test_compare_schemes_passes_window_through(self):
+        results = compare_streaming_schemes(
+            drift_source(num_batches=6), 4, BAND, UNIT,
+            window="batches:2", sample_capacity=256, seed=5,
+        )
+        assert all(r.window == "batches:2" for r in results.values())
+        # Windowed totals agree across schemes: the windowed join is a
+        # property of the stream + window, not of the partitioning.
+        assert len({r.total_output for r in results.values()}) == 1
+        assert all(r.total_evicted > 0 for r in results.values())
+
+    def test_streaming_table_reports_window_columns(self):
+        results = compare_streaming_schemes(
+            drift_source(num_batches=4), 2, BAND, UNIT,
+            window="batches:2", sample_capacity=256, seed=5,
+        )
+        table = format_streaming_table(results)
+        assert "window" in table and "batches:2" in table
+        assert "peak resident" in table and "evicted" in table
+        batches_table = format_streaming_batches(results)
+        assert "resident" in batches_table

@@ -1,0 +1,233 @@
+"""Property-based invariants of windowed streaming joins.
+
+Windowed semantics are pinned with hypothesis over random streams, cluster
+sizes, window shapes and policies:
+
+* **evicted tuples never appear in later join output** -- the engine's
+  per-batch output deltas equal an independently computed reference that
+  only counts pairs whose halves were simultaneously live (the reference
+  knows nothing about partitionings, machines or migrations, so this also
+  proves a repartitioning can never resurrect expired state);
+* **the unbounded window reproduces the pre-window engine exactly** --
+  ``counting="recount"`` is the pre-window engine's counting loop, and the
+  incremental counter must match it batch by batch, machine by machine
+  (which simultaneously pins **incremental count == full recount**);
+* **a window never adds output** -- per batch, the windowed delta is at
+  most the unbounded delta on the identical stream.
+
+All streams use integer-valued keys so the band arithmetic is exact and
+"identical" means bit-identical, not approximately equal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weights import WeightFunction
+from repro.joins.conditions import BandJoinCondition
+from repro.joins.local import count_join_output
+from repro.streaming import (
+    DriftAdaptiveEWHPolicy,
+    DriftDetector,
+    DriftingZipfSource,
+    StaticEWHPolicy,
+    StreamingJoinEngine,
+)
+
+UNIT = WeightFunction(1.0, 1.0)
+BAND = BandJoinCondition(beta=1.0)
+NUM_BATCHES = 7
+
+
+def make_source(seed: int) -> DriftingZipfSource:
+    """A short drifting stream with integer-valued (exact) keys."""
+    return DriftingZipfSource(
+        num_batches=NUM_BATCHES, tuples_per_batch=120, num_values=40,
+        z_initial=0.2, z_final=1.2, shift_at_batch=3, seed=seed,
+    )
+
+
+def make_policy(adaptive: bool):
+    """A fresh policy: frozen EWH, or an eagerly re-triggering adaptive one."""
+    if not adaptive:
+        return StaticEWHPolicy()
+    return DriftAdaptiveEWHPolicy(
+        DriftDetector(threshold=1.2, warmup_batches=1, cooldown_batches=2)
+    )
+
+
+def run_engine(source, num_machines, policy, window=None, counting="incremental",
+               seed=0):
+    """One engine run with the suite's small sample state."""
+    engine = StreamingJoinEngine(
+        num_machines, BAND, UNIT, policy=policy, window=window,
+        counting=counting, sample_capacity=256, seed=seed,
+    )
+    return engine.run(source)
+
+
+def reference_windowed_deltas(
+    source, build_batch: int, kind: str, size: int
+) -> list[int]:
+    """Per-batch output of the windowed join, computed without the engine.
+
+    A pair is counted at the later tuple's arrival batch iff the earlier
+    tuple is still live then.  Liveness is the window's global cutoff on
+    arrival indices: for ``kind="batches"`` everything older than ``size``
+    batches has expired, for ``kind="tuples"`` everything older than the
+    side's most recent ``size`` arrivals.  No partitioning is involved:
+    grid-routed schemes cover every candidate pair exactly once, so the
+    engine's cluster-wide sum must equal this count, whatever the policy,
+    machine count or migration history.
+    """
+    history1 = np.empty(0, dtype=np.float64)
+    history2 = np.empty(0, dtype=np.float64)
+    starts1: list[int] = []
+    starts2: list[int] = []
+    deltas: list[int] = []
+    for index, batch in enumerate(source.batches()):
+        starts1.append(len(history1))
+        starts2.append(len(history2))
+        before1 = len(history1)
+        history1 = np.concatenate([history1, batch.keys1])
+        history2 = np.concatenate([history2, batch.keys2])
+        if kind == "batches":
+            cutoff1 = starts1[max(0, index - size)]
+            cutoff2 = starts2[max(0, index - size)]
+        else:
+            cutoff1 = max(0, before1 - size)
+            cutoff2 = max(0, starts2[index] - size)
+        if index < build_batch:
+            deltas.append(0)
+        elif index == build_batch:
+            # The backlog is routed in one go: all live pairs count now.
+            deltas.append(
+                count_join_output(history1[cutoff1:], history2[cutoff2:], BAND)
+            )
+        else:
+            # New arrivals against the other side's live state; the band is
+            # symmetric, so the (live R1) x (new R2) term may be counted
+            # from the R2 side.
+            delta = count_join_output(batch.keys1, history2[cutoff2:], BAND)
+            delta += count_join_output(
+                batch.keys2, history1[cutoff1:before1], BAND
+            )
+            deltas.append(int(delta))
+    return deltas
+
+
+def first_counted_batch(result) -> int:
+    """The batch index of the initial build (first batch with deltas)."""
+    return next(
+        batch.batch_index
+        for batch in result.batches
+        if batch.per_machine_output_delta is not None
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_machines=st.integers(min_value=1, max_value=5),
+    window_size=st.integers(min_value=1, max_value=4),
+    kind=st.sampled_from(["batches", "tuples"]),
+    adaptive=st.booleans(),
+)
+def test_evicted_tuples_never_rejoin(
+    seed, num_machines, window_size, kind, adaptive
+):
+    """The engine's windowed deltas equal the partition-free reference.
+
+    The reference counts exactly the pairs whose halves coexisted under the
+    window -- so equality means evicted tuples contribute to no later batch,
+    and (because the reference ignores machines entirely) that migrations
+    neither lose live state nor resurrect expired state.
+    """
+    size = window_size if kind == "batches" else window_size * 90
+    source = make_source(seed)
+    result = run_engine(
+        source, num_machines, make_policy(adaptive),
+        window=f"{kind}:{size}", seed=seed % 17,
+    )
+    reference = reference_windowed_deltas(
+        source, first_counted_batch(result), kind, size
+    )
+    assert [batch.output_delta for batch in result.batches] == reference
+    assert result.total_output == sum(reference)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_machines=st.integers(min_value=1, max_value=5),
+    adaptive=st.booleans(),
+)
+def test_unbounded_incremental_reproduces_recount_exactly(
+    seed, num_machines, adaptive
+):
+    """Incremental counting == the pre-window full recount, bit for bit.
+
+    ``counting="recount"`` is the legacy engine's loop (full per-region
+    recount plus differencing, including the post-migration recount), so
+    this simultaneously pins "the unbounded window reproduces the
+    pre-window engine exactly" and "incremental count == full recount":
+    same deltas per batch and per machine, same loads, same migrations.
+    """
+    source = make_source(seed)
+    engine_seed = seed % 17
+    incremental = run_engine(
+        source, num_machines, make_policy(adaptive), seed=engine_seed
+    )
+    recount = run_engine(
+        source, num_machines, make_policy(adaptive),
+        counting="recount", seed=engine_seed,
+    )
+    assert incremental.output_correct and recount.output_correct
+    assert incremental.total_output == recount.total_output
+    assert incremental.num_repartitions == recount.num_repartitions
+    np.testing.assert_array_equal(
+        incremental.cumulative_load, recount.cumulative_load
+    )
+    for inc_batch, rec_batch in zip(incremental.batches, recount.batches):
+        assert inc_batch.output_delta == rec_batch.output_delta
+        assert inc_batch.repartitioned == rec_batch.repartitioned
+        assert inc_batch.migrated_tuples == rec_batch.migrated_tuples
+        np.testing.assert_array_equal(
+            inc_batch.per_machine_load, rec_batch.per_machine_load
+        )
+        if rec_batch.per_machine_output_delta is None:
+            assert inc_batch.per_machine_output_delta is None
+        else:
+            np.testing.assert_array_equal(
+                inc_batch.per_machine_output_delta,
+                rec_batch.per_machine_output_delta,
+            )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_machines=st.integers(min_value=1, max_value=4),
+    window_size=st.integers(min_value=1, max_value=3),
+)
+def test_window_never_adds_output(seed, num_machines, window_size):
+    """Per batch, a windowed run produces at most the unbounded output.
+
+    The windowed live sets are subsets of the unbounded ones at every
+    batch, so each batch's cluster-wide delta can only shrink -- whatever
+    the partitioning does.
+    """
+    source = make_source(seed)
+    policy_seed = seed % 17
+    unbounded = run_engine(
+        source, num_machines, make_policy(False), seed=policy_seed
+    )
+    windowed = run_engine(
+        source, num_machines, make_policy(False),
+        window=f"batches:{window_size}", seed=policy_seed,
+    )
+    assert windowed.total_output <= unbounded.total_output
+    for win_batch, full_batch in zip(windowed.batches, unbounded.batches):
+        assert win_batch.output_delta <= full_batch.output_delta
