@@ -102,10 +102,13 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
     per-region joins -- the only column that depends on the backend; all the
     cost-model columns are backend-independent.  ``window`` is the window
     policy bounding the retained state, ``peak resident`` the largest
-    end-of-batch state across machines (what the window bounds) and
-    ``evicted`` the state entries the policy dropped over the run.
-    ``correct`` is ``-`` for windowed runs: the full-history check does not
-    apply once the engine deliberately forgets state.
+    end-of-batch state across machines (what the window bounds),
+    ``peak mem KB`` the largest end-of-batch *total* engine footprint --
+    join state plus key history plus live index sets, what history
+    compaction bounds -- and ``evicted`` the state entries the policy
+    dropped over the run.  ``correct`` is ``-`` for windowed runs: the
+    full-history check does not apply once the engine deliberately forgets
+    state.
     """
     headers = [
         "scheme",
@@ -120,6 +123,7 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
         "migrated",
         "rebuilds",
         "peak resident",
+        "peak mem KB",
         "evicted",
         "throughput",
         "join s",
@@ -141,6 +145,7 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
                 f"{result.total_migrated:,}",
                 str(result.num_repartitions),
                 f"{result.peak_resident_tuples:,}",
+                f"{result.peak_resident_bytes / 1024:,.0f}",
                 f"{result.total_evicted:,}",
                 f"{result.mean_throughput:.3f}",
                 f"{result.join_seconds:.3f}",
@@ -153,17 +158,20 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
 
 
 def format_streaming_batches(results: dict[str, StreamRunResult]) -> str:
-    """Per-batch max-machine-load and resident-state series, side by side.
+    """Per-batch max-machine-load, resident-state and memory series, side by side.
 
-    One ``max load``, one ``resident`` (end-of-batch retained state entries)
-    and one ``repart.`` column per scheme.  Runs of unequal length (e.g. one
-    engine stopped early) render blank cells past their last batch.
+    One ``max load``, one ``resident`` (end-of-batch retained state
+    entries), one ``mem KB`` (end-of-batch total footprint: state + key
+    history + live sets) and one ``repart.`` column per scheme.  Runs of
+    unequal length (e.g. one engine stopped early) render blank cells past
+    their last batch.
     """
     schemes = list(results)
     headers = (
         ["batch", "tuples"]
         + [f"{s} max load" for s in schemes]
         + [f"{s} resident" for s in schemes]
+        + [f"{s} mem KB" for s in schemes]
         + [f"{s} repart." for s in schemes]
     )
     num_batches = max(result.num_batches for result in results.values())
@@ -180,6 +188,7 @@ def format_streaming_batches(results: dict[str, StreamRunResult]) -> str:
             [str(index), f"{tuples:,}"]
             + ["" if b is None else f"{b.max_load:,.0f}" for b in per_scheme]
             + ["" if b is None else f"{b.resident_tuples:,}" for b in per_scheme]
+            + ["" if b is None else f"{b.resident_bytes / 1024:,.0f}" for b in per_scheme]
             + ["" if b is None else ("*" if b.repartitioned else "") for b in per_scheme]
         )
     return format_rows(headers, rows)

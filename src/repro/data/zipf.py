@@ -11,7 +11,30 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["zipf_multiplicities", "zipf_keys", "uniform_keys"]
+__all__ = [
+    "zipf_multiplicities",
+    "sample_zipf_multiplicities",
+    "zipf_keys",
+    "uniform_keys",
+]
+
+
+def _zipf_weights(num_values: int, total: int, z: float) -> np.ndarray:
+    """Validate the Zipf parameters and return the normalised rank weights.
+
+    Shared by the deterministic and the sampled multiplicity generators so
+    both draw from the identical distribution: entry i is proportional to
+    ``1 / (i + 1)**z`` and the weights sum to 1.
+    """
+    if num_values <= 0:
+        raise ValueError("num_values must be positive")
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if z < 0:
+        raise ValueError("zipf parameter z must be non-negative")
+    ranks = np.arange(1, num_values + 1, dtype=np.float64)
+    weights = ranks ** (-z)
+    return weights / weights.sum()
 
 
 def zipf_multiplicities(num_values: int, total: int, z: float) -> np.ndarray:
@@ -29,15 +52,7 @@ def zipf_multiplicities(num_values: int, total: int, z: float) -> np.ndarray:
     z:
         Zipf skew parameter; ``z = 0`` yields an (almost) uniform spread.
     """
-    if num_values <= 0:
-        raise ValueError("num_values must be positive")
-    if total < 0:
-        raise ValueError("total must be non-negative")
-    if z < 0:
-        raise ValueError("zipf parameter z must be non-negative")
-    ranks = np.arange(1, num_values + 1, dtype=np.float64)
-    weights = ranks ** (-z)
-    weights /= weights.sum()
+    weights = _zipf_weights(num_values, total, z)
     counts = np.floor(weights * total).astype(np.int64)
     # Distribute the rounding remainder to the most frequent values so the
     # counts sum exactly to ``total``.
@@ -45,6 +60,24 @@ def zipf_multiplicities(num_values: int, total: int, z: float) -> np.ndarray:
     if remainder > 0:
         counts[:remainder] += 1
     return counts
+
+
+def sample_zipf_multiplicities(
+    num_values: int, total: int, z: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw Zipf(z)-distributed multiplicities for ``total`` tuples at random.
+
+    Where :func:`zipf_multiplicities` rounds the expected frequencies to a
+    single deterministic multiset, this draws the counts from a
+    ``Multinomial(total, p_i)`` with ``p_i`` proportional to
+    ``1 / (i + 1)**z`` -- every call produces a fresh realisation whose
+    counts sum exactly to ``total`` and match the deterministic counts in
+    expectation.  Streaming sources use it so independent draws (per batch,
+    per side) share a skew *distribution* without sharing the exact
+    multiset.
+    """
+    weights = _zipf_weights(num_values, total, z)
+    return rng.multinomial(total, weights).astype(np.int64)
 
 
 def zipf_keys(

@@ -11,13 +11,20 @@ and runs a stateful partitioned join over it:
   decay.  Evictions run after every batch, are charged into
   :class:`~repro.streaming.metrics.BatchMetrics` (tuples evicted, bytes
   freed, resident state) and bound both the per-machine join state and the
-  per-batch cost.  (One simulator caveat: the engine keeps the flat
-  ``history1``/``history2`` key arrays for the whole run, because global
-  arrival indices index into them for routing, migration and end-of-stream
-  verification.  The windowed bound applies to the *join state* -- the
-  sorted per-machine arrays that are searched, counted and migrated --
-  which is what ``resident_tuples`` measures; compacting the dead history
-  prefix is a ROADMAP follow-on.);
+  per-batch cost.  Under any bounded window the engine also *compacts* its
+  arrival bookkeeping after each eviction: the window reports a safe trim
+  point (everything below ``min(live)`` can never be referenced again), the
+  flat ``history1``/``history2`` key arrays and the batch-start lists are
+  trimmed below it, and every stored arrival index -- the live sets and
+  each :class:`~repro.streaming.incremental.SortedRegionState`'s index
+  column -- is rebased by the trimmed amount.  All routing, counting and
+  migration arithmetic runs in these rebased *engine coordinates*, so the
+  whole footprint is O(window) however long the stream runs
+  (``BatchMetrics.resident_bytes`` charges the three byte-weighted terms:
+  join state, key history and live sets; the trimmed batch-start lists are
+  O(window) entries too but too small to meter); compaction is pure bookkeeping and never changes
+  outputs, loads, evictions or migration plans (``compact_history=False``
+  keeps the uncompacted bookkeeping for equivalence testing);
 * each micro-batch is routed by the current partitioning and its exact
   incremental output is counted by a pluggable
   :class:`~repro.streaming.backends.ExecutionBackend` (in-process simulation
@@ -134,6 +141,16 @@ class StreamingJoinEngine:
         ``"partial"`` (default) migrates only the regions whose
         region-to-machine assignment changed on a rebuild; ``"full"``
         re-routes the whole live history positionally.
+    compact_history:
+        ``True`` (default) trims the per-side key histories, live sets and
+        batch-start lists below the window's safe trim point after every
+        eviction and rebases all stored arrival indices, keeping the whole
+        footprint O(window) under a bounded window.  ``False`` keeps the
+        uncompacted full-run bookkeeping (the pre-compaction engine);
+        outputs, loads, evictions and migration plans are bit-identical
+        either way, which ``tests/test_window_properties.py`` pins.  The
+        flag is irrelevant for unbounded runs: nothing is ever trimmed
+        because the end-of-stream verification needs the full history.
     histogram:
         Optional pre-configured :class:`IncrementalHistogram`; built from
         ``sample_capacity`` / ``sample_decay`` / ``ewh_config`` when omitted.
@@ -164,6 +181,7 @@ class StreamingJoinEngine:
         window: WindowPolicy | str | None = None,
         counting: str = "incremental",
         repartition_mode: str = "partial",
+        compact_history: bool = True,
         histogram: IncrementalHistogram | None = None,
         sample_capacity: int = 2048,
         sample_decay: float = 0.8,
@@ -212,6 +230,7 @@ class StreamingJoinEngine:
         else:
             self._transposed = None
         self.repartition_mode = repartition_mode
+        self.compact_history = compact_history
         self.histogram = histogram or IncrementalHistogram(
             num_machines,
             weight_fn,
@@ -243,11 +262,14 @@ class StreamingJoinEngine:
         region_to_machine: np.ndarray,
         num_machines: int,
     ) -> list[np.ndarray]:
-        """Convert per-region batch-local indices to per-machine global indices.
+        """Convert per-region batch-local indices to per-machine arrival indices.
 
-        Region ``r``'s arrivals are shipped to ``region_to_machine[r]`` --
-        the machine actually holding that region's state after any partial
-        repartitioning remap.
+        ``offset`` is the side's history length before the batch, so the
+        results are engine-coordinate arrival indices -- global indices
+        minus whatever history compaction has already trimmed (the two
+        coincide while nothing has been trimmed).  Region ``r``'s arrivals
+        are shipped to ``region_to_machine[r]`` -- the machine actually
+        holding that region's state after any partial repartitioning remap.
         """
         empty = np.empty(0, dtype=np.int64)
         per_machine: list[np.ndarray] = [empty] * num_machines
@@ -322,7 +344,6 @@ class StreamingJoinEngine:
         state2: list[SortedRegionState],
         live1: np.ndarray,
         live2: np.ndarray,
-        batch_index: int,
         starts1: list[int],
         starts2: list[int],
         history1_len: int,
@@ -335,12 +356,8 @@ class StreamingJoinEngine:
         state is trimmed in place; the freed entries and bytes land in
         ``metrics.tuples_evicted`` / ``metrics.bytes_freed``.
         """
-        expired1 = self.window.evictions(
-            live1, batch_index, starts1, history1_len, rng
-        )
-        expired2 = self.window.evictions(
-            live2, batch_index, starts2, history2_len, rng
-        )
+        expired1 = self.window.evictions(live1, starts1, history1_len, rng)
+        expired2 = self.window.evictions(live2, starts2, history2_len, rng)
         dropped = 0
         if len(expired1):
             live1 = self._remove_sorted(live1, expired1)
@@ -353,6 +370,40 @@ class StreamingJoinEngine:
         metrics.tuples_evicted = dropped
         metrics.bytes_freed = dropped * SortedRegionState.BYTES_PER_TUPLE
         return live1, live2
+
+    def _compact_side(
+        self,
+        history: np.ndarray,
+        live: np.ndarray,
+        starts: list[int],
+        states: list[SortedRegionState],
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Trim one side's dead history prefix and rebase all its indices.
+
+        The window's safe trim point (``min(live)``, or the whole history
+        once nothing is live) bounds every arrival index any future batch
+        can reference, so the key history below it is copied out, the
+        batch-start list drops entries below it, and the live set, the
+        remaining starts and every machine's state indices shift down by
+        the trimmed amount.  Returns the compacted history, the rebased
+        live set and how many entries were trimmed.  Pure bookkeeping: the
+        keys any index resolves to are unchanged, so routing, counting and
+        migration are bit-identical with or without compaction.
+        """
+        trim = self.window.trim_point(live, len(history))
+        if trim <= 0:
+            return history, live, 0
+        # .copy() drops the reference to the old full-size buffer; a plain
+        # slice would be a view pinning it in memory.
+        history = history[trim:].copy()
+        live = live - trim
+        drop = 0
+        while drop < len(starts) and starts[drop] < trim:
+            drop += 1
+        starts[:] = [start - trim for start in starts[drop:]]
+        for state in states:
+            state.rebase(trim)
+        return history, live, trim
 
     # ------------------------------------------------------------------
     # Main loop
@@ -396,6 +447,7 @@ class StreamingJoinEngine:
         J = self.num_machines
         weight = self.weight_fn
         windowed = not self.window.is_unbounded
+        compacting = windowed and self.compact_history
         incremental = self.counting == "incremental"
 
         history1 = np.empty(0, dtype=np.float64)
@@ -406,12 +458,16 @@ class StreamingJoinEngine:
         partitioning: Partitioning | None = None
         # Where each region's state lives; partial repartitioning may remap.
         region_to_machine = np.arange(J, dtype=np.int64)
-        # Liveness bookkeeping (windowed runs only): sorted global arrival
-        # indices still live per side, and each batch's arrival-index start.
+        # Liveness bookkeeping (windowed runs only): sorted arrival indices
+        # still live per side and each batch's arrival-index start.  With
+        # compaction, all stored indices are rebased by the amount trimmed
+        # so far ("engine coordinates") and these structures stay O(window).
         live1 = np.empty(0, dtype=np.int64)
         live2 = np.empty(0, dtype=np.int64)
         starts1: list[int] = []
         starts2: list[int] = []
+        last_batch_index: int | None = None
+        position = -1
 
         result = StreamRunResult(
             scheme=self.policy.scheme_name,
@@ -424,6 +480,16 @@ class StreamingJoinEngine:
 
         for batch in source.batches():
             start = time.perf_counter()
+            # Liveness and windows key off the engine's own processed-batch
+            # count, so any strictly increasing source numbering works --
+            # but a non-monotone one would silently reorder time.
+            if last_batch_index is not None and batch.index <= last_batch_index:
+                raise ValueError(
+                    f"stream batch indices must be strictly increasing, got "
+                    f"batch {batch.index} after {last_batch_index}"
+                )
+            last_batch_index = batch.index
+            position += 1
             if self.policy.needs_statistics(partitioning is not None):
                 self.histogram.observe(batch, rng)
 
@@ -439,11 +505,11 @@ class StreamingJoinEngine:
                 initial_build = True
 
             offset1, offset2 = len(history1), len(history2)
-            starts1.append(offset1)
-            starts2.append(offset2)
             history1 = np.concatenate([history1, batch.keys1])
             history2 = np.concatenate([history2, batch.keys2])
             if windowed:
+                starts1.append(offset1)
+                starts2.append(offset2)
                 live1 = np.concatenate(
                     [live1, np.arange(offset1, len(history1), dtype=np.int64)]
                 )
@@ -544,6 +610,7 @@ class StreamingJoinEngine:
             )
             metrics = BatchMetrics(
                 batch_index=batch.index,
+                stream_position=position,
                 new_tuples=batch.num_tuples,
                 per_machine_load=loads,
                 output_delta=int(deltas.sum()),
@@ -562,9 +629,20 @@ class StreamingJoinEngine:
             if windowed:
                 live1, live2 = self._evict(
                     metrics, state1, state2, live1, live2,
-                    batch.index, starts1, starts2,
+                    starts1, starts2,
                     len(history1), len(history2), rng,
                 )
+                if compacting:
+                    # Compact the dead history prefix the eviction exposed:
+                    # trim both sides below their safe trim points and
+                    # rebase every stored arrival index by the same amount.
+                    history1, live1, trim1 = self._compact_side(
+                        history1, live1, starts1, state1
+                    )
+                    history2, live2, trim2 = self._compact_side(
+                        history2, live2, starts2, state2
+                    )
+                    metrics.history_tuples_trimmed = trim1 + trim2
 
             # Give the policy a chance to swap partitionings; migration and
             # rebuild charges land on this batch.  Before the initial build
@@ -635,6 +713,8 @@ class StreamingJoinEngine:
             metrics.resident_tuples = sum(len(s) for s in state1) + sum(
                 len(s) for s in state2
             )
+            metrics.resident_history_tuples = len(history1) + len(history2)
+            metrics.resident_live_entries = len(live1) + len(live2)
             metrics.join_seconds = join_seconds
             metrics.per_machine_join_seconds = per_machine_join_seconds
             metrics.wall_seconds = time.perf_counter() - start
@@ -663,6 +743,7 @@ def compare_streaming_schemes(
     window: WindowPolicy | str | None = None,
     counting: str = "incremental",
     repartition_mode: str = "partial",
+    compact_history: bool = True,
     ewh_config: EWHConfig | None = None,
     sample_capacity: int = 2048,
     sample_decay: float = 0.8,
@@ -680,8 +761,9 @@ def compare_streaming_schemes(
     :class:`~repro.streaming.backends.ExecutionBackend` per engine (e.g.
     ``lambda: MultiprocessBackend(max_workers=4)``); each backend is closed
     after its run.  The default runs every engine on the in-process
-    simulated backend.  ``window`` and ``counting`` apply to every engine
-    (window policies are stateless, so one instance is safely shared).
+    simulated backend.  ``window``, ``counting`` and ``compact_history``
+    apply to every engine (window policies are stateless, so one instance
+    is safely shared).
     """
     if policies is None:
         policies = {
@@ -702,6 +784,7 @@ def compare_streaming_schemes(
             window=window,
             counting=counting,
             repartition_mode=repartition_mode,
+            compact_history=compact_history,
             sample_capacity=sample_capacity,
             sample_decay=sample_decay,
             ewh_config=ewh_config,

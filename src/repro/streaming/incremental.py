@@ -73,9 +73,12 @@ class SortedRegionState:
     keys:
         The retained join keys, ascending.
     index:
-        Global arrival indices, parallel to ``keys`` (``keys[i]`` is the key
-        of history tuple ``index[i]``).  Unique within a machine: a machine
+        Arrival indices, parallel to ``keys`` (``keys[i]`` is the key of
+        history tuple ``index[i]``).  Unique within a machine: a machine
         holds one region, and a region routes each tuple at most once.
+        Under history compaction these are *engine coordinates* -- the
+        global arrival index minus the tuples already trimmed from the
+        history (:meth:`rebase`); without compaction the two coincide.
     """
 
     __slots__ = ("keys", "index")
@@ -129,6 +132,18 @@ class SortedRegionState:
         positions = np.searchsorted(self.keys, new_keys)
         self.keys = np.insert(self.keys, positions, new_keys)
         self.index = np.insert(self.index, positions, new_indices)
+
+    def rebase(self, shift: int) -> None:
+        """Shift every arrival index down by ``shift`` (history compaction).
+
+        The engine calls this after trimming ``shift`` expired tuples off
+        the front of the side's key history, so ``index`` keeps addressing
+        the same keys in the compacted array.  Every retained index must be
+        ``>= shift`` (compaction only trims below the window's safe trim
+        point, and eviction has already dropped anything older).
+        """
+        if shift:
+            self.index = self.index - shift
 
     def evict(self, expired: np.ndarray) -> int:
         """Drop the given global arrival indices; return how many were held.
@@ -263,9 +278,16 @@ class IncrementalHistogram:
         return len(self.reservoir1) + len(self.reservoir2)
 
     def observe(self, batch: MicroBatch, rng: np.random.Generator) -> None:
-        """Fold one micro-batch into the maintained sample state."""
-        self.reservoir1.add_batch(batch.keys1, batch.index, rng)
-        self.reservoir2.add_batch(batch.keys2, batch.index, rng)
+        """Fold one micro-batch into the maintained sample state.
+
+        The decay exponent is the histogram's own observation counter, not
+        the source's ``MicroBatch.index``: recency is measured in batches
+        *observed*, so any strictly increasing source numbering samples
+        identically (and a policy that stops observing does not inflate the
+        next observation's weight).
+        """
+        self.reservoir1.add_batch(batch.keys1, self.batches_observed, rng)
+        self.reservoir2.add_batch(batch.keys2, self.batches_observed, rng)
         self.batches_observed += 1
 
     def can_build(self) -> bool:

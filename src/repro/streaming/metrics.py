@@ -12,6 +12,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.streaming.incremental import SortedRegionState
+
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
     from repro.streaming.migration import MigrationPlan
 
@@ -25,7 +27,13 @@ class BatchMetrics:
     Attributes
     ----------
     batch_index:
-        Sequence number of the batch.
+        The source's ``MicroBatch.index`` for this batch (reporting only;
+        any strictly increasing numbering is accepted).
+    stream_position:
+        The engine's own zero-based processed-batch counter.  All
+        batch-counted behaviour -- window liveness, drift warm-up and
+        cool-down -- keys off this, so it is independent of the source's
+        numbering; for a contiguous zero-based source the two coincide.
     new_tuples:
         Arrivals in the batch (both sides, before replication).
     per_machine_load:
@@ -48,6 +56,19 @@ class BatchMetrics:
         State entries held across all machines and both sides at the end of
         the batch (after eviction and any migration) -- the quantity a
         window policy bounds.
+    resident_history_tuples:
+        Entries of the engine's flat per-side key histories still resident
+        at the end of the batch (both sides, after compaction).  Under a
+        bounded window with history compaction this stays O(window); an
+        unbounded run retains the whole stream here (it is the
+        verification ground truth).
+    resident_live_entries:
+        Entries of the per-side live arrival-index sets at the end of the
+        batch (zero for unbounded runs, which skip liveness bookkeeping).
+    history_tuples_trimmed:
+        Key-history entries discarded by history compaction after this
+        batch (both sides) -- the dead prefix below the window's safe trim
+        point.
     rebuild_cost:
         Statistics charge of rebuilding the histogram in this batch (zero
         when no rebuild happened).
@@ -81,10 +102,14 @@ class BatchMetrics:
     new_tuples: int
     per_machine_load: np.ndarray
     output_delta: int
+    stream_position: int = 0
     migrated_tuples: int = 0
     tuples_evicted: int = 0
     bytes_freed: int = 0
     resident_tuples: int = 0
+    resident_history_tuples: int = 0
+    resident_live_entries: int = 0
+    history_tuples_trimmed: int = 0
     rebuild_cost: float = 0.0
     repartitioned: bool = False
     live_imbalance: float = 1.0
@@ -94,6 +119,30 @@ class BatchMetrics:
     per_machine_join_seconds: np.ndarray | None = None
     per_machine_output_delta: np.ndarray | None = None
     migration_plan: "MigrationPlan | None" = None
+
+    #: Bytes per retained state entry (float64 key + int64 arrival index)
+    #: and per history / live-set entry (one float64 key, one int64 index
+    #: respectively).
+    STATE_BYTES = SortedRegionState.BYTES_PER_TUPLE
+    KEY_BYTES = 8
+    INDEX_BYTES = 8
+
+    @property
+    def resident_bytes(self) -> int:
+        """Total resident engine footprint at the end of the batch, in bytes.
+
+        Counts the per-machine join state (16 bytes per entry), the flat
+        per-side key histories (8 bytes per key) and the live arrival-index
+        sets (8 bytes per index).  This is the quantity history compaction
+        bounds: under a bounded window every term is O(window), while
+        without compaction the history and live-set terms grow with the
+        stream even though the join state is bounded.
+        """
+        return (
+            self.resident_tuples * self.STATE_BYTES
+            + self.resident_history_tuples * self.KEY_BYTES
+            + self.resident_live_entries * self.INDEX_BYTES
+        )
 
     @property
     def max_load(self) -> float:
@@ -227,6 +276,23 @@ class StreamRunResult:
         if not self.batches:
             return 0
         return max(batch.resident_tuples for batch in self.batches)
+
+    @property
+    def peak_resident_bytes(self) -> int:
+        """Largest end-of-batch total footprint (state + history + live sets).
+
+        This is what history compaction bounds: a windowed compacted run
+        plateaus, while both the unbounded run and an uncompacted windowed
+        run keep growing (the latter in its history and live sets only).
+        """
+        if not self.batches:
+            return 0
+        return max(batch.resident_bytes for batch in self.batches)
+
+    @property
+    def total_history_trimmed(self) -> int:
+        """Key-history entries discarded by compaction over the run."""
+        return sum(batch.history_tuples_trimmed for batch in self.batches)
 
     @property
     def num_repartitions(self) -> int:

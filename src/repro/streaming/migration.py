@@ -26,11 +26,17 @@ Two planning modes exist:
   charged -- the partial-migration volume is therefore always at most the
   full-migration volume, and zero when the mapping is unchanged.
 
-Tuples are identified by their global arrival index, so "already present on
-machine r" is an exact set test, and replicated tuples (a tuple may live on
-several machines under either partitioning) are handled naturally.  The plan
-also reports per-machine departures, so tests can assert tuple conservation
-(for non-replicating schemes, migrated-out == migrated-in per rebuild).
+Tuples are identified by their arrival index, so "already present on machine
+r" is an exact set test, and replicated tuples (a tuple may live on several
+machines under either partitioning) are handled naturally.  The planner is
+coordinate-agnostic: it only requires that the old assignments, the key
+arrays and the live sets agree on one indexing scheme.  The engine passes
+*engine coordinates* -- global arrival indices minus whatever its history
+compaction has trimmed -- and because every input is rebased together, the
+planned volumes, mappings and state are identical with or without
+compaction.  The plan also reports per-machine departures, so tests can
+assert tuple conservation (for non-replicating schemes, migrated-out ==
+migrated-in per rebuild).
 
 When the engine runs under a window policy (:mod:`repro.streaming.window`)
 it passes the per-side live index sets (``live1`` / ``live2``): only live
@@ -60,7 +66,7 @@ class MigrationPlan:
     Attributes
     ----------
     new_assignments1, new_assignments2:
-        Per-machine global-index arrays of the retained R1/R2 state under
+        Per-machine arrival-index arrays of the retained R1/R2 state under
         the *new* partitioning (machines whose new region is empty hold
         nothing).
     per_machine_arrivals:
@@ -226,12 +232,14 @@ def plan_migration(
     Parameters
     ----------
     old_assignments1, old_assignments2:
-        Per-machine arrays of global tuple indices currently held (R1/R2).
+        Per-machine arrays of tuple arrival indices currently held (R1/R2),
+        in the same coordinates as ``keys1``/``keys2``.
     new_partitioning:
         The scheme taking over; it is asked to route the retained history
         (all of it, or only the live subset when a window is active).
     keys1, keys2:
-        The retained key history, indexed by the global indices.
+        The retained key history, indexed by the arrival indices (the
+        engine passes its compacted arrays; indices are rebased to match).
     num_machines:
         Cluster size (at least the region count of either partitioning).
     rng:
@@ -241,7 +249,7 @@ def plan_migration(
         remaps regions to the machines already holding most of their state
         and migrates only the difference (see the module docstring).
     live1, live2:
-        Optional global-index arrays of the tuples still live under the
+        Optional arrival-index arrays of the tuples still live under the
         engine's window policy.  When given, only those tuples are routed
         and can appear in the planned state -- a rebuild never ships (or
         resurrects) expired tuples, and the migration volume charged is the

@@ -151,8 +151,10 @@ class DriftAdaptiveEWHPolicy(_EWHPolicyBase):
 
     def maybe_repartition(self, histogram, metrics, condition, rng):
         """Rebuild from the sample state when the drift detector fires."""
+        # The detector's warm-up and cool-down count processed batches, so
+        # they use the engine's own position, not the source's numbering.
         drifted = self.detector.update(
-            metrics.batch_index,
+            metrics.stream_position,
             metrics.live_imbalance,
             metrics.predicted_imbalance,
         )

@@ -28,7 +28,7 @@ from typing import Callable, Iterator
 
 import numpy as np
 
-from repro.data.zipf import zipf_multiplicities
+from repro.data.zipf import sample_zipf_multiplicities
 
 __all__ = [
     "MicroBatch",
@@ -123,13 +123,15 @@ class DriftingZipfSource(StreamSource):
 
     Every batch draws ``tuples_per_batch`` keys per side over the integer
     domain ``[domain_min, domain_min + num_values)`` with Zipf(z)
-    multiplicities.  The rank-to-value permutation is fixed *within* a phase
-    (so the hot values persist batch after batch and the skew is a stable
-    property of the stream, as with a trending key in production traffic) and
-    redrawn at the shift, so the post-shift hot spot lands somewhere a
-    partitioning built on the early phase never anticipated.  Both sides share
-    the phase permutation, which aligns the hot values across sides and turns
-    the frequency skew into join *product* skew.
+    multiplicities -- an independent multinomial realisation per side (and
+    per batch), so R1 and R2 are never the same multiset; they only share
+    the skew distribution.  The rank-to-value permutation is fixed *within*
+    a phase (so the hot values persist batch after batch and the skew is a
+    stable property of the stream, as with a trending key in production
+    traffic) and redrawn at the shift, so the post-shift hot spot lands
+    somewhere a partitioning built on the early phase never anticipated.
+    Both sides share the phase permutation, which aligns the hot values
+    across sides and turns the frequency skew into join *product* skew.
 
     Parameters
     ----------
@@ -211,11 +213,16 @@ class DriftingZipfSource(StreamSource):
         permutations = [rng.permutation(values), rng.permutation(values)]
         for index in range(self._num_batches):
             phase_values = permutations[self._phase_of(index)]
-            counts = zipf_multiplicities(
-                self.num_values, self.tuples_per_batch, self._z_of(index)
-            )
             sides = []
             for _ in range(2):
+                # One multinomial draw per side: R1 and R2 share the skew
+                # distribution and the phase permutation (so the hot values
+                # align across sides and the skew becomes join product
+                # skew) but are independent realisations, not copies of
+                # one multiset.
+                counts = sample_zipf_multiplicities(
+                    self.num_values, self.tuples_per_batch, self._z_of(index), rng
+                )
                 keys = np.repeat(phase_values, counts).astype(np.float64)
                 rng.shuffle(keys)
                 sides.append(keys)

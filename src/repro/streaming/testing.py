@@ -1,0 +1,76 @@
+"""Equivalence assertions shared by the streaming test and benchmark suites.
+
+Several suites pin the same contract -- two engine runs over the same seeded
+stream must be *behaviourally bit-identical* -- from different angles:
+history compaction versus the uncompacted reference, incremental counting
+versus the legacy recount, one execution backend versus another.  Keeping
+the comparison in one place means a metric added to the contract tightens
+every suite at once instead of silently weakening whichever copy was not
+updated.
+
+Wall-clock quantities (``wall_seconds``, ``join_seconds``,
+``per_machine_join_seconds``) are deliberately excluded: they measure the
+machine, not the behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streaming.metrics import StreamRunResult
+
+__all__ = ["assert_equivalent_runs"]
+
+
+def assert_equivalent_runs(
+    actual: StreamRunResult, reference: StreamRunResult
+) -> None:
+    """Assert two runs are behaviourally bit-identical, batch by batch.
+
+    Compares totals (output, cumulative load) and, per batch: the output
+    delta (cluster-wide and per machine), per-machine loads, eviction
+    counts and bytes freed, resident state, migration volume, rebuild
+    charges, repartitioning decisions and the adopted migration plans
+    (per-machine arrivals, departures and the region-to-machine mapping).
+    Memory-footprint metrics (``resident_history_tuples``,
+    ``resident_bytes``) are *not* compared -- they are exactly what history
+    compaction is allowed to change -- and neither are wall-clock timings.
+    """
+    assert actual.num_batches == reference.num_batches
+    assert actual.total_output == reference.total_output
+    np.testing.assert_array_equal(
+        actual.cumulative_load, reference.cumulative_load
+    )
+    for act, ref in zip(actual.batches, reference.batches):
+        assert act.batch_index == ref.batch_index
+        assert act.output_delta == ref.output_delta
+        assert act.tuples_evicted == ref.tuples_evicted
+        assert act.bytes_freed == ref.bytes_freed
+        assert act.resident_tuples == ref.resident_tuples
+        assert act.migrated_tuples == ref.migrated_tuples
+        assert act.repartitioned == ref.repartitioned
+        assert act.rebuild_cost == ref.rebuild_cost
+        np.testing.assert_array_equal(
+            act.per_machine_load, ref.per_machine_load
+        )
+        if ref.per_machine_output_delta is None:
+            assert act.per_machine_output_delta is None
+        else:
+            np.testing.assert_array_equal(
+                act.per_machine_output_delta, ref.per_machine_output_delta
+            )
+        assert (act.migration_plan is None) == (ref.migration_plan is None)
+        if ref.migration_plan is not None:
+            np.testing.assert_array_equal(
+                act.migration_plan.per_machine_arrivals,
+                ref.migration_plan.per_machine_arrivals,
+            )
+            np.testing.assert_array_equal(
+                act.migration_plan.per_machine_departures,
+                ref.migration_plan.per_machine_departures,
+            )
+            np.testing.assert_array_equal(
+                act.migration_plan.region_to_machine,
+                ref.migration_plan.region_to_machine,
+            )
+            assert act.migration_plan.mode == ref.migration_plan.mode

@@ -11,6 +11,13 @@ resident state), and a later repartitioning migrates only the surviving
 tuples (:func:`~repro.streaming.migration.plan_migration` with ``live1`` /
 ``live2``).
 
+Eviction also reports a **safe trim point** (:meth:`WindowPolicy.trim_point`):
+the arrival-index prefix that no liveness bookkeeping can ever reference
+again.  The engine compacts everything below it -- the flat per-side key
+history, the batch-start list and every stored arrival index are trimmed and
+rebased -- so a windowed run's total footprint (history + live sets + state)
+is O(window), not O(stream).
+
 Three policies are provided:
 
 * :class:`UnboundedWindow` -- the pre-window behaviour: nothing ever
@@ -75,31 +82,49 @@ class WindowPolicy(abc.ABC):
     def evictions(
         self,
         live: np.ndarray,
-        batch_index: int,
         batch_starts: list[int],
         total_arrived: int,
         rng: np.random.Generator,
     ) -> np.ndarray:
-        """Return the global arrival indices that expire after this batch.
+        """Return the arrival indices that expire after the just-processed batch.
 
         Parameters
         ----------
         live:
-            Sorted global arrival indices of one side's currently live
-            tuples (including this batch's arrivals).
-        batch_index:
-            The batch that was just processed.
+            Sorted arrival indices of one side's currently live tuples
+            (including this batch's arrivals).
         batch_starts:
-            ``batch_starts[b]`` is the side's history length just before
-            batch ``b`` arrived -- the arrival-index boundary of each batch.
+            Arrival-index starts of recently processed batches, oldest
+            first; ``batch_starts[-1]`` belongs to the batch just processed.
+            The engine appends one entry per *processed* batch (liveness is
+            a function of the engine's own batch count, never of a source's
+            ``MicroBatch.index`` numbering), and compaction may drop entries
+            below the trim point -- only the suffix a policy can still
+            reference is guaranteed to be present.
         total_arrived:
-            The side's total arrivals so far (its history length).
+            The side's arrivals retained plus this batch (the history
+            length, in the same coordinates as ``live``).
         rng:
             The engine's seeded generator, for randomised policies.
 
-        The result must be a sorted subset of ``live`` (``live`` itself is
+        All index arguments share one coordinate system: the engine rebases
+        ``live``, ``batch_starts`` and ``total_arrived`` together when it
+        compacts trimmed history, so cutoff arithmetic is unaffected.  The
+        result must be a sorted subset of ``live`` (``live`` itself is
         sorted ascending, so any mask or prefix of it qualifies).
         """
+
+    def trim_point(self, live: np.ndarray, total_arrived: int) -> int:
+        """The arrival-index prefix that is safe to compact away.
+
+        Everything strictly below the returned index can never be referenced
+        again: ``live`` is sorted and eviction cutoffs only move forward, so
+        ``live[0]`` (or the full history length once nothing is live) is a
+        safe bound for every provided policy.  Override only for a policy
+        whose future cutoffs can move *backwards* -- such a policy must
+        return the smallest index it may still reference.
+        """
+        return int(live[0]) if len(live) else int(total_arrived)
 
 
 class UnboundedWindow(WindowPolicy):
@@ -108,7 +133,7 @@ class UnboundedWindow(WindowPolicy):
     name = "unbounded"
     is_unbounded = True
 
-    def evictions(self, live, batch_index, batch_starts, total_arrived, rng):
+    def evictions(self, live, batch_starts, total_arrived, rng):
         """Evict nothing, ever."""
         return np.empty(0, dtype=np.int64)
 
@@ -142,17 +167,22 @@ class SlidingWindow(WindowPolicy):
         self.tuples = tuples
         self.name = f"batches:{batches}" if batches is not None else f"tuples:{tuples}"
 
-    def evictions(self, live, batch_index, batch_starts, total_arrived, rng):
-        """Evict everything older than the batch- or tuple-count cutoff."""
+    def evictions(self, live, batch_starts, total_arrived, rng):
+        """Evict everything older than the batch- or tuple-count cutoff.
+
+        The batch cutoff is positional from the *end* of ``batch_starts``
+        (the engine's processed-batch count), so it is independent of any
+        ``MicroBatch.index`` numbering and survives the engine trimming the
+        list's dead prefix during history compaction.
+        """
         if self.batches is not None:
-            first_live_batch = batch_index - self.batches + 1
-            if first_live_batch <= 0:
+            if len(batch_starts) < self.batches:
                 return np.empty(0, dtype=np.int64)
-            cutoff = batch_starts[first_live_batch]
+            cutoff = batch_starts[-self.batches]
         else:
             cutoff = total_arrived - self.tuples
-            if cutoff <= 0:
-                return np.empty(0, dtype=np.int64)
+        if cutoff <= 0:
+            return np.empty(0, dtype=np.int64)
         return live[:np.searchsorted(live, cutoff)]
 
 
@@ -180,7 +210,7 @@ class ExponentialDecayWindow(WindowPolicy):
         self.survival = survival
         self.name = f"decay:{survival:g}"
 
-    def evictions(self, live, batch_index, batch_starts, total_arrived, rng):
+    def evictions(self, live, batch_starts, total_arrived, rng):
         """Evict each live tuple independently with probability 1 - survival."""
         if len(live) == 0:
             return live

@@ -101,6 +101,23 @@ class TestDriftingZipfSource:
 
         assert hot_value(batches[5].keys1) == hot_value(batches[7].keys1)
 
+    def test_sides_are_independent_draws(self):
+        # R1 and R2 must share the skew distribution and hot-value
+        # alignment, not the exact multiset: the counts are drawn per side.
+        source = DriftingZipfSource(
+            num_batches=5, tuples_per_batch=400, num_values=50,
+            z_initial=1.2, z_final=1.2, seed=3,
+        )
+
+        def hot_value(keys):
+            values, counts = np.unique(keys, return_counts=True)
+            return values[counts.argmax()]
+
+        for batch in source.batches():
+            assert sorted(batch.keys1.tolist()) != sorted(batch.keys2.tolist())
+            # The shared phase permutation still aligns the hot value.
+            assert hot_value(batch.keys1) == hot_value(batch.keys2)
+
     def test_z_schedule_override(self):
         source = DriftingZipfSource(
             num_batches=4, tuples_per_batch=300, num_values=30,

@@ -18,10 +18,12 @@ from repro.streaming import (
     DriftDetector,
     DriftingZipfSource,
     ExponentialDecayWindow,
+    MicroBatch,
     SlidingWindow,
     SortedRegionState,
     StaticEWHPolicy,
     StreamingJoinEngine,
+    StreamSource,
     UnboundedWindow,
     compare_streaming_schemes,
     make_window,
@@ -39,40 +41,40 @@ class TestWindowPolicies:
         window = UnboundedWindow()
         assert window.is_unbounded
         live = np.arange(100, dtype=np.int64)
-        assert len(window.evictions(live, 50, [0, 40], 100, rng)) == 0
+        assert len(window.evictions(live, [0, 40], 100, rng)) == 0
 
     def test_batch_window_cutoff(self, rng):
         window = SlidingWindow(batches=2)
         live = np.arange(30, dtype=np.int64)
         starts = [0, 10, 20]
         # After batch 2 only batches 1 and 2 stay: indices < starts[1] expire.
-        expired = window.evictions(live, 2, starts, 30, rng)
+        expired = window.evictions(live, starts, 30, rng)
         assert expired.tolist() == list(range(10))
         # Inside the warm-up (batch 0, 1) nothing expires yet.
-        assert len(window.evictions(live[:10], 0, starts[:1], 10, rng)) == 0
-        assert len(window.evictions(live[:20], 1, starts[:2], 20, rng)) == 0
+        assert len(window.evictions(live[:10], starts[:1], 10, rng)) == 0
+        assert len(window.evictions(live[:20], starts[:2], 20, rng)) == 0
 
     def test_tuple_window_cutoff(self, rng):
         window = SlidingWindow(tuples=12)
         live = np.arange(30, dtype=np.int64)
-        expired = window.evictions(live, 3, [0, 10, 20, 25], 30, rng)
+        expired = window.evictions(live, [0, 10, 20, 25], 30, rng)
         # Only the most recent 12 arrivals stay live.
         assert expired.tolist() == list(range(18))
-        assert len(window.evictions(live[:10], 0, [0], 10, rng)) == 0
+        assert len(window.evictions(live[:10], [0], 10, rng)) == 0
 
     def test_tuple_window_respects_prior_evictions(self, rng):
         window = SlidingWindow(tuples=10)
         # Liveness is a pure cutoff on the arrival index, so an already
         # thinned live set only loses entries below the new cutoff.
         live = np.array([5, 6, 20, 21, 22], dtype=np.int64)
-        expired = window.evictions(live, 4, [0, 5, 10, 15, 20], 25, rng)
+        expired = window.evictions(live, [0, 5, 10, 15, 20], 25, rng)
         assert expired.tolist() == [5, 6]
 
     def test_decay_window_is_seeded_and_partial(self):
         window = ExponentialDecayWindow(survival=0.5)
         live = np.arange(2000, dtype=np.int64)
-        first = window.evictions(live, 0, [0], 2000, np.random.default_rng(9))
-        replay = window.evictions(live, 0, [0], 2000, np.random.default_rng(9))
+        first = window.evictions(live, [0], 2000, np.random.default_rng(9))
+        replay = window.evictions(live, [0], 2000, np.random.default_rng(9))
         np.testing.assert_array_equal(first, replay)
         # With survival 0.5 roughly half expire -- neither none nor all.
         assert 0 < len(first) < len(live)
@@ -118,6 +120,26 @@ class TestWindowPolicies:
         with pytest.raises(ValueError, match="survival"):
             make_window("decay:1.5")
 
+    def test_trim_point_is_min_live_or_everything(self):
+        window = SlidingWindow(batches=2)
+        live = np.array([7, 9, 13], dtype=np.int64)
+        assert window.trim_point(live, 20) == 7
+        # Nothing live: the whole retained history is dead.
+        assert window.trim_point(np.empty(0, dtype=np.int64), 20) == 20
+
+    def test_batch_cutoff_is_positional_from_the_end(self, rng):
+        # The cutoff is batch_starts[-batches], so it neither depends on a
+        # source's MicroBatch.index numbering nor on how much dead prefix
+        # the engine's compaction dropped from the list.
+        window = SlidingWindow(batches=2)
+        live = np.arange(10, 40, dtype=np.int64)
+        full = window.evictions(live, [0, 10, 20, 30], 40, rng)
+        assert full.tolist() == list(range(10, 20))
+        # The engine trims 10 entries and rebases everything by 10: the
+        # same eviction comes out, shifted by the rebase.
+        rebased = window.evictions(live - 10, [0, 10, 20], 30, rng)
+        np.testing.assert_array_equal(rebased, full - 10)
+
 
 # ----------------------------------------------------------------------
 # Sorted region state
@@ -152,6 +174,18 @@ class TestSortedRegionState:
         assert len(state) == 20
         assert np.all(state.index < 20)
         assert np.all(np.diff(state.keys) >= 0)
+
+    def test_rebase_shifts_indices_and_keeps_keys(self, rng):
+        history = rng.uniform(0, 50, 60)
+        state = SortedRegionState.from_indices(
+            np.arange(20, 50, dtype=np.int64), history
+        )
+        keys_before = state.keys.copy()
+        state.rebase(20)
+        # Indices now address the same keys in a history trimmed by 20.
+        np.testing.assert_array_equal(state.keys, keys_before)
+        np.testing.assert_array_equal(state.keys, history[20:][state.index])
+        assert state.index.min() == 0
 
     def test_nbytes_accounting(self):
         state = SortedRegionState.from_indices(
@@ -298,6 +332,102 @@ class TestWindowedEngine:
             sample_capacity=256, seed=6,
         ).run(source)
         assert result.output_correct
+
+    def test_window_ignores_source_batch_numbering(self):
+        # Everything batch-counted -- window liveness, the drift detector's
+        # warm-up and cool-down, the reservoir's decay exponent -- keys off
+        # the engine's processed-batch position, so a source whose indices
+        # start at 1000 and skip values behaves exactly like the 0-based
+        # stream (same outputs, evictions and repartitioning batches).  The
+        # pre-compaction SlidingWindow indexed batch_starts by
+        # MicroBatch.index and raised IndexError here.
+        class RenumberedSource(StreamSource):
+            def __init__(self, inner, offset, stride):
+                self.inner, self.offset, self.stride = inner, offset, stride
+
+            @property
+            def num_batches(self):
+                return self.inner.num_batches
+
+            def batches(self):
+                for batch in self.inner.batches():
+                    yield MicroBatch(
+                        index=self.offset + self.stride * batch.index,
+                        keys1=batch.keys1,
+                        keys2=batch.keys2,
+                    )
+
+        def run(source):
+            policy = DriftAdaptiveEWHPolicy(
+                DriftDetector(threshold=1.2, warmup_batches=2, cooldown_batches=3)
+            )
+            return StreamingJoinEngine(
+                3, BAND, UNIT, policy=policy, window="batches:3",
+                sample_capacity=256, seed=2,
+            ).run(source)
+
+        plain = run(drift_source())
+        renumbered = run(RenumberedSource(drift_source(), 1000, 7))
+        assert [b.output_delta for b in plain.batches] == [
+            b.output_delta for b in renumbered.batches
+        ]
+        assert [b.tuples_evicted for b in plain.batches] == [
+            b.tuples_evicted for b in renumbered.batches
+        ]
+        assert [b.repartitioned for b in plain.batches] == [
+            b.repartitioned for b in renumbered.batches
+        ]
+        np.testing.assert_array_equal(
+            plain.cumulative_load, renumbered.cumulative_load
+        )
+        assert [b.batch_index for b in renumbered.batches] == [
+            1000 + 7 * i for i in range(plain.num_batches)
+        ]
+        assert [b.stream_position for b in renumbered.batches] == list(
+            range(plain.num_batches)
+        )
+
+    def test_non_monotone_batch_indices_rejected(self):
+        class BrokenSource(StreamSource):
+            @property
+            def num_batches(self):
+                return 3
+
+            def batches(self):
+                keys = np.arange(5, dtype=np.float64)
+                yield MicroBatch(index=0, keys1=keys, keys2=keys)
+                yield MicroBatch(index=1, keys1=keys, keys2=keys)
+                yield MicroBatch(index=1, keys1=keys, keys2=keys)
+
+        engine = StreamingJoinEngine(
+            2, BAND, UNIT, policy=StaticEWHPolicy(), sample_capacity=64, seed=0
+        )
+        with pytest.raises(ValueError, match="strictly increasing"):
+            engine.run(BrokenSource())
+
+    def test_compaction_flag_only_changes_the_footprint(self):
+        compacted = StreamingJoinEngine(
+            4, BAND, UNIT, policy=StaticEWHPolicy(), window="batches:2",
+            sample_capacity=256, seed=3,
+        ).run(drift_source())
+        reference = StreamingJoinEngine(
+            4, BAND, UNIT, policy=StaticEWHPolicy(), window="batches:2",
+            compact_history=False, sample_capacity=256, seed=3,
+        ).run(drift_source())
+        assert [b.output_delta for b in compacted.batches] == [
+            b.output_delta for b in reference.batches
+        ]
+        assert compacted.total_evicted == reference.total_evicted
+        # The reference keeps the whole stream's history and trims nothing;
+        # the compacted engine's history plateaus at the window.
+        assert reference.total_history_trimmed == 0
+        assert compacted.total_history_trimmed > 0
+        assert (
+            compacted.peak_resident_bytes < reference.peak_resident_bytes
+        )
+        last = compacted.batches[-1]
+        assert last.resident_history_tuples <= 2 * 2 * 250  # 2 sides x 2 batches
+        assert reference.batches[-1].resident_history_tuples == 2 * 10 * 250
 
     def test_compare_schemes_passes_window_through(self):
         results = compare_streaming_schemes(

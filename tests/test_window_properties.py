@@ -13,7 +13,12 @@ sizes, window shapes and policies:
   incremental counter must match it batch by batch, machine by machine
   (which simultaneously pins **incremental count == full recount**);
 * **a window never adds output** -- per batch, the windowed delta is at
-  most the unbounded delta on the identical stream.
+  most the unbounded delta on the identical stream;
+* **history compaction is invisible and O(window)** -- the compacted
+  engine's per-batch metrics (outputs, loads, evictions, migrations and
+  plans) are bit-identical to an uncompacted reference run, while its
+  total footprint (history + live sets + state) stays below a constant
+  derived from the window alone, however long the stream runs.
 
 All streams use integer-valued keys so the band arithmetic is exact and
 "identical" means bit-identical, not approximately equal.
@@ -35,16 +40,17 @@ from repro.streaming import (
     StaticEWHPolicy,
     StreamingJoinEngine,
 )
+from repro.streaming.testing import assert_equivalent_runs
 
 UNIT = WeightFunction(1.0, 1.0)
 BAND = BandJoinCondition(beta=1.0)
 NUM_BATCHES = 7
 
 
-def make_source(seed: int) -> DriftingZipfSource:
+def make_source(seed: int, num_batches: int = NUM_BATCHES) -> DriftingZipfSource:
     """A short drifting stream with integer-valued (exact) keys."""
     return DriftingZipfSource(
-        num_batches=NUM_BATCHES, tuples_per_batch=120, num_values=40,
+        num_batches=num_batches, tuples_per_batch=120, num_values=40,
         z_initial=0.2, z_final=1.2, shift_at_batch=3, seed=seed,
     )
 
@@ -59,11 +65,12 @@ def make_policy(adaptive: bool):
 
 
 def run_engine(source, num_machines, policy, window=None, counting="incremental",
-               seed=0):
+               compact=True, seed=0):
     """One engine run with the suite's small sample state."""
     engine = StreamingJoinEngine(
         num_machines, BAND, UNIT, policy=policy, window=window,
-        counting=counting, sample_capacity=256, seed=seed,
+        counting=counting, compact_history=compact, sample_capacity=256,
+        seed=seed,
     )
     return engine.run(source)
 
@@ -185,25 +192,63 @@ def test_unbounded_incremental_reproduces_recount_exactly(
         counting="recount", seed=engine_seed,
     )
     assert incremental.output_correct and recount.output_correct
-    assert incremental.total_output == recount.total_output
     assert incremental.num_repartitions == recount.num_repartitions
-    np.testing.assert_array_equal(
-        incremental.cumulative_load, recount.cumulative_load
+    assert_equivalent_runs(incremental, recount)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_machines=st.integers(min_value=1, max_value=4),
+    window_size=st.integers(min_value=1, max_value=3),
+    kind=st.sampled_from(["batches", "tuples"]),
+    adaptive=st.booleans(),
+)
+def test_compaction_is_invisible_and_bounds_the_footprint(
+    seed, num_machines, window_size, kind, adaptive
+):
+    """History compaction changes the footprint and nothing else.
+
+    (a) Every per-batch metric of the compacted engine -- output deltas,
+    per-machine loads, evictions, bytes freed, resident state, migration
+    volumes and plans -- is bit-identical to an uncompacted reference run
+    (``compact_history=False``, the pre-compaction engine) on the same
+    seeded stream.  (b) The compacted engine's total footprint -- history
+    lengths, live-set lengths and resident state -- stays below a constant
+    derived only from the window shape, the per-batch arrival rate and the
+    cluster size, however long the stream runs; the uncompacted history
+    instead grows linearly.
+    """
+    size = window_size if kind == "batches" else window_size * 90
+    num_batches = 2 * NUM_BATCHES
+    engine_seed = seed % 17
+    compacted = run_engine(
+        make_source(seed, num_batches), num_machines, make_policy(adaptive),
+        window=f"{kind}:{size}", seed=engine_seed,
     )
-    for inc_batch, rec_batch in zip(incremental.batches, recount.batches):
-        assert inc_batch.output_delta == rec_batch.output_delta
-        assert inc_batch.repartitioned == rec_batch.repartitioned
-        assert inc_batch.migrated_tuples == rec_batch.migrated_tuples
-        np.testing.assert_array_equal(
-            inc_batch.per_machine_load, rec_batch.per_machine_load
-        )
-        if rec_batch.per_machine_output_delta is None:
-            assert inc_batch.per_machine_output_delta is None
-        else:
-            np.testing.assert_array_equal(
-                inc_batch.per_machine_output_delta,
-                rec_batch.per_machine_output_delta,
-            )
+    reference = run_engine(
+        make_source(seed, num_batches), num_machines, make_policy(adaptive),
+        window=f"{kind}:{size}", compact=False, seed=engine_seed,
+    )
+
+    # (a) Compaction is pure bookkeeping: bit-identical behaviour.
+    assert_equivalent_runs(compacted, reference)
+
+    # (b) O(window) footprint: the bound depends on the window shape and
+    # arrival rate only -- never on the stream length.
+    per_side = 120  # make_source's tuples_per_batch
+    history_bound = 2 * (size * per_side if kind == "batches" else size)
+    for batch in compacted.batches:
+        assert batch.resident_history_tuples <= history_bound
+        assert batch.resident_live_entries <= batch.resident_history_tuples
+        assert batch.resident_tuples <= num_machines * batch.resident_live_entries
+    # The reference demonstrates the leak the compaction fixes: its history
+    # is the full stream at end of run.
+    assert (
+        reference.batches[-1].resident_history_tuples
+        == 2 * per_side * num_batches
+    )
+    assert compacted.total_history_trimmed > 0
 
 
 @settings(max_examples=10, deadline=None)
