@@ -30,10 +30,20 @@ windowed runs report ``-`` in the ``correct`` column because the
 full-history check no longer applies once the engine deliberately forgets
 state.
 
+Pass ``--queue N`` to decouple the source from each engine with a real
+producer thread feeding a bounded queue of N batches, and ``--backpressure
+{block,shed,coalesce}`` to pick what happens when the queue fills: ``block``
+stalls the producer (lossless -- the join is bit-identical to the
+synchronous run), ``shed`` drops whole batches, ``coalesce`` merges the
+queue into one super-batch.  The table then gains ``backpressure``, ``peak
+queue``, ``shed`` and ``stall s`` columns.
+
 Run with::
 
     python examples/streaming_join.py [--backend {simulated,multiprocess}]
                                       [--window SPEC]
+                                      [--queue N]
+                                      [--backpressure {block,shed,coalesce}]
 """
 
 from __future__ import annotations
@@ -44,11 +54,15 @@ from repro.bench.reporting import format_streaming_table
 from repro.core.weights import BAND_JOIN_WEIGHTS
 from repro.joins.conditions import BandJoinCondition
 from repro.streaming import (
+    BACKPRESSURE_MODES,
     DriftAdaptiveEWHPolicy,
     DriftDetector,
     DriftingZipfSource,
+    RateLimitedSource,
     StaticEWHPolicy,
     StaticOneBucketPolicy,
+    StreamingJoinEngine,
+    StreamingPipeline,
     compare_streaming_schemes,
     make_backend,
     make_window,
@@ -70,6 +84,22 @@ def main() -> None:
         help="window policy bounding the retained state: 'unbounded' "
         "(default), 'batches:<n>', 'tuples:<n>' or 'decay:<p>'",
     )
+    parser.add_argument(
+        "--queue",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run each engine behind a producer thread and a bounded queue "
+        "of N batches (0, the default, runs synchronously)",
+    )
+    parser.add_argument(
+        "--backpressure",
+        choices=list(BACKPRESSURE_MODES),
+        default="block",
+        help="what the producer does when the queue is full (with --queue): "
+        "'block' stalls (lossless, default), 'shed' drops whole batches, "
+        "'coalesce' merges the queue into one super-batch",
+    )
     args = parser.parse_args()
     window = make_window(args.window)
 
@@ -83,28 +113,60 @@ def main() -> None:
         shift_at_batch=6,
         seed=42,
     )
+    policies = {
+        "CI-static": lambda: StaticOneBucketPolicy(num_machines),
+        "CSIO-static": lambda: StaticEWHPolicy(),
+        "CSIO-adaptive": lambda: DriftAdaptiveEWHPolicy(
+            DriftDetector(threshold=1.3, warmup_batches=2, cooldown_batches=3)
+        ),
+    }
+    pipelined = args.queue > 0
     print(
         "Streaming a band join over 16 micro-batches; the key skew shifts "
-        f"at batch 6 (backend: {args.backend}, window: {window.name})...\n"
+        f"at batch 6 (backend: {args.backend}, window: {window.name}"
+        + (
+            f", queue: {args.queue} batches, backpressure: {args.backpressure}"
+            if pipelined
+            else ""
+        )
+        + ")...\n"
     )
-    results = compare_streaming_schemes(
-        source,
-        num_machines,
-        BandJoinCondition(beta=1.0),
-        BAND_JOIN_WEIGHTS,
-        policies={
-            "CI-static": StaticOneBucketPolicy(num_machines),
-            "CSIO-static": StaticEWHPolicy(),
-            "CSIO-adaptive": DriftAdaptiveEWHPolicy(
-                DriftDetector(threshold=1.3, warmup_batches=2, cooldown_batches=3)
-            ),
-        },
-        backend_factory=lambda: make_backend(args.backend),
-        window=window,
-        sample_capacity=2048,
-        sample_decay=0.7,
-        seed=3,
-    )
+    if pipelined:
+        # One real producer thread per engine: each batch is offered every
+        # 10ms and the engine consumes from the bounded queue.
+        results = {}
+        for name, policy_factory in policies.items():
+            with make_backend(args.backend) as backend:
+                engine = StreamingJoinEngine(
+                    num_machines,
+                    BandJoinCondition(beta=1.0),
+                    BAND_JOIN_WEIGHTS,
+                    policy=policy_factory(),
+                    backend=backend,
+                    window=window,
+                    sample_capacity=2048,
+                    sample_decay=0.7,
+                    seed=3,
+                )
+                results[name] = StreamingPipeline(
+                    RateLimitedSource(source, 0.01),
+                    engine,
+                    queue_batches=args.queue,
+                    backpressure=args.backpressure,
+                ).run()
+    else:
+        results = compare_streaming_schemes(
+            source,
+            num_machines,
+            BandJoinCondition(beta=1.0),
+            BAND_JOIN_WEIGHTS,
+            policies={name: factory() for name, factory in policies.items()},
+            backend_factory=lambda: make_backend(args.backend),
+            window=window,
+            sample_capacity=2048,
+            sample_decay=0.7,
+            seed=3,
+        )
     print(format_streaming_table(results))
 
     adaptive = results["CSIO-adaptive"]
@@ -127,6 +189,14 @@ def main() -> None:
             f"{adaptive.total_history_trimmed:,} dead history keys, "
             "holding total resident memory at "
             f"{adaptive.peak_resident_bytes / 1024:,.0f} KB."
+        )
+    if pipelined:
+        print(
+            f"Backpressure ({args.backpressure}): the adaptive engine's "
+            f"producer stalled {adaptive.producer_stall_seconds:.3f}s, shed "
+            f"{adaptive.total_tuples_shed:,} tuples and saw the queue peak "
+            f"at {adaptive.peak_queue_depth} of {args.queue} batches; the "
+            f"consumer sat idle {adaptive.consumer_idle_seconds:.3f}s."
         )
     print(
         "Reading the table: once the hot spot appears, the frozen histogram's "

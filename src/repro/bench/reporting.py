@@ -7,6 +7,8 @@ rows and series of every table and figure of the evaluation section.
 
 from __future__ import annotations
 
+import math
+
 from repro.bench.experiments import ComparisonResult
 from repro.bench.scalability import ScalabilityPoint
 from repro.streaming.metrics import StreamRunResult
@@ -35,6 +37,16 @@ def format_rows(headers: list[str], rows: list[list[str]]) -> str:
     for row in rows:
         lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
     return "\n".join(lines)
+
+
+def _format_ratio(value: float, pattern: str = "{:.3f}") -> str:
+    """Format a ratio, rendering undefined (nan/inf) values as ``-``.
+
+    Degenerate runs -- zero batches, an empty stream, load-free batches --
+    have no meaningful throughput; they must render as ``-`` rather than
+    crash the table or print a claim of infinite throughput.
+    """
+    return pattern.format(value) if math.isfinite(value) else "-"
 
 
 def format_table_iv(workloads: list[JoinWorkload]) -> str:
@@ -109,7 +121,16 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
     dropped over the run.  ``correct`` is ``-`` for windowed runs: the
     full-history check does not apply once the engine deliberately forgets
     state.
+
+    When any run went through a backpressured pipeline, four more columns
+    appear: ``backpressure`` (policy @ queue bound), ``peak queue``
+    (deepest the bounded queue got, in batches), ``shed`` (tuples dropped
+    at the full queue) and ``stall s`` (producer time lost blocking on
+    it); synchronous runs render ``-`` there.
     """
+    pipelined = any(
+        result.backpressure is not None for result in results.values()
+    )
     headers = [
         "scheme",
         "backend",
@@ -125,35 +146,51 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
         "peak resident",
         "peak mem KB",
         "evicted",
-        "throughput",
-        "join s",
-        "correct",
     ]
+    if pipelined:
+        headers += ["backpressure", "peak queue", "shed", "stall s"]
+    headers += ["throughput", "join s", "correct"]
     rows = []
     for scheme, result in results.items():
-        rows.append(
-            [
-                scheme,
-                result.backend,
-                result.window,
-                str(result.num_batches),
-                f"{result.total_tuples:,}",
-                f"{result.total_output:,}",
-                f"{result.max_machine_load:,.0f}",
-                f"{result.latency_cost:,.0f}",
-                f"{result.load_imbalance:.2f}",
-                f"{result.total_migrated:,}",
-                str(result.num_repartitions),
-                f"{result.peak_resident_tuples:,}",
-                f"{result.peak_resident_bytes / 1024:,.0f}",
-                f"{result.total_evicted:,}",
-                f"{result.mean_throughput:.3f}",
-                f"{result.join_seconds:.3f}",
-                "-"
-                if result.output_correct is None
-                else ("yes" if result.output_correct else "NO"),
-            ]
-        )
+        row = [
+            scheme,
+            result.backend,
+            result.window,
+            str(result.num_batches),
+            f"{result.total_tuples:,}",
+            f"{result.total_output:,}",
+            f"{result.max_machine_load:,.0f}",
+            f"{result.latency_cost:,.0f}",
+            f"{result.load_imbalance:.2f}",
+            f"{result.total_migrated:,}",
+            str(result.num_repartitions),
+            f"{result.peak_resident_tuples:,}",
+            f"{result.peak_resident_bytes / 1024:,.0f}",
+            f"{result.total_evicted:,}",
+        ]
+        if pipelined:
+            if result.backpressure is None:
+                row += ["-", "-", "-", "-"]
+            else:
+                bound = (
+                    "inf"
+                    if result.queue_batches is None
+                    else str(result.queue_batches)
+                )
+                row += [
+                    f"{result.backpressure}@{bound}",
+                    f"{result.peak_queue_depth:,}",
+                    f"{result.total_tuples_shed:,}",
+                    f"{result.producer_stall_seconds:.3f}",
+                ]
+        row += [
+            _format_ratio(result.mean_throughput),
+            f"{result.join_seconds:.3f}",
+            "-"
+            if result.output_correct is None
+            else ("yes" if result.output_correct else "NO"),
+        ]
+        rows.append(row)
     return format_rows(headers, rows)
 
 
@@ -162,25 +199,37 @@ def format_streaming_batches(results: dict[str, StreamRunResult]) -> str:
 
     One ``max load``, one ``resident`` (end-of-batch retained state
     entries), one ``mem KB`` (end-of-batch total footprint: state + key
-    history + live sets) and one ``repart.`` column per scheme.  Runs of
-    unequal length (e.g. one engine stopped early) render blank cells past
-    their last batch.
+    history + live sets) and one ``repart.`` column per scheme -- plus one
+    ``queue`` column per scheme (queue depth at the batch's pop) when any
+    run went through a backpressured pipeline.  Rows are aligned by the
+    source's ``batch_index``, not by position, so schemes that consumed
+    different subsets of the stream -- a run that stopped early, a
+    pipeline that shed batches or merged them into super-batches -- line
+    up against the same source batch, with blank cells where a scheme
+    never processed that index (a coalesced super-batch sits on its last
+    constituent's index).  An empty result set renders the header only
+    instead of crashing.
     """
     schemes = list(results)
+    pipelined = any(
+        result.backpressure is not None for result in results.values()
+    )
     headers = (
         ["batch", "tuples"]
         + [f"{s} max load" for s in schemes]
         + [f"{s} resident" for s in schemes]
         + [f"{s} mem KB" for s in schemes]
+        + ([f"{s} queue" for s in schemes] if pipelined else [])
         + [f"{s} repart." for s in schemes]
     )
-    num_batches = max(result.num_batches for result in results.values())
+    by_scheme = [
+        {batch.batch_index: batch for batch in result.batches}
+        for result in results.values()
+    ]
+    indices = sorted({index for mapping in by_scheme for index in mapping})
     rows = []
-    for index in range(num_batches):
-        per_scheme = [
-            result.batches[index] if index < result.num_batches else None
-            for result in results.values()
-        ]
+    for index in indices:
+        per_scheme = [mapping.get(index) for mapping in by_scheme]
         tuples = next(
             (batch.new_tuples for batch in per_scheme if batch is not None), 0
         )
@@ -189,6 +238,11 @@ def format_streaming_batches(results: dict[str, StreamRunResult]) -> str:
             + ["" if b is None else f"{b.max_load:,.0f}" for b in per_scheme]
             + ["" if b is None else f"{b.resident_tuples:,}" for b in per_scheme]
             + ["" if b is None else f"{b.resident_bytes / 1024:,.0f}" for b in per_scheme]
+            + (
+                ["" if b is None else f"{b.queue_depth:,}" for b in per_scheme]
+                if pipelined
+                else []
+            )
             + ["" if b is None else ("*" if b.repartitioned else "") for b in per_scheme]
         )
     return format_rows(headers, rows)

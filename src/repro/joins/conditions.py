@@ -40,7 +40,45 @@ __all__ = [
     "InequalityJoinCondition",
     "InequalityOp",
     "CompositeEquiBandCondition",
+    "exact_integer_keys",
+    "normalise_keys",
 ]
+
+
+def exact_integer_keys(keys) -> "np.ndarray | None":
+    """The array's values as exact int64, or ``None`` when that's impossible.
+
+    This is the one shared definition of "integer keys that must not round
+    through float64": signed-integer arrays widen to int64 (copy-free when
+    already int64); unsigned arrays qualify when every value fits in int64
+    (converting avoids both uint underflow in ``k - beta`` and lossy float
+    promotion in mixed comparisons).  Float and other dtypes -- and the
+    pathological uint64 beyond int64 range -- return ``None``: callers
+    needing a total function fall back to ``float64`` themselves.  Used by
+    the band/equi exact-count paths here, by
+    :func:`~repro.joins.local.count_join_output` and by the streaming
+    sources, so the edge rules can never silently diverge.
+    """
+    keys = np.asarray(keys)
+    if keys.dtype.kind == "i":
+        return keys.astype(np.int64, copy=False)
+    if keys.dtype.kind == "u":
+        if len(keys) == 0 or keys.max() <= np.iinfo(np.int64).max:
+            return keys.astype(np.int64)
+    return None
+
+
+def normalise_keys(keys) -> np.ndarray:
+    """Normalise a join-key array: exact int64 image, else ``float64``.
+
+    The total-function companion of :func:`exact_integer_keys`, shared by
+    the counting kernel and the streaming sources so their fallback rule
+    cannot drift.
+    """
+    exact = exact_integer_keys(keys)
+    if exact is not None:
+        return exact
+    return np.asarray(keys, dtype=np.float64)
 
 
 class JoinCondition:
@@ -144,9 +182,13 @@ class JoinCondition:
 
         ``sorted_keys2`` must be sorted ascending.  This is the joinable-set
         size d2(k1) used by Stream-Sample, computed with binary search.
+        Input dtypes are preserved: integer key arrays are searched as
+        integers, so a band/equi condition with an integral width counts
+        int64 keys above 2**53 exactly (see
+        :meth:`BandJoinCondition.joinable_bounds`).
         """
-        keys1 = np.asarray(keys1, dtype=np.float64)
-        sorted_keys2 = np.asarray(sorted_keys2, dtype=np.float64)
+        keys1 = np.asarray(keys1)
+        sorted_keys2 = np.asarray(sorted_keys2)
         lows, highs = self.joinable_bounds(keys1)
         left = np.searchsorted(sorted_keys2, lows, side="left")
         right = np.searchsorted(sorted_keys2, highs, side="right")
@@ -197,11 +239,37 @@ class BandJoinCondition(JoinCondition):
         # than beta on either side.
         return not (lo2 - hi1 > self.beta or lo1 - hi2 > self.beta)
 
+    def _integral_beta(self) -> "np.int64 | None":
+        """The band width as an exact int64, or ``None`` if not integral."""
+        beta = float(self.beta)
+        if beta.is_integer() and abs(beta) < 2**62:
+            return np.int64(beta)
+        return None
+
     def joinable_bounds(self, keys1: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-key closed bounds ``[k - beta, k + beta]``, dtype-aware.
+
+        Integer keys with an integral band width are bounded in exact
+        int64 arithmetic (unsigned arrays via their exact int64 image):
+        casting integer keys above 2**53 to float64 rounds them, which can
+        move a key across the band boundary and change the join output.
+        (The int64 path assumes ``|key| + beta`` stays inside the int64
+        range, which any realistic key domain does.)
+        """
+        beta = self._integral_beta()
+        exact = exact_integer_keys(keys1) if beta is not None else None
+        if exact is not None:
+            return exact - beta, exact + beta
         keys1 = np.asarray(keys1, dtype=np.float64)
         return keys1 - self.beta, keys1 + self.beta
 
     def matches_many(self, keys1: np.ndarray, keys2: np.ndarray) -> np.ndarray:
+        beta = self._integral_beta()
+        if beta is not None:
+            exact1 = exact_integer_keys(keys1)
+            exact2 = exact_integer_keys(keys2)
+            if exact1 is not None and exact2 is not None:
+                return (exact2 >= exact1 - beta) & (exact2 <= exact1 + beta)
         keys1 = np.asarray(keys1, dtype=np.float64)
         keys2 = np.asarray(keys2, dtype=np.float64)
         return (keys2 >= keys1 - self.beta) & (keys2 <= keys1 + self.beta)
@@ -645,9 +713,25 @@ class _TransposedBandCondition(JoinCondition):
         )
 
     def joinable_bounds(self, keys1: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Vectorised exact inverse bounds (what incremental counting uses)."""
-        keys1 = np.asarray(keys1, dtype=np.float64)
+        """Vectorised exact inverse bounds (what incremental counting uses).
+
+        Integer keys (signed, or unsigned with an exact int64 image) with
+        an integral band width take the exact int64 path: the integer band
+        test is perfectly symmetric (no rounding happens in ``k +- beta``),
+        so the inverse bounds are simply ``[k - beta, k + beta]`` -- the
+        float-ordinal inversion machinery exists only because *float*
+        bounds round.
+        """
         beta = self.base.beta
+        integral = (
+            self.base._integral_beta()
+            if isinstance(self.base, BandJoinCondition)
+            else None
+        )
+        exact = exact_integer_keys(keys1) if integral is not None else None
+        if exact is not None:
+            return exact - integral, exact + integral
+        keys1 = np.asarray(keys1, dtype=np.float64)
         return _band_lower_inverse(keys1, beta), _band_upper_inverse(keys1, beta)
 
     def cell_is_candidate(

@@ -28,6 +28,7 @@ from repro.joins.conditions import (
     BandJoinCondition,
     EquiJoinCondition,
     JoinCondition,
+    normalise_keys,
 )
 
 __all__ = [
@@ -130,15 +131,20 @@ def count_join_output(
     Parameters
     ----------
     keys1, keys2:
-        Join-key arrays of the two sides.
+        Join-key arrays of the two sides.  Integer arrays are counted as
+        integers (unsigned ones via their exact int64 image when the
+        values fit) -- band/equi conditions with an integral width stay
+        exact for integer keys above 2**53, which a ``float64`` coercion
+        would silently round onto their neighbours.  Other inputs are
+        coerced to ``float64`` as before.
     condition:
         A monotonic join condition.
     keys2_sorted:
         Set to ``True`` when ``keys2`` is already sorted ascending to skip
         the sort.
     """
-    keys1 = np.asarray(keys1, dtype=np.float64)
-    keys2 = np.asarray(keys2, dtype=np.float64)
+    keys1 = normalise_keys(keys1)
+    keys2 = normalise_keys(keys2)
     if len(keys1) == 0 or len(keys2) == 0:
         return 0
     if not keys2_sorted:

@@ -19,6 +19,14 @@ and repartitioning migrates live state only.  Each side's region state is
 kept sorted by join key, so the per-batch output delta is counted
 incrementally in ``O(new log state)`` instead of re-counting whole regions
 (see ``docs/streaming.md`` for the full narrative).
+
+A :class:`~repro.streaming.pipeline.StreamingPipeline` decouples the source
+from the engine with a bounded queue and a pluggable backpressure policy
+(``block`` -- lossless, bit-identical to the synchronous engine; ``shed`` --
+drop whole batches at the full queue; ``coalesce`` -- merge the queue into
+one super-batch), so a slow batch no longer stalls the producer and the
+arrivals-outpace-joining regime is measurable: queue depth, shed volume,
+producer stall and consumer idle time all land in the metrics.
 """
 
 from repro.streaming.backends import (
@@ -26,6 +34,7 @@ from repro.streaming.backends import (
     MultiprocessBackend,
     RegionJoinResult,
     SimulatedBackend,
+    SlowConsumerBackend,
     make_backend,
 )
 from repro.streaming.drift import DriftDetector, DriftObservation
@@ -41,6 +50,16 @@ from repro.streaming.incremental import (
 )
 from repro.streaming.metrics import BatchMetrics, StreamRunResult
 from repro.streaming.migration import MigrationPlan, plan_migration
+from repro.streaming.pipeline import (
+    BACKPRESSURE_MODES,
+    BackpressurePolicy,
+    BlockPolicy,
+    CoalescePolicy,
+    ShedPolicy,
+    StreamingPipeline,
+    make_backpressure,
+    merge_batches,
+)
 from repro.streaming.window import (
     ExponentialDecayWindow,
     SlidingWindow,
@@ -58,6 +77,7 @@ from repro.streaming.source import (
     ArrayStreamSource,
     DriftingZipfSource,
     MicroBatch,
+    RateLimitedSource,
     StreamSource,
 )
 
@@ -65,12 +85,22 @@ __all__ = [
     "ExecutionBackend",
     "SimulatedBackend",
     "MultiprocessBackend",
+    "SlowConsumerBackend",
     "RegionJoinResult",
     "make_backend",
     "MicroBatch",
     "StreamSource",
     "ArrayStreamSource",
     "DriftingZipfSource",
+    "RateLimitedSource",
+    "BACKPRESSURE_MODES",
+    "BackpressurePolicy",
+    "BlockPolicy",
+    "ShedPolicy",
+    "CoalescePolicy",
+    "make_backpressure",
+    "merge_batches",
+    "StreamingPipeline",
     "DecayedReservoir",
     "IncrementalHistogram",
     "SortedRegionState",

@@ -46,6 +46,7 @@ __all__ = [
     "ExecutionBackend",
     "SimulatedBackend",
     "MultiprocessBackend",
+    "SlowConsumerBackend",
     "make_backend",
 ]
 
@@ -83,10 +84,32 @@ class ExecutionBackend(abc.ABC):
     A backend may be shared by several engines (e.g. to reuse one pool across
     the schemes of a comparison); an engine only closes a backend it created
     itself.
+
+    ``close()`` is idempotent and final: calling :meth:`join_regions` on a
+    closed backend raises ``RuntimeError`` instead of silently resurrecting
+    whatever resource the backend owned (a resurrected worker pool has no
+    remaining owner to shut it down -- a leak, not a convenience).
     """
 
     #: Reporting name recorded on the run result.
     name: str = "backend"
+
+    #: Set by :meth:`close`; class-level default so subclasses need no
+    #: ``__init__`` chaining.
+    _closed: bool = False
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called on this backend."""
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        """Raise ``RuntimeError`` if the backend has been closed."""
+        if self._closed:
+            raise RuntimeError(
+                f"{type(self).__name__} has been closed; create a fresh "
+                "backend instead of reusing a closed one"
+            )
 
     @abc.abstractmethod
     def join_regions(
@@ -109,7 +132,8 @@ class ExecutionBackend(abc.ABC):
         """
 
     def close(self) -> None:
-        """Release any resources held by the backend (idempotent)."""
+        """Release any resources held by the backend (idempotent, final)."""
+        self._closed = True
 
     def __enter__(self) -> "ExecutionBackend":
         """Enter a with-block; the backend closes itself on exit."""
@@ -132,6 +156,7 @@ class SimulatedBackend(ExecutionBackend):
         keys2_sorted: bool = False,
     ) -> RegionJoinResult:
         """Count each non-empty region's join output in the calling process."""
+        self._ensure_open()
         conditions = broadcast_conditions(condition, len(region_keys))
         outputs = np.zeros(len(region_keys), dtype=np.int64)
         seconds = np.zeros(len(region_keys))
@@ -162,8 +187,9 @@ class MultiprocessBackend(ExecutionBackend):
 
     The pool is created lazily on the first batch and kept alive for the
     lifetime of the backend, so a stream of many small batches pays process
-    start-up once, not per batch.  ``close()`` shuts the pool down; a later
-    ``join_regions`` call transparently starts a fresh one.
+    start-up once, not per batch.  ``close()`` shuts the pool down for good:
+    a later ``join_regions`` call raises ``RuntimeError`` rather than
+    silently starting a fresh pool that no caller would ever shut down.
     """
 
     name = "multiprocess"
@@ -186,6 +212,7 @@ class MultiprocessBackend(ExecutionBackend):
         keys2_sorted: bool = False,
     ) -> RegionJoinResult:
         """Ship each non-empty region to the worker pool and count there."""
+        self._ensure_open()
         outputs, seconds, wall = join_assigned_regions(
             self._ensure_pool(), region_keys, condition, keys2_sorted=keys2_sorted
         )
@@ -196,10 +223,74 @@ class MultiprocessBackend(ExecutionBackend):
         )
 
     def close(self) -> None:
-        """Shut the worker pool down (a later call starts a fresh one)."""
+        """Shut the worker pool down; idempotent, and final (see the base)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        super().close()
+
+
+class SlowConsumerBackend(ExecutionBackend):
+    """Decorate a backend with a deterministic per-batch slowdown.
+
+    Backpressure only matters when the consumer cannot keep up, so the
+    pipeline tests and benchmarks need a consumer whose slowness is a
+    *parameter*, not an accident of the host machine.  This wrapper adds
+    ``seconds_per_call + seconds_per_tuple * probe_tuples`` to every
+    execution (``probe_tuples`` counts each task's first-side keys -- the
+    batch's new arrivals under the engine's incremental counting).
+
+    By default the delay is **virtual**: it is added to the reported
+    ``wall_seconds`` without stalling anything, so simulated-clock tests
+    stay instant and exact.  Pass ``sleep=time.sleep`` to really stall the
+    calling thread, which is what the real-thread pipeline smoke test uses
+    to provoke genuine queue growth.
+
+    Counting results are the inner backend's, untouched: the decorator
+    slows the consumer down, it never changes what the consumer computes.
+    """
+
+    def __init__(
+        self,
+        inner: ExecutionBackend,
+        seconds_per_call: float = 0.0,
+        seconds_per_tuple: float = 0.0,
+        sleep=None,
+    ) -> None:
+        if seconds_per_call < 0 or seconds_per_tuple < 0:
+            raise ValueError("slowdown seconds must be non-negative")
+        self.inner = inner
+        self.seconds_per_call = seconds_per_call
+        self.seconds_per_tuple = seconds_per_tuple
+        self._sleep = sleep
+        self.name = f"slow({inner.name})"
+
+    def join_regions(
+        self,
+        region_keys: list[tuple[np.ndarray, np.ndarray]],
+        condition: "JoinCondition | list[JoinCondition]",
+        keys2_sorted: bool = False,
+    ) -> RegionJoinResult:
+        """Run the inner backend, slowed by the configured delay."""
+        self._ensure_open()
+        delay = self.seconds_per_call + self.seconds_per_tuple * sum(
+            len(keys1) for keys1, _ in region_keys
+        )
+        if self._sleep is not None and delay > 0:
+            self._sleep(delay)
+        result = self.inner.join_regions(
+            region_keys, condition, keys2_sorted=keys2_sorted
+        )
+        return RegionJoinResult(
+            per_machine_output=result.per_machine_output,
+            per_machine_seconds=result.per_machine_seconds,
+            wall_seconds=result.wall_seconds + delay,
+        )
+
+    def close(self) -> None:
+        """Close the wrapped backend along with the decorator."""
+        self.inner.close()
+        super().close()
 
 
 _BACKENDS: dict[str, type[ExecutionBackend]] = {

@@ -66,6 +66,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import replace
+from typing import Iterable
 
 import numpy as np
 
@@ -92,7 +93,7 @@ from repro.streaming.policies import (
     StaticEWHPolicy,
     StaticOneBucketPolicy,
 )
-from repro.streaming.source import StreamSource
+from repro.streaming.source import MicroBatch, StreamSource
 from repro.streaming.window import WindowPolicy, make_window
 
 __all__ = ["COUNTING_MODES", "StreamingJoinEngine", "compare_streaming_schemes"]
@@ -256,6 +257,21 @@ class StreamingJoinEngine:
         )
 
     @staticmethod
+    def _append_history(history: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        """Append a batch's keys to a side's history, preserving the dtype.
+
+        The first non-empty batch decides the side's history dtype (integer
+        keys stay integers -- int64 join keys above 2**53 must never round
+        through float64).  A later dtype change promotes via
+        ``np.concatenate``'s normal rules.
+        """
+        if len(history) == 0:
+            return np.array(keys)
+        if len(keys) == 0:
+            return history
+        return np.concatenate([history, keys])
+
+    @staticmethod
     def _globalise(
         local_assignments: list[np.ndarray],
         offset: int,
@@ -408,14 +424,35 @@ class StreamingJoinEngine:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self, source: StreamSource, verify: bool = True) -> StreamRunResult:
+    def run(
+        self,
+        source: "StreamSource | Iterable[MicroBatch]",
+        verify: bool = True,
+        allow_gaps: bool = False,
+    ) -> StreamRunResult:
         """Consume the stream and return the per-batch and end-to-end metrics.
+
+        ``source`` may be a :class:`~repro.streaming.source.StreamSource`
+        or any iterable of micro-batches -- the backpressured pipeline
+        feeds the engine straight off its bounded queue, where batches may
+        have been shed or coalesced and are no longer re-iterable.
 
         ``verify`` checks, at end of an *unbounded* stream, that the summed
         incremental output equals the exact join cardinality of the full
         history.  Windowed runs have no full-history ground truth (the
         window deliberately forgets pairs), so they leave
         ``output_correct`` as ``None`` regardless of ``verify``.
+
+        ``allow_gaps`` relaxes the batch-index validation.  By default
+        batch indices must be *contiguous* (each exactly one above its
+        predecessor; the first may start anywhere), which catches a source
+        that silently drops data.  Pass ``allow_gaps=True`` for streams
+        whose numbering legitimately skips values -- a pipeline that sheds
+        or coalesces batches under backpressure, or a renumbered/strided
+        replay -- where any strictly increasing numbering is accepted.
+        Note that the verification above always covers exactly the batches
+        the engine *received*: a shed batch is absent from the retained
+        history and from the expected count alike.
 
         Windowed semantics apply from the initial build onwards: the
         backlog routed by the first build is counted under the liveness *at
@@ -437,12 +474,17 @@ class StreamingJoinEngine:
             )
         self._consumed = True
         try:
-            return self._run(source, verify)
+            return self._run(source, verify, allow_gaps)
         finally:
             if self._owns_backend:
                 self.backend.close()
 
-    def _run(self, source: StreamSource, verify: bool) -> StreamRunResult:
+    def _run(
+        self,
+        source: "StreamSource | Iterable[MicroBatch]",
+        verify: bool,
+        allow_gaps: bool,
+    ) -> StreamRunResult:
         rng = np.random.default_rng(self.seed)
         J = self.num_machines
         weight = self.weight_fn
@@ -478,16 +520,28 @@ class StreamingJoinEngine:
         )
         cumulative = np.zeros(J, dtype=np.float64)
 
-        for batch in source.batches():
+        batches = source.batches() if hasattr(source, "batches") else iter(source)
+        for batch in batches:
             start = time.perf_counter()
             # Liveness and windows key off the engine's own processed-batch
             # count, so any strictly increasing source numbering works --
-            # but a non-monotone one would silently reorder time.
-            if last_batch_index is not None and batch.index <= last_batch_index:
-                raise ValueError(
-                    f"stream batch indices must be strictly increasing, got "
-                    f"batch {batch.index} after {last_batch_index}"
-                )
+            # but a non-monotone one would silently reorder time, and a gap
+            # in a contiguous stream usually means lost data, so gaps must
+            # be opted into (shed/coalesced pipelines, renumbered replays).
+            if last_batch_index is not None:
+                if batch.index <= last_batch_index:
+                    raise ValueError(
+                        f"stream batch indices must be strictly increasing, "
+                        f"got batch {batch.index} after {last_batch_index}"
+                    )
+                if not allow_gaps and batch.index != last_batch_index + 1:
+                    raise ValueError(
+                        f"stream batch indices must be contiguous, got batch "
+                        f"{batch.index} after {last_batch_index}; pass "
+                        "allow_gaps=True for streams that legitimately skip "
+                        "indices (shed/coalesced pipelines, renumbered "
+                        "sources)"
+                    )
             last_batch_index = batch.index
             position += 1
             if self.policy.needs_statistics(partitioning is not None):
@@ -505,8 +559,8 @@ class StreamingJoinEngine:
                 initial_build = True
 
             offset1, offset2 = len(history1), len(history2)
-            history1 = np.concatenate([history1, batch.keys1])
-            history2 = np.concatenate([history2, batch.keys2])
+            history1 = self._append_history(history1, batch.keys1)
+            history2 = self._append_history(history2, batch.keys2)
             if windowed:
                 starts1.append(offset1)
                 starts2.append(offset2)

@@ -71,7 +71,9 @@ class SortedRegionState:
     Attributes
     ----------
     keys:
-        The retained join keys, ascending.
+        The retained join keys, ascending.  The dtype follows the stream's
+        key arrays: integer keys are retained as integers (int64 keys
+        above 2**53 must not round through float64), floats as float64.
     index:
         Arrival indices, parallel to ``keys`` (``keys[i]`` is the key of
         history tuple ``index[i]``).  Unique within a machine: a machine
@@ -100,9 +102,13 @@ class SortedRegionState:
     def from_indices(
         cls, indices: np.ndarray, history: np.ndarray
     ) -> "SortedRegionState":
-        """Build sorted state for ``indices`` looked up in the key history."""
+        """Build sorted state for ``indices`` looked up in the key history.
+
+        The history's dtype carries over, so integer-keyed streams keep
+        exact integer state across migrations.
+        """
         indices = np.asarray(indices, dtype=np.int64)
-        keys = np.asarray(history, dtype=np.float64)[indices]
+        keys = np.asarray(history)[indices]
         order = np.argsort(keys, kind="stable")
         return cls(index=indices[order], keys=keys[order])
 
@@ -120,15 +126,26 @@ class SortedRegionState:
 
         ``O(new log state)`` searches plus one ``O(state + new)`` array
         merge; the keys stay sorted so the next batch's counting can binary
-        search them directly.
+        search them directly.  The first insert into empty state adopts the
+        arrivals' dtype (exact integers stay integers); a later dtype
+        mismatch promotes the state, so a mixed int/float stream never
+        truncates a float key into an integer slot.
         """
         if len(new_indices) == 0:
             return
         new_indices = np.asarray(new_indices, dtype=np.int64)
-        new_keys = np.asarray(new_keys, dtype=np.float64)
+        new_keys = np.asarray(new_keys)
         order = np.argsort(new_keys, kind="stable")
         new_keys = new_keys[order]
         new_indices = new_indices[order]
+        if len(self.keys) == 0:
+            self.keys = new_keys
+            self.index = new_indices
+            return
+        if self.keys.dtype != new_keys.dtype:
+            target = np.promote_types(self.keys.dtype, new_keys.dtype)
+            self.keys = self.keys.astype(target)
+            new_keys = new_keys.astype(target)
         positions = np.searchsorted(self.keys, new_keys)
         self.keys = np.insert(self.keys, positions, new_keys)
         self.index = np.insert(self.index, positions, new_indices)

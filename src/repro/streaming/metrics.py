@@ -96,6 +96,22 @@ class BatchMetrics:
         cross-backend equivalence tests can compare plans exactly; the
         plan's per-machine state index arrays are dropped (emptied) before
         storing so a run result never pins full-history snapshots.
+    queue_depth:
+        Pipelined runs only: batches sitting in the bounded queue at the
+        moment this batch was popped, including itself (so a consumer that
+        keeps up reads 1).  Zero for synchronous runs.
+    batches_shed, tuples_shed:
+        Pipelined runs under the ``shed`` policy: whole batches (and their
+        tuples) dropped at the full queue since the previous consumed
+        batch.  Shed input never reaches the engine -- these count what the
+        run's output is missing relative to a lossless run.
+    producer_stall_seconds:
+        Pipelined runs under the ``block`` policy: how long the producer
+        was blocked on the full queue since the previous consumed batch.
+    consumer_idle_seconds:
+        Pipelined runs: how long the consumer waited on an empty queue
+        before this batch arrived (a fast consumer's idle time mirrors a
+        slow consumer's stall/shed).
     """
 
     batch_index: int
@@ -119,6 +135,11 @@ class BatchMetrics:
     per_machine_join_seconds: np.ndarray | None = None
     per_machine_output_delta: np.ndarray | None = None
     migration_plan: "MigrationPlan | None" = None
+    queue_depth: int = 0
+    batches_shed: int = 0
+    tuples_shed: int = 0
+    producer_stall_seconds: float = 0.0
+    consumer_idle_seconds: float = 0.0
 
     #: Bytes per retained state entry (float64 key + int64 arrival index)
     #: and per history / live-set entry (one float64 key, one int64 index
@@ -156,9 +177,15 @@ class BatchMetrics:
 
     @property
     def throughput(self) -> float:
-        """Modelled throughput: arrivals per unit of busiest-machine work."""
+        """Modelled throughput: arrivals per unit of busiest-machine work.
+
+        ``nan`` when the batch charged no load at all (e.g. arrivals
+        buffered before the initial build, or an empty batch) -- the ratio
+        is undefined there, and reporting renders it as ``-`` instead of
+        the misleading ``inf`` it used to propagate.
+        """
         max_load = self.max_load
-        return self.new_tuples / max_load if max_load > 0 else float("inf")
+        return self.new_tuples / max_load if max_load > 0 else float("nan")
 
 
 @dataclass
@@ -197,6 +224,14 @@ class StreamRunResult:
     output_correct:
         Whether ``total_output`` matched the exact count; ``None`` when the
         run skipped (or could not run) verification.
+    backpressure:
+        Reporting name of the backpressure policy when the run went through
+        a :class:`~repro.streaming.pipeline.StreamingPipeline` (``"block"``,
+        ``"shed"``, ``"coalesce"``); ``None`` for synchronous runs.
+    queue_batches:
+        The pipeline's queue bound in batches (``None`` for synchronous
+        runs *and* for pipelined runs with an unbounded queue -- check
+        ``backpressure`` to distinguish them).
     """
 
     scheme: str
@@ -209,6 +244,8 @@ class StreamRunResult:
     total_output: int = 0
     expected_output: int | None = None
     output_correct: bool | None = None
+    backpressure: str | None = None
+    queue_batches: int | None = None
 
     @property
     def num_batches(self) -> int:
@@ -311,6 +348,42 @@ class StreamRunResult:
 
     @property
     def mean_throughput(self) -> float:
-        """Modelled stream throughput: arrivals per unit of latency cost."""
+        """Modelled stream throughput: arrivals per unit of latency cost.
+
+        ``nan`` for degenerate runs that charged no load (zero batches, or
+        an empty stream) -- previously this emitted ``inf``, which crept
+        into reports as a claim of infinite throughput.
+        """
         latency = self.latency_cost
-        return self.total_tuples / latency if latency > 0 else float("inf")
+        return self.total_tuples / latency if latency > 0 else float("nan")
+
+    @property
+    def peak_queue_depth(self) -> int:
+        """Deepest the pipeline queue got at any pop (0 when not pipelined)."""
+        if not self.batches:
+            return 0
+        return max(batch.queue_depth for batch in self.batches)
+
+    @property
+    def total_batches_shed(self) -> int:
+        """Whole batches dropped by the backpressure policy over the run."""
+        return sum(batch.batches_shed for batch in self.batches)
+
+    @property
+    def total_tuples_shed(self) -> int:
+        """Tuples dropped with those shed batches over the run."""
+        return sum(batch.tuples_shed for batch in self.batches)
+
+    @property
+    def producer_stall_seconds(self) -> float:
+        """Total time the producer spent blocked on the full queue."""
+        return float(
+            sum(batch.producer_stall_seconds for batch in self.batches)
+        )
+
+    @property
+    def consumer_idle_seconds(self) -> float:
+        """Total time the consumer spent waiting on the empty queue."""
+        return float(
+            sum(batch.consumer_idle_seconds for batch in self.batches)
+        )

@@ -29,13 +29,28 @@ from typing import Callable, Iterator
 import numpy as np
 
 from repro.data.zipf import sample_zipf_multiplicities
+from repro.joins.conditions import normalise_keys
 
 __all__ = [
     "MicroBatch",
     "StreamSource",
     "ArrayStreamSource",
     "DriftingZipfSource",
+    "RateLimitedSource",
 ]
+
+
+def _as_key_array(keys) -> np.ndarray:
+    """Normalise a key array, preserving exact integer values.
+
+    Delegates to :func:`~repro.joins.conditions.normalise_keys`, the one
+    shared rule: integer inputs keep their exact int64 image (coercing
+    them to ``float64`` silently rounds integer join keys above 2**53 and
+    can change join output -- two distinct keys collapse onto one float);
+    everything else, including the pathological uint64 beyond int64 range,
+    is coerced to ``float64`` as before.
+    """
+    return normalise_keys(keys)
 
 
 @dataclass(frozen=True)
@@ -48,7 +63,9 @@ class MicroBatch:
         Zero-based batch sequence number.
     keys1, keys2:
         Join keys that arrived on the R1 and R2 side during the interval
-        (either may be empty).
+        (either may be empty).  Dtypes are preserved end-to-end: integer
+        keys stay integers through the engine's history and region state,
+        so int64 keys above 2**53 never lose precision.
     """
 
     index: int
@@ -79,7 +96,12 @@ class StreamSource(abc.ABC):
 
     @property
     def total_tuples(self) -> int:
-        """Total arrivals over the whole stream (materialises the stream)."""
+        """Total arrivals over the whole stream.
+
+        The base implementation materialises the stream to count; sources
+        (and wrappers) that already know the answer override it with an
+        O(1) computation so pipeline bookkeeping never replays the stream.
+        """
         return sum(batch.num_tuples for batch in self.batches())
 
 
@@ -88,7 +110,9 @@ class ArrayStreamSource(StreamSource):
 
     Both sides are cut into ``num_batches`` near-equal contiguous slices in
     arrival order, so batch ``i`` of a replayed workload contains the same
-    tuples on every iteration.
+    tuples on every iteration.  Integer key arrays keep their dtype -- an
+    int64 workload replays exactly, even for keys above 2**53 that a
+    ``float64`` coercion would silently round.
     """
 
     def __init__(
@@ -96,8 +120,8 @@ class ArrayStreamSource(StreamSource):
     ) -> None:
         if num_batches <= 0:
             raise ValueError("num_batches must be positive")
-        self.keys1 = np.asarray(keys1, dtype=np.float64)
-        self.keys2 = np.asarray(keys2, dtype=np.float64)
+        self.keys1 = _as_key_array(keys1)
+        self.keys2 = _as_key_array(keys2)
         self._num_batches = num_batches
 
     @classmethod
@@ -109,6 +133,11 @@ class ArrayStreamSource(StreamSource):
     def num_batches(self) -> int:
         """Number of slices the arrays are replayed as."""
         return self._num_batches
+
+    @property
+    def total_tuples(self) -> int:
+        """Both arrays' combined length, without replaying the stream."""
+        return len(self.keys1) + len(self.keys2)
 
     def batches(self) -> Iterator[MicroBatch]:
         """Yield the arrays as contiguous, near-equal micro-batches."""
@@ -190,6 +219,11 @@ class DriftingZipfSource(StreamSource):
         """Length of the stream in micro-batches."""
         return self._num_batches
 
+    @property
+    def total_tuples(self) -> int:
+        """Exact stream volume (two fixed-size sides), computed in O(1)."""
+        return 2 * self.tuples_per_batch * self._num_batches
+
     def _z_of(self, batch_index: int) -> float:
         if self.z_schedule is not None:
             return float(self.z_schedule(batch_index))
@@ -227,3 +261,53 @@ class DriftingZipfSource(StreamSource):
                 rng.shuffle(keys)
                 sides.append(keys)
             yield MicroBatch(index=index, keys1=sides[0], keys2=sides[1])
+
+
+class RateLimitedSource(StreamSource):
+    """Attach a wall-clock arrival schedule to an existing stream.
+
+    The wrapper changes *when* batches become available, never what they
+    contain: batch ``i`` arrives at ``(i + 1) * seconds_per_batch`` (one
+    interval elapses while a batch's tuples are being collected).  The
+    :class:`~repro.streaming.pipeline.StreamingPipeline` reads the schedule
+    through :meth:`arrival_time` -- its threaded mode sleeps the producer
+    until each batch is due, its simulated mode uses the times directly as
+    deterministic event timestamps.  Consuming the source outside a
+    pipeline (e.g. ``engine.run(rate_limited)``) ignores the schedule and
+    behaves exactly like the wrapped source.
+
+    Parameters
+    ----------
+    inner:
+        The stream being scheduled.
+    seconds_per_batch:
+        Interval between consecutive batch arrivals (must be positive).
+    """
+
+    def __init__(self, inner: StreamSource, seconds_per_batch: float) -> None:
+        if seconds_per_batch <= 0:
+            raise ValueError("seconds_per_batch must be positive")
+        self.inner = inner
+        self.seconds_per_batch = float(seconds_per_batch)
+
+    @property
+    def num_batches(self) -> int:
+        """Length of the wrapped stream."""
+        return self.inner.num_batches
+
+    @property
+    def total_tuples(self) -> int:
+        """The wrapped stream's volume; never re-materialises the stream.
+
+        Delegates to the inner source, which knows its own count (O(1) for
+        the provided sources) -- the wrapper adds timing metadata only.
+        """
+        return self.inner.total_tuples
+
+    def arrival_time(self, position: int) -> float:
+        """Seconds from stream start until batch ``position`` is available."""
+        return (position + 1) * self.seconds_per_batch
+
+    def batches(self) -> Iterator[MicroBatch]:
+        """Yield the wrapped stream's batches (the schedule is metadata)."""
+        return self.inner.batches()

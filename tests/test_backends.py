@@ -26,6 +26,7 @@ from repro.streaming import (
     DriftingZipfSource,
     MultiprocessBackend,
     SimulatedBackend,
+    SlowConsumerBackend,
     StreamingJoinEngine,
     make_backend,
 )
@@ -64,10 +65,58 @@ class TestSimulatedBackend:
         assert result.per_machine_seconds[-1] == 0.0
         assert result.wall_seconds >= 0.0
 
-    def test_close_is_a_noop_and_context_manager_works(self, rng):
+    def test_close_is_final_and_context_manager_works(self, rng):
         with SimulatedBackend() as backend:
             backend.join_regions(_region_keys(rng, size=10), BAND)
         backend.close()  # idempotent
+        assert backend.closed
+        # Uniform resource contract with the pooled backend: a closed
+        # backend refuses work instead of silently coming back to life.
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.join_regions(_region_keys(rng, size=10), BAND)
+
+
+class TestSlowConsumerBackend:
+    def test_results_unchanged_and_wall_time_inflated(self, rng):
+        region_keys = _region_keys(rng)
+        inner = SimulatedBackend()
+        reference = SimulatedBackend().join_regions(region_keys, BAND)
+        slow = SlowConsumerBackend(
+            inner, seconds_per_call=2.0, seconds_per_tuple=0.5
+        )
+        result = slow.join_regions(region_keys, BAND)
+        np.testing.assert_array_equal(
+            result.per_machine_output, reference.per_machine_output
+        )
+        probe_tuples = sum(len(k1) for k1, _ in region_keys)
+        expected_delay = 2.0 + 0.5 * probe_tuples
+        assert result.wall_seconds >= expected_delay
+        assert slow.name == "slow(simulated)"
+
+    def test_virtual_by_default_real_with_sleep(self, rng):
+        slept = []
+        slow = SlowConsumerBackend(
+            SimulatedBackend(), seconds_per_call=0.25, sleep=slept.append
+        )
+        slow.join_regions(_region_keys(rng, size=10), BAND)
+        assert slept == [0.25]
+        # Without a sleep callable, nothing stalls: only the report inflates.
+        virtual = SlowConsumerBackend(SimulatedBackend(), seconds_per_call=10.0)
+        result = virtual.join_regions(_region_keys(rng, size=10), BAND)
+        assert result.wall_seconds >= 10.0
+
+    def test_close_closes_the_inner_backend_and_is_final(self, rng):
+        inner = SimulatedBackend()
+        slow = SlowConsumerBackend(inner, seconds_per_call=0.01)
+        slow.close()
+        slow.close()  # idempotent
+        assert inner.closed and slow.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            slow.join_regions(_region_keys(rng, size=10), BAND)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlowConsumerBackend(SimulatedBackend(), seconds_per_call=-1.0)
 
 
 class TestMakeBackend:
@@ -108,13 +157,18 @@ class TestMultiprocessBackend:
             backend.join_regions(_region_keys(rng, size=20), BAND)
             assert backend._pool is pool
 
-    def test_close_then_reuse_restarts_the_pool(self, rng):
+    def test_use_after_close_raises_instead_of_leaking_a_pool(self, rng):
+        # join_regions after close() used to silently resurrect the worker
+        # pool via _ensure_pool(), leaking a pool nobody would ever shut
+        # down.  Use-after-close must raise; close() stays idempotent.
         backend = MultiprocessBackend(max_workers=2)
         backend.join_regions(_region_keys(rng, size=20), BAND)
         backend.close()
         assert backend._pool is None
-        result = backend.join_regions(_region_keys(rng, size=20), BAND)
-        assert result.total_output >= 0
+        assert backend.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.join_regions(_region_keys(rng, size=20), BAND)
+        assert backend._pool is None
         backend.close()
         backend.close()  # idempotent
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
@@ -10,6 +12,7 @@ from repro.core.weights import WeightFunction
 from repro.joins.conditions import BandJoinCondition
 from repro.joins.local import count_join_output
 from repro.partitioning.one_bucket import build_one_bucket_partitioning
+from repro.joins.conditions import EquiJoinCondition
 from repro.streaming import (
     ArrayStreamSource,
     DecayedReservoir,
@@ -18,12 +21,16 @@ from repro.streaming import (
     DriftingZipfSource,
     IncrementalHistogram,
     MicroBatch,
+    RateLimitedSource,
+    SortedRegionState,
     StaticEWHPolicy,
     StaticOneBucketPolicy,
     StreamingJoinEngine,
+    StreamRunResult,
     compare_streaming_schemes,
     plan_migration,
 )
+from repro.streaming.testing import assert_equivalent_runs
 from repro.workloads.definitions import make_bcb
 
 UNIT = WeightFunction(1.0, 1.0)
@@ -62,6 +69,172 @@ class TestArrayStreamSource:
     def test_invalid_batches(self):
         with pytest.raises(ValueError):
             ArrayStreamSource(np.arange(5.0), np.arange(5.0), 0)
+
+    def test_total_tuples_does_not_materialise_the_stream(self):
+        # Pipeline bookkeeping reads total_tuples up front; sources that
+        # know their own size must answer in O(1) instead of replaying.
+        class CountingSource(ArrayStreamSource):
+            calls = 0
+
+            def batches(self):
+                type(self).calls += 1
+                return super().batches()
+
+        source = CountingSource(np.arange(10.0), np.arange(6.0), 2)
+        assert source.total_tuples == 16
+        assert CountingSource.calls == 0
+
+        class CountingZipf(DriftingZipfSource):
+            calls = 0
+
+            def batches(self):
+                type(self).calls += 1
+                return super().batches()
+
+        zipf = CountingZipf(num_batches=4, tuples_per_batch=50, num_values=10)
+        assert zipf.total_tuples == 400
+        assert CountingZipf.calls == 0
+
+
+class TestRateLimitedSource:
+    def test_delegates_content_and_knows_the_schedule(self):
+        inner = ArrayStreamSource(np.arange(12.0), np.arange(12.0), 3)
+        source = RateLimitedSource(inner, 0.5)
+        assert source.num_batches == 3
+        assert source.total_tuples == 24
+        assert [source.arrival_time(i) for i in range(3)] == [0.5, 1.0, 1.5]
+        assert [b.keys1.tolist() for b in source.batches()] == [
+            b.keys1.tolist() for b in inner.batches()
+        ]
+
+    def test_total_tuples_never_rematerialises(self):
+        class CountingSource(ArrayStreamSource):
+            calls = 0
+
+            def batches(self):
+                type(self).calls += 1
+                return super().batches()
+
+        source = RateLimitedSource(
+            CountingSource(np.arange(8.0), np.arange(8.0), 2), 1.0
+        )
+        assert source.total_tuples == 16
+        assert CountingSource.calls == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateLimitedSource(ArrayStreamSource(np.arange(2.0), np.arange(2.0), 1), 0.0)
+
+
+class TestIntegerKeyPrecision:
+    """int64 join keys above 2**53 must round-trip without value change.
+
+    The old ``ArrayStreamSource`` coerced every key array to ``float64``,
+    which rounds int64 keys above 2**53 onto their even neighbours --
+    distinct keys collapse, band boundaries move, and the join output
+    silently changes.  Integer dtypes now survive the source, the engine's
+    history, the sorted region state and the counting kernels.
+    """
+
+    BIG = 2**53
+
+    def test_source_preserves_int64_values_exactly(self):
+        keys1 = np.array([self.BIG + 1, self.BIG + 3, self.BIG + 5], dtype=np.int64)
+        keys2 = np.array([self.BIG + 2, self.BIG + 4], dtype=np.int64)
+        source = ArrayStreamSource(keys1, keys2, 2)
+        batches = list(source.batches())
+        assert all(b.keys1.dtype == np.int64 for b in batches)
+        assert all(b.keys2.dtype == np.int64 for b in batches)
+        np.testing.assert_array_equal(
+            np.concatenate([b.keys1 for b in batches]), keys1
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([b.keys2 for b in batches]), keys2
+        )
+
+    def test_float_coercion_would_change_the_join(self):
+        # The bug, pinned: BIG + 1 rounds to BIG under float64 (ties to
+        # even), so the float path invents an equi match that does not
+        # exist -- the integer path must not.
+        k1 = np.array([self.BIG + 1], dtype=np.int64)
+        k2 = np.array([self.BIG], dtype=np.int64)
+        equi = EquiJoinCondition()
+        assert count_join_output(k1, k2, equi) == 0
+        assert (
+            count_join_output(
+                k1.astype(np.float64), k2.astype(np.float64), equi
+            )
+            == 1
+        )
+
+    def test_sorted_region_state_keeps_integer_dtype(self):
+        history = np.array(
+            [self.BIG + 5, self.BIG + 1, self.BIG + 3], dtype=np.int64
+        )
+        state = SortedRegionState.from_indices(np.array([0, 1, 2]), history)
+        assert state.keys.dtype == np.int64
+        assert state.keys.tolist() == [self.BIG + 1, self.BIG + 3, self.BIG + 5]
+        fresh = SortedRegionState()
+        fresh.insert(np.array([7]), np.array([self.BIG + 1], dtype=np.int64))
+        assert fresh.keys.dtype == np.int64
+        fresh.insert(np.array([9]), np.array([self.BIG + 3], dtype=np.int64))
+        assert fresh.keys.dtype == np.int64
+        assert fresh.keys.tolist() == [self.BIG + 1, self.BIG + 3]
+
+    def _int_stream(self, size=300, spread=2000, seed=5):
+        rng = np.random.default_rng(seed)
+        keys1 = self.BIG + rng.integers(0, spread, size).astype(np.int64)
+        keys2 = self.BIG + rng.integers(0, spread, size).astype(np.int64)
+        return keys1, keys2
+
+    def test_engine_round_trips_large_int_keys(self):
+        keys1, keys2 = self._int_stream()
+        brute = sum(
+            1
+            for a in keys1.tolist()
+            for b in keys2.tolist()
+            if abs(a - b) <= 1
+        )
+        for policy in (StaticOneBucketPolicy(3), StaticEWHPolicy()):
+            result = StreamingJoinEngine(
+                3, BAND, UNIT, policy=policy, sample_capacity=256, seed=2
+            ).run(ArrayStreamSource(keys1, keys2, 4))
+            assert result.output_correct
+            # Exact integer arithmetic, pinned against pure-python ints.
+            assert result.total_output == brute
+
+    def test_unsigned_keys_count_exactly_via_their_int64_image(self):
+        # uint64 keys above 2**53 are just as lossy under float64 as
+        # signed ones; they are normalised to their exact int64 image
+        # (values unchanged) wherever they fit.
+        k1 = np.array([self.BIG + 1], dtype=np.uint64)
+        k2 = np.array([self.BIG], dtype=np.uint64)
+        assert count_join_output(k1, k2, EquiJoinCondition()) == 0
+        source = ArrayStreamSource(k1, k2, 1)
+        batch = next(iter(source.batches()))
+        assert batch.keys1.dtype == np.int64
+        assert batch.keys1.tolist() == [self.BIG + 1]
+        result = StreamingJoinEngine(
+            2, BAND, UNIT, policy=StaticOneBucketPolicy(2), seed=1
+        ).run(source)
+        assert result.output_correct
+        # |(BIG+1) - BIG| = 1 <= beta: exactly one band pair, not the
+        # spurious equi collapse the float path would also report.
+        assert result.total_output == 1
+
+    def test_incremental_and_recount_agree_on_int_keys(self):
+        keys1, keys2 = self._int_stream(seed=9)
+
+        def run(counting):
+            return StreamingJoinEngine(
+                3, BAND, UNIT, policy=StaticEWHPolicy(),
+                counting=counting, sample_capacity=256, seed=2,
+            ).run(ArrayStreamSource(keys1, keys2, 4))
+
+        incremental = run("incremental")
+        recount = run("recount")
+        assert incremental.output_correct and recount.output_correct
+        assert_equivalent_runs(incremental, recount)
 
 
 class TestDriftingZipfSource:
@@ -551,6 +724,41 @@ class TestStreamingReporting:
         # Three batch rows plus two header lines; the short run's last cell
         # is blank rather than an IndexError.
         assert len(table.splitlines()) == 5
+
+    def test_zero_batch_result_renders_dashes_instead_of_crashing(self):
+        # A hand-built (or failed-early) run has no batches: every
+        # aggregate must degrade gracefully and the tables must render
+        # "-" rather than crash or print inf.
+        empty = StreamRunResult(scheme="empty", num_machines=2)
+        assert empty.peak_resident_tuples == 0
+        assert empty.peak_resident_bytes == 0
+        assert empty.peak_queue_depth == 0
+        assert empty.max_machine_load == 0.0
+        assert math.isnan(empty.mean_throughput)
+        table = format_streaming_table({"empty": empty})
+        assert " - " in table.splitlines()[-1]
+        batches_table = format_streaming_batches({"empty": empty})
+        assert len(batches_table.splitlines()) == 2  # header + rule only
+
+    def test_empty_results_dict_renders_header_only(self):
+        # max() over zero runs used to raise ValueError here.
+        table = format_streaming_batches({})
+        assert table.splitlines()[0].startswith("batch")
+
+    def test_empty_stream_run_reports_no_infinite_throughput(self):
+        source = ArrayStreamSource(np.empty(0), np.empty(0), 1)
+        result = StreamingJoinEngine(
+            2, BAND, UNIT, policy=StaticEWHPolicy(), sample_capacity=64
+        ).run(source)
+        # One empty batch, zero load, zero output -- and the exact check
+        # still holds (an empty join has cardinality zero).
+        assert result.num_batches == 1
+        assert result.total_tuples == 0
+        assert result.output_correct
+        assert math.isnan(result.mean_throughput)
+        assert math.isnan(result.batches[0].throughput)
+        table = format_streaming_table({"empty": result})
+        assert "inf" not in table
 
     def test_drift_history_records_the_triggering_ewma(self):
         detector = DriftDetector(

@@ -340,7 +340,8 @@ class TestWindowedEngine:
         # start at 1000 and skip values behaves exactly like the 0-based
         # stream (same outputs, evictions and repartitioning batches).  The
         # pre-compaction SlidingWindow indexed batch_starts by
-        # MicroBatch.index and raised IndexError here.
+        # MicroBatch.index and raised IndexError here.  A strided numbering
+        # has gaps, so the run must opt in with allow_gaps=True.
         class RenumberedSource(StreamSource):
             def __init__(self, inner, offset, stride):
                 self.inner, self.offset, self.stride = inner, offset, stride
@@ -364,7 +365,7 @@ class TestWindowedEngine:
             return StreamingJoinEngine(
                 3, BAND, UNIT, policy=policy, window="batches:3",
                 sample_capacity=256, seed=2,
-            ).run(source)
+            ).run(source, allow_gaps=True)
 
         plain = run(drift_source())
         renumbered = run(RenumberedSource(drift_source(), 1000, 7))
@@ -404,6 +405,31 @@ class TestWindowedEngine:
         )
         with pytest.raises(ValueError, match="strictly increasing"):
             engine.run(BrokenSource())
+
+    def test_gapped_batch_indices_need_explicit_opt_in(self):
+        # A gap in a contiguous stream usually means lost data, so the
+        # engine rejects it unless the caller declares the gaps legitimate
+        # (a shedding pipeline, a strided replay) via allow_gaps=True.
+        class GappedSource(StreamSource):
+            @property
+            def num_batches(self):
+                return 2
+
+            def batches(self):
+                keys = np.arange(5, dtype=np.float64)
+                yield MicroBatch(index=0, keys1=keys, keys2=keys)
+                yield MicroBatch(index=4, keys1=keys, keys2=keys)
+
+        def engine():
+            return StreamingJoinEngine(
+                2, BAND, UNIT, policy=StaticEWHPolicy(),
+                sample_capacity=64, seed=0,
+            )
+
+        with pytest.raises(ValueError, match="allow_gaps"):
+            engine().run(GappedSource())
+        result = engine().run(GappedSource(), allow_gaps=True)
+        assert result.output_correct
 
     def test_compaction_flag_only_changes_the_footprint(self):
         compacted = StreamingJoinEngine(
