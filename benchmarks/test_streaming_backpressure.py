@@ -19,16 +19,30 @@ deterministic:
 * **coalesce@4** -- queued batches merge into super-batches: queue memory
   flat, no stall, no loss; the engine catches up in fewer, larger steps,
   paying per-batch overheads once per super-batch.
+
+The ``block@4`` run additionally records the full span tree with a
+deterministic :class:`~repro.obs.trace.TickClock` tracer: the
+bit-identity assertion against the synchronous run then doubles as proof
+that tracing is behaviourally invisible, the exported Chrome trace is
+validated in-test and written to
+``benchmarks/results/streaming_backpressure_trace.json`` (CI uploads it
+as an artifact; open it in https://ui.perfetto.dev), and its
+tick-deterministic summary is appended to the report golden.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from repro.bench.reporting import (
     format_streaming_batches,
     format_streaming_table,
+    format_trace_summary,
 )
 from repro.core.weights import BAND_JOIN_WEIGHTS
 from repro.joins.conditions import BandJoinCondition
+from repro.obs import TickClock, Tracer
 from repro.streaming import (
     DriftAdaptiveEWHPolicy,
     DriftDetector,
@@ -40,6 +54,8 @@ from repro.streaming import (
 from repro.streaming.testing import assert_equivalent_runs
 
 from bench_utils import scaled
+
+TRACE_PATH = Path(__file__).parent / "results" / "streaming_backpressure_trace.json"
 
 BAND = BandJoinCondition(beta=1.0)
 NUM_BATCHES = 24
@@ -61,7 +77,7 @@ def drift_source():
     )
 
 
-def adaptive_engine():
+def adaptive_engine(tracer=None):
     """A fresh drift-adaptive engine over 8 machines."""
     policy = DriftAdaptiveEWHPolicy(
         DriftDetector(threshold=1.3, warmup_batches=2, cooldown_batches=4)
@@ -74,14 +90,15 @@ def adaptive_engine():
         sample_capacity=2048,
         sample_decay=0.7,
         seed=3,
+        tracer=tracer,
     )
 
 
-def piped(backpressure, queue):
+def piped(backpressure, queue, tracer=None):
     """One pipelined run of the stream on the simulated clock."""
     return StreamingPipeline(
         RateLimitedSource(drift_source(), ARRIVAL_SECONDS),
-        adaptive_engine(),
+        adaptive_engine(tracer),
         queue_batches=queue,
         backpressure=backpressure,
         mode="simulated",
@@ -90,23 +107,34 @@ def piped(backpressure, queue):
 
 
 def test_backpressure_policies_under_a_slow_consumer(benchmark, report):
+    tracers = []
+
     def run_all():
+        # The block@4 run is traced with a deterministic tick clock: the
+        # bit-identity check against the untraced sync run below is then
+        # also the proof that tracing is behaviourally invisible.
+        tracer = Tracer(clock=TickClock())
+        tracers.append(tracer)
         return {
             "sync": adaptive_engine().run(drift_source()),
             "buffer": piped("block", None),
-            "block@4": piped("block", QUEUE),
+            "block@4": piped("block", QUEUE, tracer=tracer),
             "shed@4": piped("shed", QUEUE),
             "coalesce@4": piped("coalesce", QUEUE),
         }
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    tracer = tracers[-1]
     report(
         "streaming_backpressure",
         "Backpressured pipeline vs a 4x-slow consumer (J = 8, "
         f"queue = {QUEUE} batches, simulated clock)",
         format_streaming_table(results)
         + "\n\nPer-batch max-machine load, resident state and queue depth\n\n"
-        + format_streaming_batches(results),
+        + format_streaming_batches(results)
+        + "\n\nblock@4 trace summary (deterministic tick clock; "
+        "seconds are ticks)\n\n"
+        + format_trace_summary(tracer),
     )
 
     sync = results["sync"]
@@ -160,3 +188,32 @@ def test_backpressure_policies_under_a_slow_consumer(benchmark, report):
     assert coalesce.total_tuples == sync.total_tuples
     assert coalesce.num_batches < NUM_BATCHES
     assert coalesce.total_output == sync.total_output
+
+    # Every simulated queue quantity is tagged with its clock domain, and
+    # the sync run (no queue at all) stays fully real-clock.
+    assert all(
+        r.clock_domains == "queue:sim"
+        for name, r in results.items()
+        if name != "sync"
+    )
+    assert sync.clock_domains == "real"
+
+    # Export the block@4 span tree as a Chrome trace, prove it is
+    # well-formed trace-event JSON, and leave it in benchmarks/results/
+    # for CI to upload (and humans to open in https://ui.perfetto.dev).
+    TRACE_PATH.parent.mkdir(exist_ok=True)
+    tracer.write_chrome_trace(str(TRACE_PATH))
+    payload = json.loads(TRACE_PATH.read_text(encoding="utf-8"))
+    events = payload["traceEvents"]
+    assert isinstance(events, list) and events
+    for event in events:
+        assert {"name", "ph", "pid", "tid"} <= set(event)
+        assert event["ph"] in ("X", "M")
+        if event["ph"] == "X":
+            assert "cat" in event
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+    names = {event["name"] for event in events}
+    assert {"run", "batch", "route", "incremental_count", "drift_decide"} <= names
+    # One complete event per recorded span, plus track-name metadata.
+    assert sum(1 for e in events if e["ph"] == "X") == len(tracer.spans)

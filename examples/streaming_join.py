@@ -38,21 +38,33 @@ synchronous run), ``shed`` drops whole batches, ``coalesce`` merges the
 queue into one super-batch.  The table then gains ``backpressure``, ``peak
 queue``, ``shed`` and ``stall s`` columns.
 
+Pass ``--trace trace.json`` to record the span tree of all three runs --
+``run → batch → {route, incremental_count, evict, compact, drift_decide,
+migrate}``, plus per-worker child spans under the multiprocess backend --
+into one Chrome-trace file (load it at https://ui.perfetto.dev; a ``.jsonl``
+suffix writes the span log as JSON lines instead) and print a where-did-
+the-time-go summary table.  Pass ``--metrics metrics.json`` to collect each
+scheme's run into a :class:`~repro.obs.metrics.MetricsRegistry` and dump
+the final counter/gauge/histogram snapshots as JSON.
+
 Run with::
 
     python examples/streaming_join.py [--backend {simulated,multiprocess}]
                                       [--window SPEC]
                                       [--queue N]
                                       [--backpressure {block,shed,coalesce}]
+                                      [--trace PATH] [--metrics PATH]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 
-from repro.bench.reporting import format_streaming_table
+from repro.bench.reporting import format_streaming_table, format_trace_summary
 from repro.core.weights import BAND_JOIN_WEIGHTS
 from repro.joins.conditions import BandJoinCondition
+from repro.obs import MetricsRegistry, Tracer
 from repro.streaming import (
     BACKPRESSURE_MODES,
     DriftAdaptiveEWHPolicy,
@@ -100,8 +112,36 @@ def main() -> None:
         "'block' stalls (lossless, default), 'shed' drops whole batches, "
         "'coalesce' merges the queue into one super-batch",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record the span tree of all three runs into PATH as "
+        "Chrome-trace JSON (open in https://ui.perfetto.dev; a .jsonl "
+        "suffix writes a JSON-lines span log instead) and print a trace "
+        "summary table",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="collect each scheme's run into a metrics registry and write "
+        "the final counter/gauge/histogram snapshots to PATH as JSON",
+    )
     args = parser.parse_args()
     window = make_window(args.window)
+
+    # One tracer shared by all three engines -- every run lands in the same
+    # timeline under its own scheme-tagged `run` span -- but one registry
+    # per scheme: registries are mutable run state and summing the schemes'
+    # counters together would be meaningless.
+    tracer = Tracer() if args.trace else None
+    registries: "dict[str, MetricsRegistry]" = {}
+
+    def metrics_for(name: str) -> "MetricsRegistry | None":
+        if args.metrics is None:
+            return None
+        return registries.setdefault(name, MetricsRegistry())
 
     num_machines = 16
     source = DriftingZipfSource(
@@ -147,6 +187,8 @@ def main() -> None:
                     sample_capacity=2048,
                     sample_decay=0.7,
                     seed=3,
+                    tracer=tracer,
+                    metrics=metrics_for(name),
                 )
                 results[name] = StreamingPipeline(
                     RateLimitedSource(source, 0.01),
@@ -166,6 +208,8 @@ def main() -> None:
             sample_capacity=2048,
             sample_decay=0.7,
             seed=3,
+            tracer=tracer,
+            metrics_factory=metrics_for,
         )
     print(format_streaming_table(results))
 
@@ -204,6 +248,27 @@ def main() -> None:
         "engine restores balance and ends with a lower max-machine load -- "
         "migration cost included."
     )
+    if tracer is not None:
+        if args.trace.endswith(".jsonl"):
+            tracer.write_jsonl(args.trace)
+        else:
+            tracer.write_chrome_trace(args.trace)
+        print(
+            f"\nTrace: {len(tracer.spans)} spans -> {args.trace} "
+            "(open in https://ui.perfetto.dev). Where the time went:"
+        )
+        print(format_trace_summary(tracer))
+    if args.metrics is not None:
+        payload = {
+            name: registry.snapshot() for name, registry in registries.items()
+        }
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"\nMetrics: final registry snapshots of {len(registries)} "
+            f"schemes -> {args.metrics}"
+        )
 
 
 if __name__ == "__main__":

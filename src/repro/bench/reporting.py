@@ -11,6 +11,7 @@ import math
 
 from repro.bench.experiments import ComparisonResult
 from repro.bench.scalability import ScalabilityPoint
+from repro.obs.trace import summarize_spans
 from repro.streaming.metrics import StreamRunResult
 from repro.workloads.definitions import JoinWorkload
 
@@ -20,6 +21,7 @@ __all__ = [
     "format_streaming_table",
     "format_streaming_batches",
     "format_table_iv",
+    "format_trace_summary",
     "format_rows",
 ]
 
@@ -127,6 +129,16 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
     (deepest the bounded queue got, in batches), ``shed`` (tuples dropped
     at the full queue) and ``stall s`` (producer time lost blocking on
     it); synchronous runs render ``-`` there.
+
+    ``pickled KB`` is the run's total serialization tax -- bytes the
+    multiprocess backend's task and result payloads shipped through its
+    pickle channel; runs whose backend has no serialization channel (the
+    in-process simulated backend) render ``-``, never a misleading ``0``.
+    ``clock`` says which clock domain each run's timed quantities live in:
+    ``real`` throughout, or the simulated parts (``join:sim`` for a
+    virtual-delay backend, ``queue:sim`` for a simulated pipeline) -- so a
+    table can never silently compare simulated seconds against wall-clock
+    seconds.
     """
     pipelined = any(
         result.backpressure is not None for result in results.values()
@@ -149,7 +161,7 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
     ]
     if pipelined:
         headers += ["backpressure", "peak queue", "shed", "stall s"]
-    headers += ["throughput", "join s", "correct"]
+    headers += ["throughput", "join s", "pickled KB", "clock", "correct"]
     rows = []
     for scheme, result in results.items():
         row = [
@@ -187,6 +199,10 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
             _format_ratio(result.mean_throughput),
             f"{result.join_seconds:.3f}",
             "-"
+            if result.total_bytes_pickled is None
+            else f"{result.total_bytes_pickled / 1024:,.1f}",
+            result.clock_domains,
+            "-"
             if result.output_correct is None
             else ("yes" if result.output_correct else "NO"),
         ]
@@ -209,10 +225,20 @@ def format_streaming_batches(results: dict[str, StreamRunResult]) -> str:
     never processed that index (a coalesced super-batch sits on its last
     constituent's index).  An empty result set renders the header only
     instead of crashing.
+
+    When any run measured its serialization channel, one ``pickled KB``
+    column per scheme appears too (the batch's pickle-channel bytes under
+    the multiprocess backend); batches with no measurement render ``-``,
+    so mixing a profiled run with simulated ones stays unambiguous.
     """
     schemes = list(results)
     pipelined = any(
         result.backpressure is not None for result in results.values()
+    )
+    profiled = any(
+        batch.bytes_pickled is not None
+        for result in results.values()
+        for batch in result.batches
     )
     headers = (
         ["batch", "tuples"]
@@ -220,6 +246,7 @@ def format_streaming_batches(results: dict[str, StreamRunResult]) -> str:
         + [f"{s} resident" for s in schemes]
         + [f"{s} mem KB" for s in schemes]
         + ([f"{s} queue" for s in schemes] if pipelined else [])
+        + ([f"{s} pickled KB" for s in schemes] if profiled else [])
         + [f"{s} repart." for s in schemes]
     )
     by_scheme = [
@@ -243,8 +270,51 @@ def format_streaming_batches(results: dict[str, StreamRunResult]) -> str:
                 if pipelined
                 else []
             )
+            + (
+                [
+                    ""
+                    if b is None
+                    else (
+                        "-"
+                        if b.bytes_pickled is None
+                        else f"{b.bytes_pickled / 1024:,.1f}"
+                    )
+                    for b in per_scheme
+                ]
+                if profiled
+                else []
+            )
             + ["" if b is None else ("*" if b.repartitioned else "") for b in per_scheme]
         )
+    return format_rows(headers, rows)
+
+
+def format_trace_summary(trace) -> str:
+    """Where the traced time went, aggregated by span label.
+
+    ``trace`` is a :class:`~repro.obs.trace.Tracer` (or anything with a
+    ``spans`` attribute), or a plain iterable of
+    :class:`~repro.obs.trace.Span`.  One row per distinct
+    ``(category, name)``, ordered by descending total time: count, total,
+    mean and max seconds.  Seconds are in the *tracer's* clock -- wall
+    seconds under the default clock, tick counts under a deterministic
+    :class:`~repro.obs.trace.TickClock` -- so the table itself never mixes
+    clock domains.  An empty trace (e.g. the null tracer) renders the
+    header only.
+    """
+    spans = getattr(trace, "spans", trace)
+    headers = ["category", "span", "count", "total s", "mean s", "max s"]
+    rows = [
+        [
+            entry["category"],
+            entry["name"],
+            str(entry["count"]),
+            f"{entry['total_seconds']:.6f}",
+            f"{entry['mean_seconds']:.6f}",
+            f"{entry['max_seconds']:.6f}",
+        ]
+        for entry in summarize_spans(spans)
+    ]
     return format_rows(headers, rows)
 
 

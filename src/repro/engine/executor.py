@@ -11,9 +11,11 @@ process start-up and pickling overhead dominates tiny inputs).
 
 from __future__ import annotations
 
+import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -23,10 +25,42 @@ from repro.partitioning.base import Partitioning
 
 __all__ = [
     "MultiprocessJoinResult",
+    "RegionExecution",
     "broadcast_conditions",
     "join_assigned_regions",
+    "pickled_nbytes",
     "run_join_multiprocess",
 ]
+
+
+class _CountingSink:
+    """A write-only sink that measures bytes without retaining them."""
+
+    __slots__ = ("nbytes",)
+
+    def __init__(self) -> None:
+        self.nbytes = 0
+
+    def write(self, data: bytes) -> int:
+        """Count ``data``'s length; the payload itself is discarded."""
+        self.nbytes += len(data)
+        return len(data)
+
+
+def pickled_nbytes(obj: object) -> int:
+    """Exact pickled size of ``obj``, in bytes, without keeping the pickle.
+
+    This is the serialization-profiling primitive: the streaming
+    :class:`~repro.streaming.backends.MultiprocessBackend` charges every
+    batch with the bytes its task payloads (region key arrays) and result
+    payloads would ship through the ``ProcessPoolExecutor`` pickle channel.
+    Measuring through a counting sink costs one serialization pass but
+    never materialises the byte string, so profiling large key arrays does
+    not double peak memory.
+    """
+    sink = _CountingSink()
+    pickle.Pickler(sink, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    return sink.nbytes
 
 
 def broadcast_conditions(
@@ -47,12 +81,16 @@ def broadcast_conditions(
 
 def _join_region(
     args: tuple[np.ndarray, np.ndarray, JoinCondition, bool],
-) -> tuple[int, float]:
-    """Worker: join one region's tuples, return (output count, seconds)."""
+) -> tuple[int, float, int]:
+    """Worker: join one region's tuples, return (output, seconds, worker pid).
+
+    The pid identifies which pool process actually ran the region, so a
+    tracer can stitch per-worker child spans under the dispatching batch.
+    """
     keys1, keys2, condition, keys2_sorted = args
     start = time.perf_counter()
     output = count_join_output(keys1, keys2, condition, keys2_sorted=keys2_sorted)
-    return output, time.perf_counter() - start
+    return output, time.perf_counter() - start, os.getpid()
 
 
 def _busy_machines(pairs: list[tuple]) -> list[int]:
@@ -69,18 +107,54 @@ def _busy_machines(pairs: list[tuple]) -> list[int]:
     ]
 
 
+@dataclass
+class RegionExecution:
+    """Everything measured while executing one set of region joins on a pool.
+
+    Attributes
+    ----------
+    per_machine_output:
+        Exact join output counted for each machine's region.
+    per_machine_seconds:
+        Wall-clock seconds each worker spent joining its region.
+    wall_seconds:
+        End-to-end time of the parallel execution, including scheduling.
+    bytes_pickled:
+        Bytes the task payloads (key arrays + condition) ship through the
+        pool's pickle channel; zero when profiling is disabled.
+    bytes_unpickled:
+        Bytes the result payloads ship back; zero when profiling is
+        disabled.
+    worker_pids:
+        OS pid of the pool process that ran each machine's region
+        (``-1`` for machines whose region had an empty side and was never
+        dispatched) -- what trace stitching keys worker tracks off.
+    """
+
+    per_machine_output: np.ndarray
+    per_machine_seconds: np.ndarray
+    wall_seconds: float
+    bytes_pickled: int = 0
+    bytes_unpickled: int = 0
+    worker_pids: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+
 def join_assigned_regions(
     pool: ProcessPoolExecutor,
     region_keys: list[tuple[np.ndarray, np.ndarray]],
     condition: "JoinCondition | list[JoinCondition]",
     keys2_sorted: bool = False,
-) -> tuple[np.ndarray, np.ndarray, float]:
+    profile_serialization: bool = True,
+) -> RegionExecution:
     """Join already-assigned regions on an existing worker pool.
 
     ``region_keys[m]`` holds the (R1, R2) key arrays of machine ``m``'s
     region.  Regions with an empty side cannot produce output and are never
-    shipped to a worker.  Returns per-machine output counts, per-machine
-    worker seconds, and the end-to-end wall time of the parallel execution.
+    shipped to a worker.  Returns a :class:`RegionExecution` with the
+    per-machine output counts, worker seconds and pids, the end-to-end wall
+    time, and the pickle-channel byte counts.
 
     ``condition`` is one condition shared by every region, or a list with
     one condition per region -- the streaming engine's incremental counting
@@ -91,6 +165,12 @@ def join_assigned_regions(
     already sorted ascending, letting the workers skip the per-region sort
     -- the streaming engine's incremental counting maintains its state
     sorted exactly so this path stays ``O(new log state)``.
+
+    ``profile_serialization`` measures, via :func:`pickled_nbytes`, the
+    bytes every task ships *to* the pool and every result ships *back* --
+    the per-batch serialization tax the ROADMAP's zero-copy sticky-worker
+    refactor is meant to drive to ~0.  The measurement costs one extra
+    serialization pass over the payloads; pass ``False`` to skip it.
 
     This is the piece :func:`run_join_multiprocess` and the streaming
     :class:`~repro.streaming.backends.MultiprocessBackend` share: the caller
@@ -108,16 +188,32 @@ def join_assigned_regions(
         )
         for machine in busy_machines
     ]
+    bytes_pickled = (
+        sum(pickled_nbytes(task) for task in tasks)
+        if profile_serialization
+        else 0
+    )
+    bytes_unpickled = 0
     start = time.perf_counter()
     outputs = np.zeros(len(region_keys), dtype=np.int64)
     seconds = np.zeros(len(region_keys))
+    pids = np.full(len(region_keys), -1, dtype=np.int64)
     if tasks:
-        for machine, (output, elapsed) in zip(
-            busy_machines, pool.map(_join_region, tasks)
-        ):
+        for machine, result in zip(busy_machines, pool.map(_join_region, tasks)):
+            output, elapsed, pid = result
             outputs[machine] = output
             seconds[machine] = elapsed
-    return outputs, seconds, time.perf_counter() - start
+            pids[machine] = pid
+            if profile_serialization:
+                bytes_unpickled += pickled_nbytes(result)
+    return RegionExecution(
+        per_machine_output=outputs,
+        per_machine_seconds=seconds,
+        wall_seconds=time.perf_counter() - start,
+        bytes_pickled=bytes_pickled,
+        bytes_unpickled=bytes_unpickled,
+        worker_pids=pids,
+    )
 
 
 @dataclass
@@ -198,7 +294,11 @@ def run_join_multiprocess(
     start = time.perf_counter()
     if busy:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            outputs, seconds, _ = join_assigned_regions(pool, region_keys, condition)
+            execution = join_assigned_regions(
+                pool, region_keys, condition, profile_serialization=False
+            )
+            outputs = execution.per_machine_output
+            seconds = execution.per_machine_seconds
     else:
         outputs = np.zeros(len(region_keys), dtype=np.int64)
         seconds = np.zeros(len(region_keys))

@@ -1,0 +1,51 @@
+"""`repro.obs` — tracing and metrics for the streaming stack.
+
+Two small, dependency-free building blocks:
+
+* :mod:`repro.obs.trace` — hierarchical spans (``run → batch → {route,
+  incremental_count, join, evict, compact, drift_decide, migrate}``) with an
+  injectable clock, a zero-overhead no-op tracer as the default, and
+  exporters to JSONL event logs and Chrome-trace/Perfetto JSON.
+* :mod:`repro.obs.metrics` — a counter/gauge/histogram registry with a
+  periodic snapshot reporter, the single home for the run-time quantities
+  that used to live only as ad-hoc fields scattered across
+  :class:`~repro.streaming.metrics.BatchMetrics` and
+  :class:`~repro.streaming.metrics.StreamRunResult`.
+
+Everything here is *observation only*: enabling a tracer or a registry on a
+:class:`~repro.streaming.engine.StreamingJoinEngine` never touches the
+engine's random generator, its routing, counting or migration arithmetic —
+traced runs are behaviourally bit-identical to untraced runs, which
+``tests/test_obs.py`` pins with a hypothesis property.  See
+``docs/observability.md`` for the full narrative.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SnapshotReporter,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TickClock,
+    Tracer,
+    summarize_spans,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TickClock",
+    "summarize_spans",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SnapshotReporter",
+]

@@ -64,11 +64,26 @@ class RegionJoinResult:
         multiprocess backend, in-process time under the simulated one).
     wall_seconds:
         End-to-end time of the whole execution, including scheduling.
+    bytes_pickled, bytes_unpickled:
+        Bytes the execution shipped through a serialization channel --
+        tasks out, results back over the multiprocess backend's
+        ``ProcessPoolExecutor`` pickle channel.  ``None`` (not ``0``) for
+        backends with no such channel: the in-process simulated backend
+        moves no bytes at all, and reporting renders the column as ``-``
+        rather than claiming a measured zero.
+    worker_pids:
+        OS pid of the process that joined each machine's region (``-1``
+        for machines that were never dispatched), or ``None`` for
+        in-process backends.  A tracer uses these to stitch per-worker
+        child spans under the dispatching batch's span.
     """
 
     per_machine_output: np.ndarray
     per_machine_seconds: np.ndarray
     wall_seconds: float
+    bytes_pickled: "int | None" = None
+    bytes_unpickled: "int | None" = None
+    worker_pids: "np.ndarray | None" = None
 
     @property
     def total_output(self) -> int:
@@ -93,6 +108,11 @@ class ExecutionBackend(abc.ABC):
 
     #: Reporting name recorded on the run result.
     name: str = "backend"
+
+    #: Which clock domain the backend's reported timings live in:
+    #: ``"real"`` for measured wall-clock seconds, ``"simulated"`` for
+    #: modeled ones (see ``docs/observability.md`` on clock domains).
+    clock_domain: str = "real"
 
     #: Set by :meth:`close`; class-level default so subclasses need no
     #: ``__init__`` chaining.
@@ -184,6 +204,15 @@ class MultiprocessBackend(ExecutionBackend):
     max_workers:
         Upper bound on concurrent worker processes (defaults to the pool's
         own default, usually the CPU count).
+    profile_serialization:
+        Measure, per execution, the bytes the task payloads ship through
+        the pool's pickle channel and the bytes the results ship back
+        (``True`` by default).  This is the ``bytes_pickled`` /
+        ``bytes_unpickled`` metric on
+        :class:`~repro.streaming.metrics.BatchMetrics` -- the quantity the
+        ROADMAP's zero-copy sticky-worker refactor must drive to ~0.  The
+        measurement costs one extra serialization pass over each payload;
+        disable it for timing-critical sweeps.
 
     The pool is created lazily on the first batch and kept alive for the
     lifetime of the backend, so a stream of many small batches pays process
@@ -194,10 +223,15 @@ class MultiprocessBackend(ExecutionBackend):
 
     name = "multiprocess"
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        profile_serialization: bool = True,
+    ) -> None:
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self.max_workers = max_workers
+        self.profile_serialization = profile_serialization
         self._pool: ProcessPoolExecutor | None = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -213,13 +247,24 @@ class MultiprocessBackend(ExecutionBackend):
     ) -> RegionJoinResult:
         """Ship each non-empty region to the worker pool and count there."""
         self._ensure_open()
-        outputs, seconds, wall = join_assigned_regions(
-            self._ensure_pool(), region_keys, condition, keys2_sorted=keys2_sorted
+        execution = join_assigned_regions(
+            self._ensure_pool(),
+            region_keys,
+            condition,
+            keys2_sorted=keys2_sorted,
+            profile_serialization=self.profile_serialization,
         )
         return RegionJoinResult(
-            per_machine_output=outputs,
-            per_machine_seconds=seconds,
-            wall_seconds=wall,
+            per_machine_output=execution.per_machine_output,
+            per_machine_seconds=execution.per_machine_seconds,
+            wall_seconds=execution.wall_seconds,
+            bytes_pickled=(
+                execution.bytes_pickled if self.profile_serialization else None
+            ),
+            bytes_unpickled=(
+                execution.bytes_unpickled if self.profile_serialization else None
+            ),
+            worker_pids=execution.worker_pids,
         )
 
     def close(self) -> None:
@@ -264,6 +309,11 @@ class SlowConsumerBackend(ExecutionBackend):
         self.seconds_per_tuple = seconds_per_tuple
         self._sleep = sleep
         self.name = f"slow({inner.name})"
+        # A virtual delay makes the reported wall time a *model*, not a
+        # measurement; a real sleep keeps the inner backend's domain.
+        self.clock_domain = (
+            inner.clock_domain if sleep is not None else "simulated"
+        )
 
     def join_regions(
         self,
@@ -285,6 +335,9 @@ class SlowConsumerBackend(ExecutionBackend):
             per_machine_output=result.per_machine_output,
             per_machine_seconds=result.per_machine_seconds,
             wall_seconds=result.wall_seconds + delay,
+            bytes_pickled=result.bytes_pickled,
+            bytes_unpickled=result.bytes_unpickled,
+            worker_pids=result.worker_pids,
         )
 
     def close(self) -> None:

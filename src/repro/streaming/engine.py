@@ -74,6 +74,8 @@ from repro.core.histogram import EWHConfig
 from repro.core.weights import WeightFunction
 from repro.joins.conditions import JoinCondition
 from repro.joins.local import count_join_output
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.partitioning.base import Partitioning
 from repro.streaming.backends import (
     ExecutionBackend,
@@ -170,6 +172,22 @@ class StreamingJoinEngine:
     seed:
         Seed of the engine's internal generator (routing, sampling and any
         randomised window policy).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` recording the span tree
+        ``run → batch → {route, incremental_count, join, evict, compact,
+        drift_decide, migrate}``; under the multiprocess backend each
+        counting span additionally stitches per-worker child spans keyed by
+        the pool pid that ran each task.  Defaults to the shared
+        zero-overhead :data:`~repro.obs.trace.NULL_TRACER`.  Tracing is
+        observation only: it never touches the engine's random generator or
+        arithmetic, so traced runs are behaviourally bit-identical to
+        untraced runs.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; the engine
+        folds every batch's :class:`~repro.streaming.metrics.BatchMetrics`
+        into the registry's counters/gauges/histograms and pulses it once
+        per batch (driving any attached
+        :class:`~repro.obs.metrics.SnapshotReporter`).
     """
 
     def __init__(
@@ -190,6 +208,8 @@ class StreamingJoinEngine:
         migration_cost_factor: float = 1.0,
         rebuild_scan_factor: float = 0.5,
         seed: int = 0,
+        tracer: "Tracer | NullTracer | None" = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if num_machines <= 0:
             raise ValueError("num_machines must be positive")
@@ -242,6 +262,8 @@ class StreamingJoinEngine:
         self.migration_cost_factor = migration_cost_factor
         self.rebuild_scan_factor = rebuild_scan_factor
         self.seed = seed
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self._consumed = False
 
     # ------------------------------------------------------------------
@@ -313,24 +335,32 @@ class StreamingJoinEngine:
         state)``, dispatched to the backend as one 2J-task execution (a
         single pool round-trip under the multiprocess backend); no
         full-region recount happens.  Returns the per-machine deltas and
-        the backend execution (for its timings).
+        the backend execution (for its timings and serialization bytes).
+
+        The whole fold-and-count is wrapped in an ``incremental_count``
+        span; under a profiling backend the execution's worker pids are
+        stitched as per-worker child spans.
         """
         J = self.num_machines
-        tasks: list[tuple[np.ndarray, np.ndarray]] = []
-        conditions = []
-        for machine in range(J):
-            new_keys1 = history1[new1[machine]]
-            new_keys2 = history2[new2[machine]]
-            old_keys1 = state1[machine].keys
-            state2[machine].insert(new2[machine], new_keys2)
-            tasks.append((new_keys1, state2[machine].keys))
-            conditions.append(self.condition)
-            tasks.append((new_keys2, old_keys1))
-            conditions.append(self._transposed)
-            state1[machine].insert(new1[machine], new_keys1)
-        execution = self.backend.join_regions(
-            tasks, conditions, keys2_sorted=True
-        )
+        with self.tracer.span(
+            "incremental_count", category="stage", tasks=2 * J
+        ) as span:
+            tasks: list[tuple[np.ndarray, np.ndarray]] = []
+            conditions = []
+            for machine in range(J):
+                new_keys1 = history1[new1[machine]]
+                new_keys2 = history2[new2[machine]]
+                old_keys1 = state1[machine].keys
+                state2[machine].insert(new2[machine], new_keys2)
+                tasks.append((new_keys1, state2[machine].keys))
+                conditions.append(self.condition)
+                tasks.append((new_keys2, old_keys1))
+                conditions.append(self._transposed)
+                state1[machine].insert(new1[machine], new_keys1)
+            execution = self.backend.join_regions(
+                tasks, conditions, keys2_sorted=True
+            )
+        self._stitch_workers(execution, span)
         deltas = execution.per_machine_output.reshape(J, 2).sum(axis=1)
         combined = RegionJoinResult(
             per_machine_output=deltas,
@@ -338,8 +368,87 @@ class StreamingJoinEngine:
                 axis=1
             ),
             wall_seconds=execution.wall_seconds,
+            bytes_pickled=execution.bytes_pickled,
+            bytes_unpickled=execution.bytes_unpickled,
         )
         return deltas, combined
+
+    def _stitch_workers(self, execution: RegionJoinResult, span) -> None:
+        """Emit per-worker child spans for one backend execution.
+
+        Only the multiprocess backend reports ``worker_pids`` (and only for
+        the tasks it actually dispatched), so simulated runs emit no worker
+        spans at all -- which is what keeps simulated-mode traces
+        byte-identical across runs: worker seconds are real wall-clock
+        times and would otherwise leak nondeterminism into the trace.
+        Each child starts at the parent span's start and lands on a per-pid
+        Chrome-trace track, so Perfetto shows the pool's real parallelism
+        under the dispatching span.
+        """
+        pids = execution.worker_pids
+        if pids is None or not self.tracer.enabled:
+            return
+        for task, pid in enumerate(pids):
+            pid = int(pid)
+            if pid < 0:
+                continue
+            self.tracer.record(
+                "task",
+                float(execution.per_machine_seconds[task]),
+                category="worker",
+                start=span.start,
+                tid=pid,
+                thread_name=f"worker {pid}",
+                task=task,
+            )
+
+    @staticmethod
+    def _accumulate_bytes(
+        total: "int | None", measured: "int | None"
+    ) -> "int | None":
+        """Fold one execution's byte count into a batch total.
+
+        ``None`` means "not measured" on both sides -- a batch only gets a
+        byte count once at least one of its executions went through a
+        profiling serialization channel, so simulated batches keep ``None``
+        (rendered ``-`` in the streaming tables) rather than a misleading
+        ``0``.
+        """
+        if measured is None:
+            return total
+        return (0 if total is None else total) + measured
+
+    def _meter_batch(self, metrics: BatchMetrics) -> None:
+        """Fold one batch's metrics into the attached registry and pulse it.
+
+        This is the single bridge between the per-batch
+        :class:`~repro.streaming.metrics.BatchMetrics` record and the
+        unified :class:`~repro.obs.metrics.MetricsRegistry`: monotonic
+        quantities become counters, instantaneous ones gauges, and the
+        per-batch distributions histograms.  The trailing ``pulse()``
+        drives any attached :class:`~repro.obs.metrics.SnapshotReporter`.
+        """
+        registry = self.metrics
+        if registry is None:
+            return
+        registry.counter("stream.batches").inc()
+        registry.counter("stream.tuples").inc(metrics.new_tuples)
+        registry.counter("stream.output").inc(metrics.output_delta)
+        registry.counter("stream.tuples_evicted").inc(metrics.tuples_evicted)
+        registry.counter("stream.tuples_migrated").inc(metrics.migrated_tuples)
+        if metrics.repartitioned:
+            registry.counter("stream.repartitions").inc()
+        if metrics.bytes_pickled is not None:
+            registry.counter("stream.bytes_pickled").inc(metrics.bytes_pickled)
+            registry.counter("stream.bytes_unpickled").inc(
+                metrics.bytes_unpickled or 0
+            )
+        registry.gauge("stream.resident_tuples").set(metrics.resident_tuples)
+        registry.gauge("stream.resident_bytes").set(metrics.resident_bytes)
+        registry.gauge("stream.live_imbalance").set(metrics.live_imbalance)
+        registry.histogram("stream.batch_seconds").observe(metrics.wall_seconds)
+        registry.histogram("stream.max_load").observe(metrics.max_load)
+        registry.pulse()
 
     @staticmethod
     def _remove_sorted(live: np.ndarray, expired: np.ndarray) -> np.ndarray:
@@ -517,273 +626,399 @@ class StreamingJoinEngine:
             backend=self.backend.name,
             window=self.window.name,
             counting=self.counting,
+            join_clock=self.backend.clock_domain,
         )
         cumulative = np.zeros(J, dtype=np.float64)
+        tracer = self.tracer
 
         batches = source.batches() if hasattr(source, "batches") else iter(source)
-        for batch in batches:
-            start = time.perf_counter()
-            # Liveness and windows key off the engine's own processed-batch
-            # count, so any strictly increasing source numbering works --
-            # but a non-monotone one would silently reorder time, and a gap
-            # in a contiguous stream usually means lost data, so gaps must
-            # be opted into (shed/coalesced pipelines, renumbered replays).
-            if last_batch_index is not None:
-                if batch.index <= last_batch_index:
-                    raise ValueError(
-                        f"stream batch indices must be strictly increasing, "
-                        f"got batch {batch.index} after {last_batch_index}"
-                    )
-                if not allow_gaps and batch.index != last_batch_index + 1:
-                    raise ValueError(
-                        f"stream batch indices must be contiguous, got batch "
-                        f"{batch.index} after {last_batch_index}; pass "
-                        "allow_gaps=True for streams that legitimately skip "
-                        "indices (shed/coalesced pipelines, renumbered "
-                        "sources)"
-                    )
-            last_batch_index = batch.index
-            position += 1
-            if self.policy.needs_statistics(partitioning is not None):
-                self.histogram.observe(batch, rng)
-
-            rebuild_cost = 0.0
-            initial_build = False
-            if partitioning is None and self.policy.ready(self.histogram):
-                builds_before = self.histogram.rebuilds
-                partitioning = self.policy.initial_partitioning(
-                    self.histogram, self.condition, rng
+        # The whole consumption runs under one `run` span; every span arg
+        # below is deterministic (indices, counts, flags -- never seconds),
+        # so a simulated-mode run traced with a TickClock produces a
+        # byte-identical trace on every replay.
+        with tracer.span(
+            "run",
+            category="run",
+            scheme=self.policy.scheme_name,
+            machines=J,
+            backend=self.backend.name,
+            window=self.window.name,
+            counting=self.counting,
+        ):
+            for batch in batches:
+                start = time.perf_counter()
+                # Liveness and windows key off the engine's own
+                # processed-batch count, so any strictly increasing source
+                # numbering works -- but a non-monotone one would silently
+                # reorder time, and a gap in a contiguous stream usually
+                # means lost data, so gaps must be opted into
+                # (shed/coalesced pipelines, renumbered replays).
+                if last_batch_index is not None:
+                    if batch.index <= last_batch_index:
+                        raise ValueError(
+                            f"stream batch indices must be strictly "
+                            f"increasing, got batch {batch.index} after "
+                            f"{last_batch_index}"
+                        )
+                    if not allow_gaps and batch.index != last_batch_index + 1:
+                        raise ValueError(
+                            f"stream batch indices must be contiguous, got "
+                            f"batch {batch.index} after {last_batch_index}; "
+                            "pass allow_gaps=True for streams that "
+                            "legitimately skip indices (shed/coalesced "
+                            "pipelines, renumbered sources)"
+                        )
+                last_batch_index = batch.index
+                position += 1
+                batch_span = tracer.span(
+                    "batch",
+                    category="batch",
+                    index=batch.index,
+                    position=position,
+                    tuples=batch.num_tuples,
                 )
-                if self.histogram.rebuilds > builds_before:
-                    rebuild_cost = self._rebuild_charge()
-                initial_build = True
+                with batch_span:
+                    if self.policy.needs_statistics(partitioning is not None):
+                        self.histogram.observe(batch, rng)
 
-            offset1, offset2 = len(history1), len(history2)
-            history1 = self._append_history(history1, batch.keys1)
-            history2 = self._append_history(history2, batch.keys2)
-            if windowed:
-                starts1.append(offset1)
-                starts2.append(offset2)
-                live1 = np.concatenate(
-                    [live1, np.arange(offset1, len(history1), dtype=np.int64)]
-                )
-                live2 = np.concatenate(
-                    [live2, np.arange(offset2, len(history2), dtype=np.int64)]
-                )
+                    rebuild_cost = 0.0
+                    initial_build = False
+                    if partitioning is None and self.policy.ready(self.histogram):
+                        builds_before = self.histogram.rebuilds
+                        partitioning = self.policy.initial_partitioning(
+                            self.histogram, self.condition, rng
+                        )
+                        if self.histogram.rebuilds > builds_before:
+                            rebuild_cost = self._rebuild_charge()
+                        initial_build = True
 
-            join_seconds = 0.0
-            per_machine_join_seconds = np.zeros(J)
-            if partitioning is None:
-                # One side is still entirely unseen, so no partitioning can
-                # be built and no output is possible yet; the arrivals just
-                # accumulate in the (unrouted) history.
-                arrivals = np.zeros(J, dtype=np.int64)
-                deltas = np.zeros(J, dtype=np.int64)
-            else:
-                if initial_build:
-                    # Tuples that arrived before the first build were never
-                    # shipped anywhere: route the retained (live) history as
-                    # one big batch of arrivals into the empty state.
+                    offset1, offset2 = len(history1), len(history2)
+                    history1 = self._append_history(history1, batch.keys1)
+                    history2 = self._append_history(history2, batch.keys2)
                     if windowed:
-                        new1 = [
-                            live1[local]
-                            for local in pad_assignments(
-                                partitioning.assign_r1(history1[live1], rng), J
-                            )
-                        ]
-                        new2 = [
-                            live2[local]
-                            for local in pad_assignments(
-                                partitioning.assign_r2(history2[live2], rng), J
-                            )
-                        ]
+                        starts1.append(offset1)
+                        starts2.append(offset2)
+                        live1 = np.concatenate(
+                            [
+                                live1,
+                                np.arange(
+                                    offset1, len(history1), dtype=np.int64
+                                ),
+                            ]
+                        )
+                        live2 = np.concatenate(
+                            [
+                                live2,
+                                np.arange(
+                                    offset2, len(history2), dtype=np.int64
+                                ),
+                            ]
+                        )
+
+                    join_seconds = 0.0
+                    per_machine_join_seconds = np.zeros(J)
+                    bytes_pickled: int | None = None
+                    bytes_unpickled: int | None = None
+                    if partitioning is None:
+                        # One side is still entirely unseen, so no
+                        # partitioning can be built and no output is possible
+                        # yet; the arrivals just accumulate in the (unrouted)
+                        # history.
+                        arrivals = np.zeros(J, dtype=np.int64)
+                        deltas = np.zeros(J, dtype=np.int64)
                     else:
-                        new1 = pad_assignments(
-                            partitioning.assign_r1(history1, rng), J
+                        with tracer.span(
+                            "route",
+                            category="stage",
+                            initial_build=initial_build,
+                        ):
+                            if initial_build:
+                                # Tuples that arrived before the first build
+                                # were never shipped anywhere: route the
+                                # retained (live) history as one big batch of
+                                # arrivals into the empty state.
+                                if windowed:
+                                    new1 = [
+                                        live1[local]
+                                        for local in pad_assignments(
+                                            partitioning.assign_r1(
+                                                history1[live1], rng
+                                            ),
+                                            J,
+                                        )
+                                    ]
+                                    new2 = [
+                                        live2[local]
+                                        for local in pad_assignments(
+                                            partitioning.assign_r2(
+                                                history2[live2], rng
+                                            ),
+                                            J,
+                                        )
+                                    ]
+                                else:
+                                    new1 = pad_assignments(
+                                        partitioning.assign_r1(history1, rng), J
+                                    )
+                                    new2 = pad_assignments(
+                                        partitioning.assign_r2(history2, rng), J
+                                    )
+                                region_to_machine = np.arange(J, dtype=np.int64)
+                            else:
+                                # Route only the batch's arrivals and fold
+                                # them into the held state of the machine
+                                # owning each region.
+                                new1 = self._globalise(
+                                    partitioning.assign_r1(batch.keys1, rng),
+                                    offset1,
+                                    region_to_machine,
+                                    J,
+                                )
+                                new2 = self._globalise(
+                                    partitioning.assign_r2(batch.keys2, rng),
+                                    offset2,
+                                    region_to_machine,
+                                    J,
+                                )
+                            arrivals = np.array(
+                                [
+                                    len(a) + len(b)
+                                    for a, b in zip(new1, new2)
+                                ],
+                                dtype=np.int64,
+                            )
+
+                        if incremental:
+                            deltas, execution = self._count_incremental(
+                                state1, state2, new1, new2, history1, history2
+                            )
+                        else:
+                            # Legacy recount: fold the arrivals in, re-count
+                            # each region's full held state and difference
+                            # against the previous cumulative count.
+                            # keys2_sorted is deliberately NOT passed: the
+                            # legacy engine sorted every region from scratch
+                            # each batch, and recount exists to reproduce
+                            # that cost profile as the speedup baseline.
+                            with tracer.span(
+                                "join", category="stage", tasks=J
+                            ) as join_span:
+                                for machine in range(J):
+                                    state1[machine].insert(
+                                        new1[machine], history1[new1[machine]]
+                                    )
+                                    state2[machine].insert(
+                                        new2[machine], history2[new2[machine]]
+                                    )
+                                execution = self.backend.join_regions(
+                                    [
+                                        (s1.keys, s2.keys)
+                                        for s1, s2 in zip(state1, state2)
+                                    ],
+                                    self.condition,
+                                )
+                            self._stitch_workers(execution, join_span)
+                            totals = execution.per_machine_output
+                            deltas = totals - prev_outputs
+                            prev_outputs = totals
+                        join_seconds += execution.wall_seconds
+                        per_machine_join_seconds += execution.per_machine_seconds
+                        bytes_pickled = self._accumulate_bytes(
+                            bytes_pickled, execution.bytes_pickled
                         )
-                        new2 = pad_assignments(
-                            partitioning.assign_r2(history2, rng), J
+                        bytes_unpickled = self._accumulate_bytes(
+                            bytes_unpickled, execution.bytes_unpickled
                         )
-                    region_to_machine = np.arange(J, dtype=np.int64)
-                else:
-                    # Route only the batch's arrivals and fold them into the
-                    # held state of the machine owning each region.
-                    new1 = self._globalise(
-                        partitioning.assign_r1(batch.keys1, rng),
-                        offset1,
-                        region_to_machine,
-                        J,
-                    )
-                    new2 = self._globalise(
-                        partitioning.assign_r2(batch.keys2, rng),
-                        offset2,
-                        region_to_machine,
-                        J,
-                    )
-                arrivals = np.array(
-                    [len(a) + len(b) for a, b in zip(new1, new2)], dtype=np.int64
-                )
 
-                if incremental:
-                    deltas, execution = self._count_incremental(
-                        state1, state2, new1, new2, history1, history2
+                    loads = (
+                        weight.input_cost * arrivals.astype(np.float64)
+                        + weight.output_cost * deltas.astype(np.float64)
+                        + rebuild_cost
                     )
-                else:
-                    # Legacy recount: fold the arrivals in, re-count each
-                    # region's full held state and difference against the
-                    # previous cumulative count.  keys2_sorted is
-                    # deliberately NOT passed: the legacy engine sorted
-                    # every region from scratch each batch, and recount
-                    # exists to reproduce that cost profile as the
-                    # speedup baseline.
-                    for machine in range(J):
-                        state1[machine].insert(
-                            new1[machine], history1[new1[machine]]
-                        )
-                        state2[machine].insert(
-                            new2[machine], history2[new2[machine]]
-                        )
-                    execution = self.backend.join_regions(
-                        [(s1.keys, s2.keys) for s1, s2 in zip(state1, state2)],
-                        self.condition,
+                    mean_load = float(loads.mean()) if J else 0.0
+                    live_imbalance = (
+                        float(loads.max()) / mean_load if mean_load > 0 else 1.0
                     )
-                    totals = execution.per_machine_output
-                    deltas = totals - prev_outputs
-                    prev_outputs = totals
-                join_seconds += execution.wall_seconds
-                per_machine_join_seconds += execution.per_machine_seconds
-
-            loads = (
-                weight.input_cost * arrivals.astype(np.float64)
-                + weight.output_cost * deltas.astype(np.float64)
-                + rebuild_cost
-            )
-            mean_load = float(loads.mean()) if J else 0.0
-            live_imbalance = (
-                float(loads.max()) / mean_load if mean_load > 0 else 1.0
-            )
-            metrics = BatchMetrics(
-                batch_index=batch.index,
-                stream_position=position,
-                new_tuples=batch.num_tuples,
-                per_machine_load=loads,
-                output_delta=int(deltas.sum()),
-                rebuild_cost=rebuild_cost,
-                live_imbalance=live_imbalance,
-                predicted_imbalance=self.policy.predicted_imbalance(
-                    self.histogram
-                ),
-                per_machine_output_delta=deltas
-                if partitioning is not None
-                else None,
-            )
-
-            # Window eviction runs after the batch is counted and *before*
-            # any repartitioning, so a migration only ever ships live state.
-            if windowed:
-                live1, live2 = self._evict(
-                    metrics, state1, state2, live1, live2,
-                    starts1, starts2,
-                    len(history1), len(history2), rng,
-                )
-                if compacting:
-                    # Compact the dead history prefix the eviction exposed:
-                    # trim both sides below their safe trim points and
-                    # rebase every stored arrival index by the same amount.
-                    history1, live1, trim1 = self._compact_side(
-                        history1, live1, starts1, state1
+                    metrics = BatchMetrics(
+                        batch_index=batch.index,
+                        stream_position=position,
+                        new_tuples=batch.num_tuples,
+                        per_machine_load=loads,
+                        output_delta=int(deltas.sum()),
+                        rebuild_cost=rebuild_cost,
+                        live_imbalance=live_imbalance,
+                        predicted_imbalance=self.policy.predicted_imbalance(
+                            self.histogram
+                        ),
+                        per_machine_output_delta=deltas
+                        if partitioning is not None
+                        else None,
+                        join_clock=self.backend.clock_domain,
                     )
-                    history2, live2, trim2 = self._compact_side(
-                        history2, live2, starts2, state2
+
+                    # Window eviction runs after the batch is counted and
+                    # *before* any repartitioning, so a migration only ever
+                    # ships live state.
+                    if windowed:
+                        with tracer.span(
+                            "evict", category="stage"
+                        ) as evict_span:
+                            live1, live2 = self._evict(
+                                metrics, state1, state2, live1, live2,
+                                starts1, starts2,
+                                len(history1), len(history2), rng,
+                            )
+                            evict_span.set(evicted=metrics.tuples_evicted)
+                        if compacting:
+                            # Compact the dead history prefix the eviction
+                            # exposed: trim both sides below their safe trim
+                            # points and rebase every stored arrival index by
+                            # the same amount.
+                            with tracer.span(
+                                "compact", category="stage"
+                            ) as compact_span:
+                                history1, live1, trim1 = self._compact_side(
+                                    history1, live1, starts1, state1
+                                )
+                                history2, live2, trim2 = self._compact_side(
+                                    history2, live2, starts2, state2
+                                )
+                                metrics.history_tuples_trimmed = trim1 + trim2
+                                compact_span.set(trimmed=trim1 + trim2)
+
+                    # Give the policy a chance to swap partitionings;
+                    # migration and rebuild charges land on this batch.
+                    # Before the initial build there is nothing to replace.
+                    builds_before = self.histogram.rebuilds
+                    if partitioning is not None:
+                        with tracer.span(
+                            "drift_decide", category="stage"
+                        ) as drift_span:
+                            replacement = self.policy.maybe_repartition(
+                                self.histogram, metrics, self.condition, rng
+                            )
+                            drift_span.set(
+                                repartition=replacement is not None
+                            )
+                    else:
+                        replacement = None
+                    if replacement is not None:
+                        with tracer.span(
+                            "migrate",
+                            category="stage",
+                            mode=self.repartition_mode,
+                        ) as migrate_span:
+                            plan = plan_migration(
+                                [state.index for state in state1],
+                                [state.index for state in state2],
+                                replacement,
+                                history1,
+                                history2,
+                                J,
+                                rng,
+                                mode=self.repartition_mode,
+                                live1=live1 if windowed else None,
+                                live2=live2 if windowed else None,
+                            )
+                            partitioning = replacement
+                            state1 = [
+                                SortedRegionState.from_indices(
+                                    indices, history1
+                                )
+                                for indices in plan.new_assignments1
+                            ]
+                            state2 = [
+                                SortedRegionState.from_indices(
+                                    indices, history2
+                                )
+                                for indices in plan.new_assignments2
+                            ]
+                            region_to_machine = plan.region_to_machine
+                            if not incremental:
+                                # The recount baseline differences cumulative
+                                # counts, so the post-migration layout must
+                                # be re-counted to reset the baseline.
+                                # Incremental counting charges output at
+                                # arrival time and needs no recount here.
+                                with tracer.span(
+                                    "join", category="stage", tasks=J
+                                ) as join_span:
+                                    execution = self.backend.join_regions(
+                                        [
+                                            (s1.keys, s2.keys)
+                                            for s1, s2 in zip(state1, state2)
+                                        ],
+                                        self.condition,
+                                    )
+                                self._stitch_workers(execution, join_span)
+                                join_seconds += execution.wall_seconds
+                                per_machine_join_seconds += (
+                                    execution.per_machine_seconds
+                                )
+                                bytes_pickled = self._accumulate_bytes(
+                                    bytes_pickled, execution.bytes_pickled
+                                )
+                                bytes_unpickled = self._accumulate_bytes(
+                                    bytes_unpickled, execution.bytes_unpickled
+                                )
+                                prev_outputs = execution.per_machine_output
+                            migration_load = (
+                                self.migration_cost_factor
+                                * weight.input_cost
+                                * plan.per_machine_arrivals.astype(np.float64)
+                            )
+                            if self.histogram.rebuilds > builds_before:
+                                charge = self._rebuild_charge()
+                                migration_load = migration_load + charge
+                                metrics.rebuild_cost += charge
+                            metrics.per_machine_load = (
+                                metrics.per_machine_load + migration_load
+                            )
+                            metrics.migrated_tuples = plan.total_moved
+                            metrics.repartitioned = True
+                            # Keep the plan's accounting for reports and
+                            # equivalence tests, but drop the O(history)
+                            # state index arrays -- the engine's own state
+                            # already holds them, and a result object must
+                            # not pin full-history snapshots per rebuild.
+                            metrics.migration_plan = replace(
+                                plan, new_assignments1=[], new_assignments2=[]
+                            )
+                            migrate_span.set(moved=plan.total_moved)
+
+                    metrics.resident_tuples = sum(
+                        len(s) for s in state1
+                    ) + sum(len(s) for s in state2)
+                    metrics.resident_history_tuples = len(history1) + len(
+                        history2
                     )
-                    metrics.history_tuples_trimmed = trim1 + trim2
-
-            # Give the policy a chance to swap partitionings; migration and
-            # rebuild charges land on this batch.  Before the initial build
-            # there is nothing to replace.
-            builds_before = self.histogram.rebuilds
-            replacement = (
-                self.policy.maybe_repartition(
-                    self.histogram, metrics, self.condition, rng
-                )
-                if partitioning is not None
-                else None
-            )
-            if replacement is not None:
-                plan = plan_migration(
-                    [state.index for state in state1],
-                    [state.index for state in state2],
-                    replacement,
-                    history1,
-                    history2,
-                    J,
-                    rng,
-                    mode=self.repartition_mode,
-                    live1=live1 if windowed else None,
-                    live2=live2 if windowed else None,
-                )
-                partitioning = replacement
-                state1 = [
-                    SortedRegionState.from_indices(indices, history1)
-                    for indices in plan.new_assignments1
-                ]
-                state2 = [
-                    SortedRegionState.from_indices(indices, history2)
-                    for indices in plan.new_assignments2
-                ]
-                region_to_machine = plan.region_to_machine
-                if not incremental:
-                    # The recount baseline differences cumulative counts, so
-                    # the post-migration layout must be re-counted to reset
-                    # the baseline.  Incremental counting charges output at
-                    # arrival time and needs no recount here.
-                    execution = self.backend.join_regions(
-                        [(s1.keys, s2.keys) for s1, s2 in zip(state1, state2)],
-                        self.condition,
+                    metrics.resident_live_entries = len(live1) + len(live2)
+                    metrics.join_seconds = join_seconds
+                    metrics.per_machine_join_seconds = per_machine_join_seconds
+                    metrics.bytes_pickled = bytes_pickled
+                    metrics.bytes_unpickled = bytes_unpickled
+                    metrics.wall_seconds = time.perf_counter() - start
+                    batch_span.set(
+                        output_delta=metrics.output_delta,
+                        repartitioned=metrics.repartitioned,
                     )
-                    join_seconds += execution.wall_seconds
-                    per_machine_join_seconds += execution.per_machine_seconds
-                    prev_outputs = execution.per_machine_output
-                migration_load = (
-                    self.migration_cost_factor
-                    * weight.input_cost
-                    * plan.per_machine_arrivals.astype(np.float64)
-                )
-                if self.histogram.rebuilds > builds_before:
-                    charge = self._rebuild_charge()
-                    migration_load = migration_load + charge
-                    metrics.rebuild_cost += charge
-                metrics.per_machine_load = metrics.per_machine_load + migration_load
-                metrics.migrated_tuples = plan.total_moved
-                metrics.repartitioned = True
-                # Keep the plan's accounting for reports and equivalence
-                # tests, but drop the O(history) state index arrays -- the
-                # engine's own state already holds them, and a result object
-                # must not pin full-history snapshots per rebuild.
-                metrics.migration_plan = replace(
-                    plan, new_assignments1=[], new_assignments2=[]
-                )
+                cumulative += metrics.per_machine_load
+                result.batches.append(metrics)
+                self._meter_batch(metrics)
 
-            metrics.resident_tuples = sum(len(s) for s in state1) + sum(
-                len(s) for s in state2
+            result.cumulative_load = cumulative
+            result.total_output = int(
+                sum(batch.output_delta for batch in result.batches)
             )
-            metrics.resident_history_tuples = len(history1) + len(history2)
-            metrics.resident_live_entries = len(live1) + len(live2)
-            metrics.join_seconds = join_seconds
-            metrics.per_machine_join_seconds = per_machine_join_seconds
-            metrics.wall_seconds = time.perf_counter() - start
-            cumulative += metrics.per_machine_load
-            result.batches.append(metrics)
-
-        result.cumulative_load = cumulative
-        result.total_output = int(
-            sum(batch.output_delta for batch in result.batches)
-        )
-        if verify and not windowed:
-            result.expected_output = count_join_output(
-                history1, history2, self.condition
-            )
-            result.output_correct = result.total_output == result.expected_output
+            if verify and not windowed:
+                with tracer.span("verify", category="run") as verify_span:
+                    result.expected_output = count_join_output(
+                        history1, history2, self.condition
+                    )
+                    result.output_correct = (
+                        result.total_output == result.expected_output
+                    )
+                    verify_span.set(correct=result.output_correct)
         return result
 
 
@@ -803,6 +1038,8 @@ def compare_streaming_schemes(
     sample_decay: float = 0.8,
     migration_cost_factor: float = 1.0,
     seed: int = 0,
+    tracer: "Tracer | NullTracer | None" = None,
+    metrics_factory=None,
 ) -> dict[str, StreamRunResult]:
     """Run the same stream under several policies and collect the results.
 
@@ -818,6 +1055,14 @@ def compare_streaming_schemes(
     simulated backend.  ``window``, ``counting`` and ``compact_history``
     apply to every engine (window policies are stateless, so one instance
     is safely shared).
+
+    ``tracer`` is shared by every engine -- all runs land in one trace,
+    each under its own ``run`` span tagged with its scheme, so a single
+    Perfetto load shows the schemes side by side.  ``metrics_factory``
+    builds one fresh :class:`~repro.obs.metrics.MetricsRegistry` per scheme
+    (called with the scheme name); registries are mutable run state and
+    must not be shared the way the tracer is, or the schemes' counters
+    would sum together.
     """
     if policies is None:
         policies = {
@@ -844,6 +1089,8 @@ def compare_streaming_schemes(
             ewh_config=ewh_config,
             migration_cost_factor=migration_cost_factor,
             seed=seed,
+            tracer=tracer,
+            metrics=metrics_factory(name) if metrics_factory is not None else None,
         )
         try:
             results[name] = engine.run(source)

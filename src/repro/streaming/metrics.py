@@ -80,9 +80,32 @@ class BatchMetrics:
     wall_seconds:
         Real time spent processing the batch (including any rebuild).
     join_seconds:
-        Real time the execution backend spent running this batch's
-        per-region joins (worker wall clock under the multiprocess backend;
-        in-process time under the simulated one).
+        Time the execution backend spent running this batch's per-region
+        joins (worker wall clock under the multiprocess backend; in-process
+        time under the simulated one; partly *modeled* under a
+        virtual-delay :class:`~repro.streaming.backends.SlowConsumerBackend`
+        -- see ``join_clock``).
+    wall_clock, join_clock, queue_clock:
+        The clock domain each duration group was measured in: ``"real"``
+        (a wall clock actually ticked) or ``"simulated"`` (a modeled or
+        discrete-event clock).  ``wall_clock`` covers ``wall_seconds``,
+        ``join_clock`` covers ``join_seconds`` /
+        ``per_machine_join_seconds`` (it is the backend's
+        ``clock_domain``), and ``queue_clock`` covers
+        ``producer_stall_seconds`` / ``consumer_idle_seconds`` (tagged by
+        the pipeline; ``"simulated"`` under ``mode="simulated"``).
+        Summing or comparing seconds across different domains is a
+        category error -- the streaming tables render the domains
+        explicitly so the mix is visible.
+    bytes_pickled, bytes_unpickled:
+        Bytes this batch shipped through the execution backend's
+        serialization channel: task payloads out (``bytes_pickled``) and
+        result payloads back (``bytes_unpickled``) over the multiprocess
+        backend's ``ProcessPoolExecutor`` pickle channel.  ``None`` when
+        the backend has no such channel (the in-process simulated backend)
+        or profiling was disabled -- reporting renders ``-`` rather than a
+        measured zero.  This is the per-batch serialization tax the
+        ROADMAP's zero-copy sticky-worker refactor must drive to ~0.
     per_machine_join_seconds:
         The backend's per-region join timings, summed over the batch's
         executions (the incremental count, plus the post-migration recount
@@ -132,6 +155,11 @@ class BatchMetrics:
     predicted_imbalance: float = 1.0
     wall_seconds: float = 0.0
     join_seconds: float = 0.0
+    wall_clock: str = "real"
+    join_clock: str = "real"
+    queue_clock: str = "real"
+    bytes_pickled: int | None = None
+    bytes_unpickled: int | None = None
     per_machine_join_seconds: np.ndarray | None = None
     per_machine_output_delta: np.ndarray | None = None
     migration_plan: "MigrationPlan | None" = None
@@ -232,6 +260,13 @@ class StreamRunResult:
         The pipeline's queue bound in batches (``None`` for synchronous
         runs *and* for pipelined runs with an unbounded queue -- check
         ``backpressure`` to distinguish them).
+    wall_clock, join_clock:
+        Clock domains of the run's wall and join timings (``"real"`` or
+        ``"simulated"``; the batch-level tags, hoisted) -- see
+        :class:`BatchMetrics`.
+    queue_clock:
+        Clock domain of the queue timings (stall/idle); ``None`` for
+        synchronous runs, which have no queue.
     """
 
     scheme: str
@@ -246,6 +281,9 @@ class StreamRunResult:
     output_correct: bool | None = None
     backpressure: str | None = None
     queue_batches: int | None = None
+    wall_clock: str = "real"
+    join_clock: str = "real"
+    queue_clock: str | None = None
 
     @property
     def num_batches(self) -> int:
@@ -356,6 +394,49 @@ class StreamRunResult:
         """
         latency = self.latency_cost
         return self.total_tuples / latency if latency > 0 else float("nan")
+
+    @property
+    def total_bytes_pickled(self) -> int | None:
+        """Bytes shipped to workers over the run's serialization channel.
+
+        ``None`` when no batch measured the channel (in-process backends,
+        or profiling disabled) -- distinct from a measured total of zero.
+        """
+        measured = [
+            batch.bytes_pickled
+            for batch in self.batches
+            if batch.bytes_pickled is not None
+        ]
+        return sum(measured) if measured else None
+
+    @property
+    def total_bytes_unpickled(self) -> int | None:
+        """Bytes shipped back from workers over the run (``None``: unmeasured)."""
+        measured = [
+            batch.bytes_unpickled
+            for batch in self.batches
+            if batch.bytes_unpickled is not None
+        ]
+        return sum(measured) if measured else None
+
+    @property
+    def clock_domains(self) -> str:
+        """Compact clock-domain label: ``"real"`` or the simulated parts.
+
+        ``"real"`` when every duration group was measured on a real clock;
+        otherwise the simulated groups are named explicitly (e.g.
+        ``"queue:sim"`` for a simulated-clock pipeline whose wall and join
+        times are real) so no table can pass a modeled second off as a
+        measured one.
+        """
+        parts = []
+        if self.wall_clock != "real":
+            parts.append("wall:sim")
+        if self.join_clock != "real":
+            parts.append("join:sim")
+        if self.queue_clock is not None and self.queue_clock != "real":
+            parts.append("queue:sim")
+        return " ".join(parts) if parts else "real"
 
     @property
     def peak_queue_depth(self) -> int:

@@ -520,6 +520,15 @@ class StreamingPipeline:
         ``producer_stall_seconds`` / ``consumer_idle_seconds`` per consumed
         batch, plus the run-level ``backpressure`` and ``queue_batches``
         labels.  ``verify`` is forwarded to the engine.
+
+        Every queue quantity is stamped with its clock domain:
+        ``mode="simulated"`` stalls and idles are simulated seconds,
+        threaded ones are real seconds, and ``queue_clock`` on both the
+        batch and run records says which -- so a report can never silently
+        compare a simulated stall against a wall-clock one.  If the engine
+        carries a :class:`~repro.obs.metrics.MetricsRegistry`, the queue
+        totals (sheds, stall, idle, peak depth) are folded into it after
+        the run, under ``queue.*`` names.
         """
         if self.mode == "simulated":
             records = _simulate(
@@ -536,14 +545,33 @@ class StreamingPipeline:
             )
         else:
             result, records = self._run_threaded(verify)
+        queue_clock = "simulated" if self.mode == "simulated" else "real"
         for metrics, record in zip(result.batches, records):
             metrics.queue_depth = record.queue_depth
             metrics.batches_shed = record.batches_shed
             metrics.tuples_shed = record.tuples_shed
             metrics.producer_stall_seconds = record.stall_seconds
             metrics.consumer_idle_seconds = record.idle_seconds
+            metrics.queue_clock = queue_clock
         result.backpressure = self.policy.name
         result.queue_batches = self.queue_batches
+        result.queue_clock = queue_clock
+        registry = self.engine.metrics
+        if registry is not None:
+            # The engine pulsed per batch while it ran; the queue's totals
+            # are only known post-hoc (pop records are zipped onto the
+            # batches above), so they land as run-level counters/gauges.
+            registry.counter("queue.batches_shed").inc(
+                result.total_batches_shed
+            )
+            registry.counter("queue.tuples_shed").inc(result.total_tuples_shed)
+            registry.counter("queue.producer_stall_seconds").inc(
+                result.producer_stall_seconds
+            )
+            registry.counter("queue.consumer_idle_seconds").inc(
+                result.consumer_idle_seconds
+            )
+            registry.gauge("queue.peak_depth").set(result.peak_queue_depth)
         return result
 
     def _run_threaded(

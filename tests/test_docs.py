@@ -6,10 +6,10 @@ Two things are enforced here (and re-run by the CI ``docs`` job):
   that actually exists in the repository (external ``http(s)`` links and
   pure in-page anchors are skipped);
 * every public module, class, function and method in ``repro.streaming``
-  carries a docstring -- the same contract as ruff's pydocstyle ``D1``
-  rules (minus ``D107``: ``__init__`` parameters are documented in the
-  class docstring, numpydoc style), checked here with a plain AST walk so
-  the gate also runs where ruff is not installed.
+  and ``repro.obs`` carries a docstring -- the same contract as ruff's
+  pydocstyle ``D1`` rules (minus ``D107``: ``__init__`` parameters are
+  documented in the class docstring, numpydoc style), checked here with a
+  plain AST walk so the gate also runs where ruff is not installed.
 """
 
 from __future__ import annotations
@@ -22,6 +22,7 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 STREAMING_DIR = REPO_ROOT / "src" / "repro" / "streaming"
+OBS_DIR = REPO_ROOT / "src" / "repro" / "obs"
 
 LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
@@ -83,10 +84,12 @@ def _missing_docstrings(path: Path) -> list[str]:
 
 
 @pytest.mark.parametrize(
-    "path", sorted(STREAMING_DIR.glob("*.py")), ids=lambda p: p.name
+    "path",
+    sorted(STREAMING_DIR.glob("*.py")) + sorted(OBS_DIR.glob("*.py")),
+    ids=lambda p: f"{p.parent.name}/{p.name}",
 )
 def test_streaming_public_api_is_documented(path):
-    """repro.streaming: public modules/classes/functions all carry docstrings."""
+    """repro.streaming/.obs: public modules/classes/functions carry docstrings."""
     missing = _missing_docstrings(path)
     assert not missing, (
         f"undocumented public names in {path.name}: {missing} "
