@@ -129,7 +129,7 @@ def test_backpressure_policies_under_a_slow_consumer(benchmark, report):
         "streaming_backpressure",
         "Backpressured pipeline vs a 4x-slow consumer (J = 8, "
         f"queue = {QUEUE} batches, simulated clock)",
-        format_streaming_table(results)
+        format_streaming_table(results, golden=True)
         + "\n\nPer-batch max-machine load, resident state and queue depth\n\n"
         + format_streaming_batches(results)
         + "\n\nblock@4 trace summary (deterministic tick clock; "

@@ -83,7 +83,7 @@ def test_streaming_drift(benchmark, report):
     report(
         "streaming_drift",
         f"Streaming joins under mid-stream skew drift (J = {bench_machines()})",
-        format_streaming_table(results)
+        format_streaming_table(results, golden=True)
         + "\n\nPer-batch max-machine load\n\n"
         + format_streaming_batches(results),
     )
@@ -150,7 +150,7 @@ def test_partial_vs_full_repartitioning(benchmark, report):
         "streaming_partial_repartitioning",
         "Partial vs full repartitioning under mid-stream skew drift "
         f"(J = {bench_machines()})",
-        format_streaming_table(results),
+        format_streaming_table(results, golden=True),
     )
 
     full = results["CSIO-adaptive/full"]

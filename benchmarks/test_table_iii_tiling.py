@@ -31,8 +31,11 @@ def test_table_iii_monotonic_bsp_vs_bsp(benchmark, report):
                 str(row.bsp_rectangles),
                 str(row.monotonic_rectangles),
                 f"{row.rectangle_ratio:.1f}x",
-                f"{row.bsp_seconds:.3f}",
-                f"{row.monotonic_seconds:.3f}",
+                # Measured wall times churn the committed golden on every
+                # regeneration (on a noisy runner even a decade bucket
+                # straddles its boundary); the live run prints them exactly.
+                "-",
+                "-",
                 str(row.bsp_regions),
                 str(row.monotonic_regions),
             ]
@@ -55,6 +58,13 @@ def test_table_iii_monotonic_bsp_vs_bsp(benchmark, report):
         "Table III (practical counterpart): BSP vs MonotonicBSP",
         table,
     )
+    # The exact measured timings stay out of the byte-stable golden but
+    # are still visible in the live benchmark output.
+    for row in rows_data:
+        print(
+            f"grid {row.grid_size}: BSP {row.bsp_seconds:.3f}s, "
+            f"MonotonicBSP {row.monotonic_seconds:.3f}s"
+        )
 
     for row in rows_data:
         # Identical quality, far fewer rectangles.

@@ -15,8 +15,12 @@ at first, then a hot spot at a fresh location) to three engines:
 The per-region joins of every batch run on a pluggable execution backend;
 pass ``--backend multiprocess`` to execute them on a persistent OS-process
 worker pool (real per-region wall-clock timings in the ``join s`` column)
-instead of the in-process simulator.  The cost-model columns are identical
-under either backend.
+instead of the in-process simulator, or ``--backend sticky`` for the
+zero-copy variant: each worker process keeps its machines' join state
+resident across batches and receives only the per-batch delta over shared
+memory, so the ``pickled KB`` column collapses to control-message noise
+while ``shm KB`` carries the actual payload.  The cost-model columns are
+identical under every backend.
 
 Retained state is bounded by a window policy; pass ``--window batches:6``
 (tuples from the last 6 micro-batches stay live), ``--window tuples:5000``
@@ -49,7 +53,7 @@ the final counter/gauge/histogram snapshots as JSON.
 
 Run with::
 
-    python examples/streaming_join.py [--backend {simulated,multiprocess}]
+    python examples/streaming_join.py [--backend {simulated,multiprocess,sticky}]
                                       [--window SPEC]
                                       [--queue N]
                                       [--backpressure {block,shed,coalesce}]
@@ -86,7 +90,7 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--backend",
-        choices=["simulated", "multiprocess"],
+        choices=["simulated", "multiprocess", "sticky"],
         default="simulated",
         help="execution backend for the per-region joins (default: simulated)",
     )

@@ -16,6 +16,8 @@ from repro.streaming.metrics import StreamRunResult
 from repro.workloads.definitions import JoinWorkload
 
 __all__ = [
+    "bucket_ratio",
+    "bucket_seconds",
     "format_comparison_table",
     "format_scalability_table",
     "format_streaming_table",
@@ -24,6 +26,51 @@ __all__ = [
     "format_trace_summary",
     "format_rows",
 ]
+
+
+def bucket_seconds(seconds: float) -> str:
+    """Render a measured wall-clock duration as a log-decade bucket.
+
+    Golden benchmark files must be byte-stable across regenerations, but a
+    measured duration churns in its trailing digits on every run (the PR 6
+    follow-up touched ten golden files with pure timing noise).  A decade
+    bucket (``10-100ms``) is stable across machines and runs while still
+    catching order-of-magnitude regressions; exact digits remain available
+    in non-golden output.  Non-finite values render ``-`` and an exact zero
+    renders ``0`` (a simulated path that never tired the clock).
+    """
+    if not math.isfinite(seconds):
+        return "-"
+    if seconds == 0.0:
+        return "0"
+    if seconds < 0.001:
+        return "<1ms"
+    if seconds < 0.01:
+        return "1-10ms"
+    if seconds < 0.1:
+        return "10-100ms"
+    if seconds < 1.0:
+        return "0.1-1s"
+    if seconds < 10.0:
+        return "1-10s"
+    if seconds < 100.0:
+        return "10-100s"
+    return ">=100s"
+
+
+def bucket_ratio(ratio: float) -> str:
+    """Render a measured ratio (e.g. a speedup) as a power-of-two bucket.
+
+    The golden-file counterpart of printing ``2.83x``: ``2-4x`` is stable
+    run to run while a halved speedup still changes the bucket.  Ratios
+    below one render ``<1x`` and non-finite values ``-``.
+    """
+    if not math.isfinite(ratio):
+        return "-"
+    if ratio < 1.0:
+        return "<1x"
+    exponent = int(math.floor(math.log2(ratio)))
+    return f"{2 ** exponent}-{2 ** (exponent + 1)}x"
 
 
 def format_rows(headers: list[str], rows: list[list[str]]) -> str:
@@ -109,7 +156,9 @@ def format_comparison_table(comparisons: list[ComparisonResult]) -> str:
     return format_rows(headers, rows)
 
 
-def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
+def format_streaming_table(
+    results: dict[str, StreamRunResult], golden: bool = False
+) -> str:
     """Streaming-drift summary: one row per scheme over the whole stream.
 
     ``join s`` is the execution backend's real wall clock over the run's
@@ -134,11 +183,21 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
     multiprocess backend's task and result payloads shipped through its
     pickle channel; runs whose backend has no serialization channel (the
     in-process simulated backend) render ``-``, never a misleading ``0``.
-    ``clock`` says which clock domain each run's timed quantities live in:
-    ``real`` throughout, or the simulated parts (``join:sim`` for a
-    virtual-delay backend, ``queue:sim`` for a simulated pipeline) -- so a
-    table can never silently compare simulated seconds against wall-clock
-    seconds.
+    ``shm KB`` is the payload the sticky backend moved through its
+    shared-memory arena instead -- the two columns together show *where*
+    each run's data travelled.  ``clock`` says which clock domain each
+    run's timed quantities live in: ``real`` throughout, or the simulated
+    parts (``join:sim`` for a virtual-delay backend, ``queue:sim`` for a
+    simulated pipeline) -- so a table can never silently compare simulated
+    seconds against wall-clock seconds.
+
+    ``golden=True`` renders every *measured* (real-clock) duration as
+    ``-``, so the table is byte-stable when committed as a benchmark
+    golden -- even a :func:`bucket_seconds` decade bucket churns when a
+    single measurement sits near a bucket boundary on a noisy runner.
+    Durations from a simulated clock domain are exact either way (they are
+    deterministic), and the exact measured values remain in the live
+    (non-golden) benchmark output.
     """
     pipelined = any(
         result.backpressure is not None for result in results.values()
@@ -161,9 +220,18 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
     ]
     if pipelined:
         headers += ["backpressure", "peak queue", "shed", "stall s"]
-    headers += ["throughput", "join s", "pickled KB", "clock", "correct"]
+    headers += [
+        "throughput",
+        "join s",
+        "pickled KB",
+        "shm KB",
+        "clock",
+        "correct",
+    ]
     rows = []
     for scheme, result in results.items():
+        hide_join = golden and result.join_clock == "real"
+        hide_stall = golden and result.queue_clock != "simulated"
         row = [
             scheme,
             result.backend,
@@ -193,14 +261,19 @@ def format_streaming_table(results: dict[str, StreamRunResult]) -> str:
                     f"{result.backpressure}@{bound}",
                     f"{result.peak_queue_depth:,}",
                     f"{result.total_tuples_shed:,}",
-                    f"{result.producer_stall_seconds:.3f}",
+                    "-"
+                    if hide_stall
+                    else f"{result.producer_stall_seconds:.3f}",
                 ]
         row += [
             _format_ratio(result.mean_throughput),
-            f"{result.join_seconds:.3f}",
+            "-" if hide_join else f"{result.join_seconds:.3f}",
             "-"
             if result.total_bytes_pickled is None
             else f"{result.total_bytes_pickled / 1024:,.1f}",
+            "-"
+            if result.total_bytes_shm is None
+            else f"{result.total_bytes_shm / 1024:,.1f}",
             result.clock_domains,
             "-"
             if result.output_correct is None
@@ -229,7 +302,10 @@ def format_streaming_batches(results: dict[str, StreamRunResult]) -> str:
     When any run measured its serialization channel, one ``pickled KB``
     column per scheme appears too (the batch's pickle-channel bytes under
     the multiprocess backend); batches with no measurement render ``-``,
-    so mixing a profiled run with simulated ones stays unambiguous.
+    so mixing a profiled run with simulated ones stays unambiguous.  An
+    ``shm KB`` column per scheme appears likewise when any run moved bytes
+    through a shared-memory arena (the sticky backend's per-batch delta
+    payload).
     """
     schemes = list(results)
     pipelined = any(
@@ -240,6 +316,11 @@ def format_streaming_batches(results: dict[str, StreamRunResult]) -> str:
         for result in results.values()
         for batch in result.batches
     )
+    shm_profiled = any(
+        batch.bytes_shm is not None
+        for result in results.values()
+        for batch in result.batches
+    )
     headers = (
         ["batch", "tuples"]
         + [f"{s} max load" for s in schemes]
@@ -247,6 +328,7 @@ def format_streaming_batches(results: dict[str, StreamRunResult]) -> str:
         + [f"{s} mem KB" for s in schemes]
         + ([f"{s} queue" for s in schemes] if pipelined else [])
         + ([f"{s} pickled KB" for s in schemes] if profiled else [])
+        + ([f"{s} shm KB" for s in schemes] if shm_profiled else [])
         + [f"{s} repart." for s in schemes]
     )
     by_scheme = [
@@ -282,6 +364,20 @@ def format_streaming_batches(results: dict[str, StreamRunResult]) -> str:
                     for b in per_scheme
                 ]
                 if profiled
+                else []
+            )
+            + (
+                [
+                    ""
+                    if b is None
+                    else (
+                        "-"
+                        if b.bytes_shm is None
+                        else f"{b.bytes_shm / 1024:,.1f}"
+                    )
+                    for b in per_scheme
+                ]
+                if shm_profiled
                 else []
             )
             + ["" if b is None else ("*" if b.repartitioned else "") for b in per_scheme]

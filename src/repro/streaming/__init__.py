@@ -8,8 +8,10 @@ state-migration cost explicitly -- when the prediction goes stale.  Rebuilds
 default to *partial repartitioning* (only the regions whose region-to-machine
 assignment changed migrate state), and the per-batch region joins execute on
 a pluggable :class:`~repro.streaming.backends.ExecutionBackend` (in-process
-simulation, or a persistent multiprocess worker pool with real wall-clock
-timings).
+simulation, a persistent multiprocess worker pool with real wall-clock
+timings, or zero-copy sticky workers that keep each machine's join state
+resident in its worker process and receive per-batch deltas over a
+:mod:`~repro.streaming.shm` shared-memory arena).
 
 Retained state is bounded by a pluggable
 :class:`~repro.streaming.window.WindowPolicy` (unbounded, sliding
@@ -35,8 +37,11 @@ from repro.streaming.backends import (
     RegionJoinResult,
     SimulatedBackend,
     SlowConsumerBackend,
+    StickyWorkerBackend,
+    default_mp_context,
     make_backend,
 )
+from repro.streaming.shm import ShmArena, ShmReader
 from repro.streaming.drift import DriftDetector, DriftObservation
 from repro.streaming.engine import (
     COUNTING_MODES,
@@ -85,8 +90,12 @@ __all__ = [
     "ExecutionBackend",
     "SimulatedBackend",
     "MultiprocessBackend",
+    "StickyWorkerBackend",
     "SlowConsumerBackend",
     "RegionJoinResult",
+    "ShmArena",
+    "ShmReader",
+    "default_mp_context",
     "make_backend",
     "MicroBatch",
     "StreamSource",

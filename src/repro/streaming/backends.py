@@ -14,11 +14,26 @@ decides *how* those per-region joins actually run:
   joins of one batch run in parallel OS processes and the metrics carry
   *real* per-region wall-clock timings.  The pool is created once and reused
   across every batch of the stream, amortising process start-up.
+* :class:`StickyWorkerBackend` goes one step further: each worker process
+  *owns* its machines' :class:`~repro.streaming.incremental.SortedRegionState`
+  resident across batches, and the engine ships only the per-batch delta —
+  new-arrival index/key arrays over a :class:`~repro.streaming.shm.ShmArena`
+  shared-memory segment plus tiny pickled control messages for evictions,
+  trim points and migration moves.  Steady-state ``bytes_pickled`` collapses
+  to the control messages alone (the ``shm KB`` column meters the
+  shared-memory payload instead).
 
 Every backend receives identical per-region key arrays and counts output with
 the same exact kernel, so the cost-model numbers, incremental output deltas
 and migration plans of a run are backend-independent; only the measured
 timings differ.  ``tests/test_backends.py`` locks that equivalence down.
+
+Process-spawning backends pin an explicit multiprocessing start method
+(forkserver where available, else spawn) instead of the platform default:
+``fork`` — the Linux default up to Python 3.11 — forks whatever threads the
+parent has already started, which can deadlock a
+``StreamingPipeline(mode="thread")`` whose producer thread holds a lock at
+fork time.
 
 Select a backend by passing it to :class:`StreamingJoinEngine` (default:
 simulated) or by name through :func:`make_backend`::
@@ -31,24 +46,59 @@ simulated) or by name through :func:`make_backend`::
 from __future__ import annotations
 
 import abc
+import multiprocessing
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.engine.executor import broadcast_conditions, join_assigned_regions
+from repro.engine.executor import (
+    broadcast_conditions,
+    join_assigned_regions,
+    pickled_nbytes,
+)
 from repro.joins.conditions import JoinCondition
 from repro.joins.local import count_join_output
+from repro.streaming.incremental import SortedRegionState
+from repro.streaming.shm import ShmArena, ShmReader
 
 __all__ = [
     "RegionJoinResult",
     "ExecutionBackend",
     "SimulatedBackend",
     "MultiprocessBackend",
+    "StickyWorkerBackend",
     "SlowConsumerBackend",
+    "default_mp_context",
     "make_backend",
 ]
+
+
+def default_mp_context() -> multiprocessing.context.BaseContext:
+    """The start method process-spawning backends pin: forkserver, else spawn.
+
+    Never ``fork``: forking a process that already runs threads (a
+    ``StreamingPipeline(mode="thread")`` producer, a tracing exporter)
+    duplicates whatever locks those threads hold and can deadlock the child
+    — the classic Linux ≤3.11 default-start-method bug this choice fixes.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "forkserver" if "forkserver" in methods else "spawn"
+    )
+
+
+def _resolve_mp_context(
+    mp_context: "multiprocessing.context.BaseContext | str | None",
+) -> multiprocessing.context.BaseContext:
+    """Normalise an ``mp_context`` argument (name, context or ``None``)."""
+    if mp_context is None:
+        return default_mp_context()
+    if isinstance(mp_context, str):
+        return multiprocessing.get_context(mp_context)
+    return mp_context
 
 
 @dataclass
@@ -71,6 +121,11 @@ class RegionJoinResult:
         backends with no such channel: the in-process simulated backend
         moves no bytes at all, and reporting renders the column as ``-``
         rather than claiming a measured zero.
+    bytes_shm:
+        Array payload bytes the execution moved through a shared-memory
+        segment instead of the pickle channel (the sticky backend's
+        :class:`~repro.streaming.shm.ShmArena` transport).  ``None`` for
+        backends without a shared-memory channel.
     worker_pids:
         OS pid of the process that joined each machine's region (``-1``
         for machines that were never dispatched), or ``None`` for
@@ -83,6 +138,7 @@ class RegionJoinResult:
     wall_seconds: float
     bytes_pickled: "int | None" = None
     bytes_unpickled: "int | None" = None
+    bytes_shm: "int | None" = None
     worker_pids: "np.ndarray | None" = None
 
     @property
@@ -113,6 +169,13 @@ class ExecutionBackend(abc.ABC):
     #: ``"real"`` for measured wall-clock seconds, ``"simulated"`` for
     #: modeled ones (see ``docs/observability.md`` on clock domains).
     clock_domain: str = "real"
+
+    #: Whether the backend keeps the per-machine join state resident on its
+    #: side (sticky workers).  The engine then drives the state-ownership
+    #: protocol -- ``bind`` / ``count_batch`` / ``evict_state`` /
+    #: ``rebase_state`` / ``install_state`` -- instead of shipping full
+    #: region state through :meth:`join_regions` every batch.
+    owns_state: bool = False
 
     #: Set by :meth:`close`; class-level default so subclasses need no
     #: ``__init__`` chaining.
@@ -210,9 +273,15 @@ class MultiprocessBackend(ExecutionBackend):
         (``True`` by default).  This is the ``bytes_pickled`` /
         ``bytes_unpickled`` metric on
         :class:`~repro.streaming.metrics.BatchMetrics` -- the quantity the
-        ROADMAP's zero-copy sticky-worker refactor must drive to ~0.  The
-        measurement costs one extra serialization pass over each payload;
-        disable it for timing-critical sweeps.
+        :class:`StickyWorkerBackend` drives to ~0.  The measurement costs
+        one extra serialization pass over each payload; disable it for
+        timing-critical sweeps.
+    mp_context:
+        Multiprocessing context (or start-method name) for the worker pool.
+        Defaults to :func:`default_mp_context` -- forkserver where
+        available, else spawn -- never the platform default: ``fork``
+        inherits the parent's threads mid-flight and can deadlock under a
+        threaded :class:`~repro.streaming.pipeline.StreamingPipeline`.
 
     The pool is created lazily on the first batch and kept alive for the
     lifetime of the backend, so a stream of many small batches pays process
@@ -227,16 +296,25 @@ class MultiprocessBackend(ExecutionBackend):
         self,
         max_workers: int | None = None,
         profile_serialization: bool = True,
+        mp_context: "multiprocessing.context.BaseContext | str | None" = None,
     ) -> None:
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self.max_workers = max_workers
         self.profile_serialization = profile_serialization
+        self._mp_context = _resolve_mp_context(mp_context)
         self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def start_method(self) -> str:
+        """Start method of the pinned multiprocessing context."""
+        return self._mp_context.get_start_method()
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=self._mp_context
+            )
         return self._pool
 
     def join_regions(
@@ -272,6 +350,478 @@ class MultiprocessBackend(ExecutionBackend):
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        super().close()
+
+
+class _StickyWorkerState:
+    """One sticky worker's resident state and command handlers.
+
+    The worker process owns the :class:`SortedRegionState` pair of every
+    machine assigned to it and mutates it in place batch after batch --
+    exactly the folds the engine's in-process incremental counter performs,
+    in the same order, so the counted deltas are bit-identical to the
+    simulated backend's.  The handlers live on this (in-process testable)
+    class; :func:`_sticky_worker_main` is only the recv/dispatch/send loop
+    around it.
+
+    Every array handler input is a zero-copy view into the engine's shared
+    segment; :class:`SortedRegionState` copies on insert/rebuild, so no view
+    survives past its command.
+    """
+
+    def __init__(self, machines: "tuple[int, ...]") -> None:
+        self.machines = machines
+        self.state1 = {machine: SortedRegionState() for machine in machines}
+        self.state2 = {machine: SortedRegionState() for machine in machines}
+        self.condition: "JoinCondition | None" = None
+        self.transposed: "JoinCondition | None" = None
+
+    def init(self, condition: JoinCondition, transposed: JoinCondition):
+        """Adopt the stream's conditions; reply with this worker's pid."""
+        self.condition = condition
+        self.transposed = transposed
+        return ("ok", os.getpid())
+
+    def count(self, arrays: "list[np.ndarray]"):
+        """Fold one batch's deltas into the resident state and count.
+
+        ``arrays`` is the batch's machine-major layout -- four arrays per
+        machine: R1 arrival indices, R1 keys, R2 arrival indices, R2 keys.
+        Per owned machine this replays the engine's exact delta
+        decomposition ``C(new1, state2 + new2) + C(state1, new2)``: insert
+        the R2 arrivals, search the updated sorted R2 state per new R1 key,
+        search the *pre-insert* sorted R1 state per new R2 key under the
+        transposed condition, then insert the R1 arrivals.  Empty sides are
+        skipped (and not timed), mirroring :class:`SimulatedBackend`.
+        """
+        counted = []
+        for machine in self.machines:
+            idx1, keys1, idx2, keys2 = arrays[4 * machine : 4 * machine + 4]
+            state1 = self.state1[machine]
+            state2 = self.state2[machine]
+            old_keys1 = state1.keys
+            state2.insert(idx2, keys2)
+            out_a = out_b = 0
+            sec_a = sec_b = 0.0
+            if len(keys1) and len(state2.keys):
+                started = time.perf_counter()
+                out_a = count_join_output(
+                    keys1, state2.keys, self.condition, keys2_sorted=True
+                )
+                sec_a = time.perf_counter() - started
+            if len(keys2) and len(old_keys1):
+                started = time.perf_counter()
+                out_b = count_join_output(
+                    keys2, old_keys1, self.transposed, keys2_sorted=True
+                )
+                sec_b = time.perf_counter() - started
+            state1.insert(idx1, keys1)
+            counted.append((machine, int(out_a), int(out_b), sec_a, sec_b))
+        return ("counted", counted)
+
+    def evict(self, arrays: "list[np.ndarray]"):
+        """Drop expired arrival indices from every owned machine's state.
+
+        ``arrays`` is the per-side expired index pair; the reply carries
+        how many state entries this worker actually held and dropped, so
+        the engine can check its ownership mirror against reality.
+        """
+        expired1, expired2 = arrays
+        dropped = 0
+        for machine in self.machines:
+            dropped += self.state1[machine].evict(expired1)
+            dropped += self.state2[machine].evict(expired2)
+        return ("evicted", dropped)
+
+    def rebase(self, trim1: int, trim2: int):
+        """Shift every resident arrival index below the engine's trim points."""
+        for machine in self.machines:
+            self.state1[machine].rebase(trim1)
+            self.state2[machine].rebase(trim2)
+        return ("rebased",)
+
+    def install(self, arrays: "list[np.ndarray]"):
+        """Replace every owned machine's state with migrated assignments.
+
+        Same machine-major layout as :meth:`count`, but the index/key pairs
+        are each machine's *complete* post-migration state (the migration
+        plan's new assignments, keys gathered engine-side).  The rebuild is
+        the same stable key-sort :meth:`SortedRegionState.from_indices`
+        performs, so post-migration worker state is bit-identical to the
+        in-process engine's.
+        """
+        for machine in self.machines:
+            idx1, keys1, idx2, keys2 = arrays[4 * machine : 4 * machine + 4]
+            self.state1[machine] = SortedRegionState.from_pairs(idx1, keys1)
+            self.state2[machine] = SortedRegionState.from_pairs(idx2, keys2)
+        return ("installed",)
+
+    def handle(self, command: tuple, reader: ShmReader):
+        """Dispatch one control-channel command tuple to its handler."""
+        op = command[0]
+        if op == "count":
+            return self.count(reader.arrays(command[1]))
+        if op == "evict":
+            return self.evict(reader.arrays(command[1]))
+        if op == "rebase":
+            return self.rebase(command[1], command[2])
+        if op == "install":
+            return self.install(reader.arrays(command[1]))
+        if op == "init":
+            return self.init(command[1], command[2])
+        raise ValueError(f"unknown sticky-worker command {op!r}")
+
+
+def _sticky_worker_main(channel, machines: "tuple[int, ...]") -> None:
+    """Entry point of one sticky worker process: recv, handle, reply.
+
+    Runs until a ``close`` command or the engine's end of the pipe
+    disappears.  Failures inside a handler are shipped back as an
+    ``("error", message)`` reply instead of killing the worker silently --
+    the backend raises them engine-side.  The shared-memory reader only
+    ever unmaps; the engine's arena owns every segment.
+    """
+    worker = _StickyWorkerState(machines)
+    reader = ShmReader()
+    try:
+        while True:
+            try:
+                command = channel.recv()
+            except EOFError:
+                break
+            if command[0] == "close":
+                channel.send(("closed",))
+                break
+            try:
+                reply = worker.handle(command, reader)
+            except Exception as error:
+                channel.send(("error", f"{type(error).__name__}: {error}"))
+            else:
+                channel.send(reply)
+    finally:
+        reader.close()
+        channel.close()
+
+
+class StickyWorkerBackend(ExecutionBackend):
+    """Resident per-worker join state over shared memory (zero-copy deltas).
+
+    The multiprocess pool backend re-pickles every region's *full* key
+    arrays through its executor channel on every batch; for a persistent
+    streaming join that serialization tax dominates the join itself.  This
+    backend keeps the state where the work is: each of ``max_workers``
+    long-lived processes owns the :class:`SortedRegionState` pair of the
+    machines assigned to it (machine ``m`` lives on worker ``m % W``),
+    resident across batches.  Per batch the engine ships only the *delta*
+    -- each machine's new-arrival index/key arrays, written once into a
+    :class:`~repro.streaming.shm.ShmArena` shared-memory segment -- plus a
+    tiny pickled control message per worker.  Evictions, history-compaction
+    trim points and migration moves travel the same way: control messages
+    with any array payload in shared memory, never through pickle.
+
+    The engine drives the backend through the state-ownership protocol
+    (``bind`` → per-batch ``count_batch`` / ``evict_state`` /
+    ``rebase_state`` / ``install_state`` → ``close``) and keeps a
+    per-machine arrival-index mirror so migration planning and resident
+    accounting need no state readback.  Counted outputs are bit-identical
+    to :class:`SimulatedBackend` -- the workers replay the exact same
+    incremental fold on the exact same arrays.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count (capped at the machine count on ``bind``);
+        defaults to the CPU count.
+    profile_serialization:
+        Meter the control channel's pickled bytes per command
+        (``bytes_pickled`` / ``bytes_unpickled``).  The shared-memory
+        payload (``bytes_shm``) is always metered -- it is known exactly
+        from the arena write, costing nothing.
+    mp_context:
+        Multiprocessing context or start-method name; defaults to
+        :func:`default_mp_context` (forkserver/spawn, never fork).
+
+    A sticky backend is bound to *one* stream: its workers' state survives
+    across batches, so re-binding (a second engine run) or any use after
+    ``close()`` raises ``RuntimeError`` instead of silently mixing two
+    streams' state.  ``close()`` shuts the workers down and unlinks the
+    shared segment -- the test suite asserts nothing is left in
+    ``/dev/shm``.
+    """
+
+    name = "sticky"
+    owns_state = True
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        profile_serialization: bool = True,
+        mp_context: "multiprocessing.context.BaseContext | str | None" = None,
+    ) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+        self.profile_serialization = profile_serialization
+        self._mp_context = _resolve_mp_context(mp_context)
+        self._arena: "ShmArena | None" = None
+        self._channels: list = []
+        self._processes: list = []
+        self._num_machines: "int | None" = None
+        self._machine_pids: "np.ndarray | None" = None
+        self._bytes_pickled = 0
+        self._bytes_unpickled = 0
+        self._bytes_shm = 0
+        self._commands_since_drain = False
+
+    @property
+    def start_method(self) -> str:
+        """Start method of the pinned multiprocessing context."""
+        return self._mp_context.get_start_method()
+
+    @property
+    def bound(self) -> bool:
+        """Whether :meth:`bind` has attached this backend to a stream."""
+        return self._num_machines is not None
+
+    def _ensure_bound(self) -> None:
+        """Raise unless the backend is open and bound to a stream."""
+        self._ensure_open()
+        if not self.bound:
+            raise RuntimeError(
+                "StickyWorkerBackend is not bound to a stream yet; the "
+                "engine calls bind() at the start of its run"
+            )
+
+    def bind(
+        self,
+        num_machines: int,
+        condition: JoinCondition,
+        transposed: JoinCondition,
+    ) -> None:
+        """Start the workers and assign machine ownership for one stream.
+
+        Machine ``m`` is owned by worker ``m % W`` for the whole run.  A
+        sticky backend binds exactly once: the workers' resident state *is*
+        the stream's state, so a second ``bind`` (an engine restart onto
+        the same backend) raises ``RuntimeError`` -- restarting a stream
+        needs a fresh backend, never a silent adoption of stale state.
+        """
+        self._ensure_open()
+        if self.bound:
+            raise RuntimeError(
+                "StickyWorkerBackend is already bound to a stream and its "
+                "workers hold that stream's resident state; create a fresh "
+                "backend per run instead of re-binding this one"
+            )
+        if num_machines <= 0:
+            raise ValueError("num_machines must be positive")
+        workers = min(
+            self.max_workers or os.cpu_count() or 1, num_machines
+        )
+        self._num_machines = num_machines
+        self._arena = ShmArena()
+        for worker in range(workers):
+            engine_end, worker_end = self._mp_context.Pipe()
+            machines = tuple(range(worker, num_machines, workers))
+            process = self._mp_context.Process(
+                target=_sticky_worker_main,
+                args=(worker_end, machines),
+                daemon=True,
+                name=f"sticky-worker-{worker}",
+            )
+            process.start()
+            worker_end.close()
+            self._channels.append(engine_end)
+            self._processes.append(process)
+        pids = np.zeros(num_machines, dtype=np.int64)
+        replies = self._broadcast(("init", condition, transposed))
+        for worker, reply in enumerate(replies):
+            pids[worker::workers] = reply[1]
+        self._machine_pids = pids
+
+    def _broadcast(self, command: tuple) -> list:
+        """Send one command to every worker; gather (and check) the replies.
+
+        The command is pickled per worker by the pipe itself; profiling
+        measures the payload once and charges it per worker.  Replies are
+        collected synchronously -- the arena's segment is only reused after
+        every worker has consumed the previous message, which this barrier
+        guarantees.
+        """
+        self._commands_since_drain = True
+        if self.profile_serialization:
+            self._bytes_pickled += pickled_nbytes(command) * len(self._channels)
+        for channel in self._channels:
+            channel.send(command)
+        replies = []
+        for channel in self._channels:
+            reply = channel.recv()
+            if self.profile_serialization:
+                self._bytes_unpickled += pickled_nbytes(reply)
+            if reply[0] == "error":
+                raise RuntimeError(f"sticky worker failed: {reply[1]}")
+            replies.append(reply)
+        return replies
+
+    def _write(self, arrays: "list[np.ndarray]"):
+        """Write an array payload into the shared arena; meter its bytes."""
+        message = self._arena.write(arrays)
+        self._bytes_shm += message.payload_bytes
+        return message
+
+    @staticmethod
+    def _state_layout(
+        indices1: "list[np.ndarray]",
+        indices2: "list[np.ndarray]",
+        history1: np.ndarray,
+        history2: np.ndarray,
+    ) -> "list[np.ndarray]":
+        """Machine-major array layout: (idx1, keys1, idx2, keys2) per machine."""
+        arrays: "list[np.ndarray]" = []
+        for idx1, idx2 in zip(indices1, indices2):
+            idx1 = np.asarray(idx1, dtype=np.int64)
+            idx2 = np.asarray(idx2, dtype=np.int64)
+            arrays += [idx1, history1[idx1], idx2, history2[idx2]]
+        return arrays
+
+    def count_batch(
+        self,
+        new1: "list[np.ndarray]",
+        new2: "list[np.ndarray]",
+        history1: np.ndarray,
+        history2: np.ndarray,
+    ) -> RegionJoinResult:
+        """Ship one batch's per-machine deltas; fold and count worker-side.
+
+        ``new1`` / ``new2`` are the engine's per-machine arrival-index
+        arrays; the keys are gathered here and written with the indices to
+        the shared arena as one machine-major message.  Workers reply with
+        per-machine output counts and join timings; the byte accounting
+        accrues on the backend and is drained per batch by the engine
+        (:meth:`drain_channel_bytes`), covering every command of the batch,
+        not just the count.
+        """
+        self._ensure_bound()
+        start = time.perf_counter()
+        message = self._write(
+            self._state_layout(new1, new2, history1, history2)
+        )
+        outputs = np.zeros(self._num_machines, dtype=np.int64)
+        seconds = np.zeros(self._num_machines)
+        for reply in self._broadcast(("count", message)):
+            for machine, out_a, out_b, sec_a, sec_b in reply[1]:
+                outputs[machine] = out_a + out_b
+                seconds[machine] = sec_a + sec_b
+        return RegionJoinResult(
+            per_machine_output=outputs,
+            per_machine_seconds=seconds,
+            wall_seconds=time.perf_counter() - start,
+            worker_pids=self._machine_pids.copy(),
+        )
+
+    def evict_state(
+        self, expired1: np.ndarray, expired2: np.ndarray
+    ) -> int:
+        """Drop expired arrival indices worker-side; return entries dropped."""
+        self._ensure_bound()
+        message = self._write(
+            [
+                np.asarray(expired1, dtype=np.int64),
+                np.asarray(expired2, dtype=np.int64),
+            ]
+        )
+        return sum(reply[1] for reply in self._broadcast(("evict", message)))
+
+    def rebase_state(self, trim1: int, trim2: int) -> None:
+        """Rebase every worker's arrival indices after history compaction."""
+        self._ensure_bound()
+        self._broadcast(("rebase", int(trim1), int(trim2)))
+
+    def install_state(
+        self,
+        assignments1: "list[np.ndarray]",
+        assignments2: "list[np.ndarray]",
+        history1: np.ndarray,
+        history2: np.ndarray,
+    ) -> None:
+        """Move migrated state between workers through shared memory.
+
+        ``assignments*`` are the migration plan's complete per-machine
+        arrival-index arrays; each worker rebuilds its owned machines'
+        state from the shared message, so state never crosses the pickle
+        channel even when it changes owners.
+        """
+        self._ensure_bound()
+        message = self._write(
+            self._state_layout(assignments1, assignments2, history1, history2)
+        )
+        self._broadcast(("install", message))
+
+    def drain_channel_bytes(
+        self,
+    ) -> "tuple[int | None, int | None, int | None]":
+        """Byte accounting since the last drain: (pickled, unpickled, shm).
+
+        The engine calls this once per batch; the totals cover every
+        command the batch issued (count, evict, rebase, install).  All
+        three are ``None`` when no command ran since the last drain, and
+        the pickle totals are ``None`` when profiling is disabled -- the
+        shared-memory payload is always measured.
+        """
+        if not self._commands_since_drain:
+            return (None, None, None)
+        self._commands_since_drain = False
+        pickled, unpickled, shm = (
+            self._bytes_pickled,
+            self._bytes_unpickled,
+            self._bytes_shm,
+        )
+        self._bytes_pickled = self._bytes_unpickled = self._bytes_shm = 0
+        if not self.profile_serialization:
+            return (None, None, shm)
+        return (pickled, unpickled, shm)
+
+    def join_regions(
+        self,
+        region_keys: list[tuple[np.ndarray, np.ndarray]],
+        condition: "JoinCondition | list[JoinCondition]",
+        keys2_sorted: bool = False,
+    ) -> RegionJoinResult:
+        """Refuse stateless dispatch: sticky workers own their state.
+
+        Shipping full region arrays through this entry point is exactly the
+        serialization tax this backend exists to remove, so it raises
+        instead -- the engine recognises ``owns_state`` and drives the
+        stateful protocol (``bind`` / ``count_batch`` / ...); a decorator
+        that hides that flag (e.g. ``SlowConsumerBackend``) cannot be used
+        around a sticky backend.
+        """
+        self._ensure_open()
+        raise RuntimeError(
+            "StickyWorkerBackend owns its workers' join state and does not "
+            "accept stateless join_regions dispatch; the engine must drive "
+            "the state-ownership protocol (bind/count_batch/...)"
+        )
+
+    def close(self) -> None:
+        """Stop the workers and unlink the shared segment (idempotent, final)."""
+        for channel in self._channels:
+            try:
+                channel.send(("close",))
+                channel.recv()
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+            channel.close()
+        self._channels = []
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - hung-worker backstop
+                process.terminate()
+                process.join(timeout=10)
+        self._processes = []
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
         super().close()
 
 
@@ -349,6 +899,7 @@ class SlowConsumerBackend(ExecutionBackend):
 _BACKENDS: dict[str, type[ExecutionBackend]] = {
     SimulatedBackend.name: SimulatedBackend,
     MultiprocessBackend.name: MultiprocessBackend,
+    StickyWorkerBackend.name: StickyWorkerBackend,
 }
 
 

@@ -238,6 +238,19 @@ class StreamingJoinEngine:
         self.policy = policy or DriftAdaptiveEWHPolicy()
         self._owns_backend = backend is None
         self.backend = backend or SimulatedBackend()
+        # A state-owning backend (sticky workers) keeps each machine's
+        # SortedRegionState resident on its side; the engine then drives the
+        # state-ownership protocol (bind / count_batch / evict_state /
+        # rebase_state / install_state) and maintains only an arrival-index
+        # mirror.  That protocol *is* incremental counting, so recount mode
+        # cannot run on such a backend.
+        self._stateful = bool(getattr(self.backend, "owns_state", False))
+        if self._stateful and counting != "incremental":
+            raise ValueError(
+                f"backend {self.backend.name!r} owns its join state "
+                "(owns_state=True), which requires counting='incremental' -- "
+                "the recount baseline needs the full region state engine-side"
+            )
         self.counting = counting
         if counting == "incremental":
             try:
@@ -373,6 +386,53 @@ class StreamingJoinEngine:
         )
         return deltas, combined
 
+    def _count_resident(
+        self,
+        new1: list[np.ndarray],
+        new2: list[np.ndarray],
+        history1: np.ndarray,
+        history2: np.ndarray,
+    ) -> tuple[np.ndarray, RegionJoinResult]:
+        """Count a batch's delta against state resident on a sticky backend.
+
+        The stateful twin of :meth:`_count_incremental`: the fold-and-count
+        happens *worker-side* against each worker's resident state, so the
+        engine ships only the per-machine arrival index/key arrays (over
+        the backend's shared-memory arena) instead of full region state.
+        The workers replay the exact delta decomposition
+        ``C(new1, state2 + new2) + C(state1, new2)``, so the per-machine
+        deltas are bit-identical to the in-process path.  Serialization
+        bytes are not on the returned execution -- they accrue on the
+        backend across the whole batch's commands and are drained once per
+        batch (``drain_channel_bytes``).
+        """
+        J = self.num_machines
+        with self.tracer.span(
+            "incremental_count", category="stage", tasks=2 * J
+        ) as span:
+            execution = self.backend.count_batch(
+                new1, new2, history1, history2
+            )
+        self._stitch_workers(execution, span)
+        return execution.per_machine_output, execution
+
+    @staticmethod
+    def _merge_sorted(held: np.ndarray, incoming: np.ndarray) -> np.ndarray:
+        """Merge new arrival indices into a sorted ownership mirror.
+
+        The engine's per-machine mirror of a sticky worker's resident
+        arrival indices -- the index sets migration planning and resident
+        accounting read without any worker round-trip.  Kept sorted so
+        eviction can drop expired indices with the same ``searchsorted``
+        membership pass the live sets use.
+        """
+        incoming = np.sort(np.asarray(incoming, dtype=np.int64))
+        if len(incoming) == 0:
+            return held
+        if len(held) == 0:
+            return incoming
+        return np.insert(held, np.searchsorted(held, incoming), incoming)
+
     def _stitch_workers(self, execution: RegionJoinResult, span) -> None:
         """Emit per-worker child spans for one backend execution.
 
@@ -443,6 +503,8 @@ class StreamingJoinEngine:
             registry.counter("stream.bytes_unpickled").inc(
                 metrics.bytes_unpickled or 0
             )
+        if metrics.bytes_shm is not None:
+            registry.counter("stream.bytes_shm").inc(metrics.bytes_shm)
         registry.gauge("stream.resident_tuples").set(metrics.resident_tuples)
         registry.gauge("stream.resident_bytes").set(metrics.resident_bytes)
         registry.gauge("stream.live_imbalance").set(metrics.live_imbalance)
@@ -474,12 +536,22 @@ class StreamingJoinEngine:
         history1_len: int,
         history2_len: int,
         rng: np.random.Generator,
+        held1: "list[np.ndarray] | None" = None,
+        held2: "list[np.ndarray] | None" = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Apply the window policy after a batch; charge evictions to metrics.
 
         Returns the updated per-side live index sets.  Per-machine region
         state is trimmed in place; the freed entries and bytes land in
         ``metrics.tuples_evicted`` / ``metrics.bytes_freed``.
+
+        On a state-owning backend the engine holds no region state --
+        ``held1`` / ``held2`` are its per-machine ownership mirrors.  The
+        mirrors are trimmed here and the expired sets shipped worker-side
+        (``evict_state``); the workers report how many entries they really
+        dropped, and a mismatch with the mirrors raises -- the mirror *is*
+        the engine's claim about worker state, and a divergence means
+        migration planning would move state that does not exist.
         """
         expired1 = self.window.evictions(live1, starts1, history1_len, rng)
         expired2 = self.window.evictions(live2, starts2, history2_len, rng)
@@ -488,10 +560,28 @@ class StreamingJoinEngine:
             live1 = self._remove_sorted(live1, expired1)
             for state in state1:
                 dropped += state.evict(expired1)
+            if held1 is not None:
+                for machine, held in enumerate(held1):
+                    kept = self._remove_sorted(held, expired1)
+                    dropped += len(held) - len(kept)
+                    held1[machine] = kept
         if len(expired2):
             live2 = self._remove_sorted(live2, expired2)
             for state in state2:
                 dropped += state.evict(expired2)
+            if held2 is not None:
+                for machine, held in enumerate(held2):
+                    kept = self._remove_sorted(held, expired2)
+                    dropped += len(held) - len(kept)
+                    held2[machine] = kept
+        if self._stateful and (len(expired1) or len(expired2)):
+            worker_dropped = self.backend.evict_state(expired1, expired2)
+            if worker_dropped != dropped:
+                raise RuntimeError(
+                    f"sticky workers dropped {worker_dropped} state entries "
+                    f"but the engine's ownership mirror expected {dropped}; "
+                    "worker-resident state has diverged from the engine"
+                )
         metrics.tuples_evicted = dropped
         metrics.bytes_freed = dropped * SortedRegionState.BYTES_PER_TUPLE
         return live1, live2
@@ -601,10 +691,24 @@ class StreamingJoinEngine:
         compacting = windowed and self.compact_history
         incremental = self.counting == "incremental"
 
+        stateful = self._stateful
         history1 = np.empty(0, dtype=np.float64)
         history2 = np.empty(0, dtype=np.float64)
-        state1 = [SortedRegionState() for _ in range(J)]
-        state2 = [SortedRegionState() for _ in range(J)]
+        if stateful:
+            # The workers own the region state; the engine keeps only a
+            # sorted per-machine mirror of the arrival indices each worker
+            # holds (enough for migration planning, eviction accounting and
+            # resident metrics, with no state readback ever).
+            self.backend.bind(J, self.condition, self._transposed)
+            state1 = []
+            state2 = []
+            empty_index = np.empty(0, dtype=np.int64)
+            held1 = [empty_index] * J
+            held2 = [empty_index] * J
+        else:
+            state1 = [SortedRegionState() for _ in range(J)]
+            state2 = [SortedRegionState() for _ in range(J)]
+            held1 = held2 = None
         prev_outputs = np.zeros(J, dtype=np.int64)
         partitioning: Partitioning | None = None
         # Where each region's state lives; partial repartitioning may remap.
@@ -719,6 +823,7 @@ class StreamingJoinEngine:
                     per_machine_join_seconds = np.zeros(J)
                     bytes_pickled: int | None = None
                     bytes_unpickled: int | None = None
+                    bytes_shm: int | None = None
                     if partitioning is None:
                         # One side is still entirely unseen, so no
                         # partitioning can be built and no output is possible
@@ -788,7 +893,18 @@ class StreamingJoinEngine:
                                 dtype=np.int64,
                             )
 
-                        if incremental:
+                        if stateful:
+                            deltas, execution = self._count_resident(
+                                new1, new2, history1, history2
+                            )
+                            for machine in range(J):
+                                held1[machine] = self._merge_sorted(
+                                    held1[machine], new1[machine]
+                                )
+                                held2[machine] = self._merge_sorted(
+                                    held2[machine], new2[machine]
+                                )
+                        elif incremental:
                             deltas, execution = self._count_incremental(
                                 state1, state2, new1, new2, history1, history2
                             )
@@ -867,6 +983,7 @@ class StreamingJoinEngine:
                                 metrics, state1, state2, live1, live2,
                                 starts1, starts2,
                                 len(history1), len(history2), rng,
+                                held1, held2,
                             )
                             evict_span.set(evicted=metrics.tuples_evicted)
                         if compacting:
@@ -883,6 +1000,18 @@ class StreamingJoinEngine:
                                 history2, live2, trim2 = self._compact_side(
                                     history2, live2, starts2, state2
                                 )
+                                if stateful and (trim1 or trim2):
+                                    # The ownership mirrors and the workers'
+                                    # resident indices rebase by the same
+                                    # trims, so engine coordinates stay in
+                                    # lock-step on both sides of the channel.
+                                    held1 = [
+                                        held - trim1 for held in held1
+                                    ]
+                                    held2 = [
+                                        held - trim2 for held in held2
+                                    ]
+                                    self.backend.rebase_state(trim1, trim2)
                                 metrics.history_tuples_trimmed = trim1 + trim2
                                 compact_span.set(trimmed=trim1 + trim2)
 
@@ -909,8 +1038,12 @@ class StreamingJoinEngine:
                             mode=self.repartition_mode,
                         ) as migrate_span:
                             plan = plan_migration(
-                                [state.index for state in state1],
-                                [state.index for state in state2],
+                                held1
+                                if stateful
+                                else [state.index for state in state1],
+                                held2
+                                if stateful
+                                else [state.index for state in state2],
                                 replacement,
                                 history1,
                                 history2,
@@ -921,18 +1054,48 @@ class StreamingJoinEngine:
                                 live2=live2 if windowed else None,
                             )
                             partitioning = replacement
-                            state1 = [
-                                SortedRegionState.from_indices(
-                                    indices, history1
+                            if stateful:
+                                # State moves worker-to-worker through the
+                                # shared arena: every machine's complete
+                                # post-migration index/key arrays are written
+                                # once and each worker rebuilds its machines
+                                # from them -- full state never crosses the
+                                # pickle channel.
+                                self.backend.install_state(
+                                    plan.new_assignments1,
+                                    plan.new_assignments2,
+                                    history1,
+                                    history2,
                                 )
-                                for indices in plan.new_assignments1
-                            ]
-                            state2 = [
-                                SortedRegionState.from_indices(
-                                    indices, history2
-                                )
-                                for indices in plan.new_assignments2
-                            ]
+                                held1 = [
+                                    np.sort(
+                                        np.asarray(
+                                            indices, dtype=np.int64
+                                        )
+                                    )
+                                    for indices in plan.new_assignments1
+                                ]
+                                held2 = [
+                                    np.sort(
+                                        np.asarray(
+                                            indices, dtype=np.int64
+                                        )
+                                    )
+                                    for indices in plan.new_assignments2
+                                ]
+                            else:
+                                state1 = [
+                                    SortedRegionState.from_indices(
+                                        indices, history1
+                                    )
+                                    for indices in plan.new_assignments1
+                                ]
+                                state2 = [
+                                    SortedRegionState.from_indices(
+                                        indices, history2
+                                    )
+                                    for indices in plan.new_assignments2
+                                ]
                             region_to_machine = plan.region_to_machine
                             if not incremental:
                                 # The recount baseline differences cumulative
@@ -986,9 +1149,27 @@ class StreamingJoinEngine:
                             )
                             migrate_span.set(moved=plan.total_moved)
 
-                    metrics.resident_tuples = sum(
-                        len(s) for s in state1
-                    ) + sum(len(s) for s in state2)
+                    if stateful:
+                        # One drain covers every command the batch issued
+                        # (count, evict, rebase, install); batches that
+                        # issued none keep None, like an unprofiled run.
+                        drained = self.backend.drain_channel_bytes()
+                        bytes_pickled = self._accumulate_bytes(
+                            bytes_pickled, drained[0]
+                        )
+                        bytes_unpickled = self._accumulate_bytes(
+                            bytes_unpickled, drained[1]
+                        )
+                        bytes_shm = self._accumulate_bytes(
+                            bytes_shm, drained[2]
+                        )
+                        metrics.resident_tuples = sum(
+                            len(held) for held in held1
+                        ) + sum(len(held) for held in held2)
+                    else:
+                        metrics.resident_tuples = sum(
+                            len(s) for s in state1
+                        ) + sum(len(s) for s in state2)
                     metrics.resident_history_tuples = len(history1) + len(
                         history2
                     )
@@ -997,6 +1178,7 @@ class StreamingJoinEngine:
                     metrics.per_machine_join_seconds = per_machine_join_seconds
                     metrics.bytes_pickled = bytes_pickled
                     metrics.bytes_unpickled = bytes_unpickled
+                    metrics.bytes_shm = bytes_shm
                     metrics.wall_seconds = time.perf_counter() - start
                     batch_span.set(
                         output_delta=metrics.output_delta,

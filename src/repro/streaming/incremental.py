@@ -108,7 +108,22 @@ class SortedRegionState:
         exact integer state across migrations.
         """
         indices = np.asarray(indices, dtype=np.int64)
-        keys = np.asarray(history)[indices]
+        return cls.from_pairs(indices, np.asarray(history)[indices])
+
+    @classmethod
+    def from_pairs(
+        cls, indices: np.ndarray, keys: np.ndarray
+    ) -> "SortedRegionState":
+        """Build sorted state from parallel arrival-index / key arrays.
+
+        Same stable key-sort as :meth:`from_indices`, for callers that have
+        already gathered the keys -- a sticky worker rebuilding migrated
+        state from a shared-memory message holds ``(indices, keys)`` pairs
+        but no key history.  Both inputs are copied (the pairs may be views
+        into a transient shared segment).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        keys = np.asarray(keys)
         order = np.argsort(keys, kind="stable")
         return cls(index=indices[order], keys=keys[order])
 

@@ -105,7 +105,15 @@ class BatchMetrics:
         the backend has no such channel (the in-process simulated backend)
         or profiling was disabled -- reporting renders ``-`` rather than a
         measured zero.  This is the per-batch serialization tax the
-        ROADMAP's zero-copy sticky-worker refactor must drive to ~0.
+        zero-copy sticky-worker backend drives to ~0.
+    bytes_shm:
+        Bytes this batch shipped through a shared-memory arena instead of
+        the pickle channel -- the sticky backend's per-batch delta payload
+        (new-arrival index/key arrays, eviction sets, migrated state).
+        ``None`` for backends without a shared-memory transport.  Together
+        with ``bytes_pickled`` this shows *where* the batch's data moved:
+        sticky steady-state batches report near-zero pickled bytes and the
+        whole delta here.
     per_machine_join_seconds:
         The backend's per-region join timings, summed over the batch's
         executions (the incremental count, plus the post-migration recount
@@ -160,6 +168,7 @@ class BatchMetrics:
     queue_clock: str = "real"
     bytes_pickled: int | None = None
     bytes_unpickled: int | None = None
+    bytes_shm: int | None = None
     per_machine_join_seconds: np.ndarray | None = None
     per_machine_output_delta: np.ndarray | None = None
     migration_plan: "MigrationPlan | None" = None
@@ -416,6 +425,21 @@ class StreamRunResult:
             batch.bytes_unpickled
             for batch in self.batches
             if batch.bytes_unpickled is not None
+        ]
+        return sum(measured) if measured else None
+
+    @property
+    def total_bytes_shm(self) -> int | None:
+        """Bytes shipped through shared memory over the run (``None``: none).
+
+        The sticky backend's zero-copy payload total; ``None`` for
+        backends without a shared-memory transport, so the ``shm KB``
+        column renders ``-`` exactly like the pickle columns do.
+        """
+        measured = [
+            batch.bytes_shm
+            for batch in self.batches
+            if batch.bytes_shm is not None
         ]
         return sum(measured) if measured else None
 

@@ -125,11 +125,54 @@ def pad_assignments(
     return padded
 
 
-def _overlap(region: np.ndarray, held: np.ndarray) -> int:
-    """Tuples of ``region`` a machine already holds (exact index intersection)."""
-    if len(region) == 0 or len(held) == 0:
-        return 0
-    return len(np.intersect1d(region, held, assume_unique=True))
+def _overlap_matrix(
+    routed: list[np.ndarray],
+    held: list[np.ndarray],
+    num_machines: int,
+) -> np.ndarray:
+    """J x J matrix of ``len(routed[r] & held[m])`` in one vectorised pass.
+
+    The per-pair ``np.intersect1d`` rebuild this replaces re-sorted both
+    sides J^2 times -- the ROADMAP-named scaling bottleneck for large-J
+    grids.  Here the held side is flattened and sorted *once* (tagged by
+    holding machine), every routed index finds its holders with two
+    ``searchsorted`` passes, and the hits are histogrammed on
+    ``region * J + machine`` pair codes.  Indices are unique within a
+    region and within a machine (a region routes a tuple at most once, a
+    machine holds it at most once), so each hit is one intersection member;
+    an index held by several machines expands to one hit per holder, which
+    is exactly how the per-pair intersections counted it.
+    """
+    J = num_machines
+    overlaps = np.zeros((J, J), dtype=np.int64)
+    routed_lengths = np.array([len(r) for r in routed], dtype=np.int64)
+    held_lengths = np.array([len(h) for h in held], dtype=np.int64)
+    if routed_lengths.sum() == 0 or held_lengths.sum() == 0:
+        return overlaps
+    routed_idx = np.concatenate(
+        [np.asarray(r, dtype=np.int64) for r in routed]
+    )
+    region_of = np.repeat(np.arange(J, dtype=np.int64), routed_lengths)
+    held_idx = np.concatenate([np.asarray(h, dtype=np.int64) for h in held])
+    machine_of = np.repeat(np.arange(J, dtype=np.int64), held_lengths)
+    order = np.argsort(held_idx, kind="stable")
+    held_idx = held_idx[order]
+    machine_of = machine_of[order]
+    lo = np.searchsorted(held_idx, routed_idx, side="left")
+    counts = np.searchsorted(held_idx, routed_idx, side="right") - lo
+    total = int(counts.sum())
+    if total == 0:
+        return overlaps
+    # Ragged expansion: for every routed index, the positions of its
+    # holders in the sorted held array (lo[i] .. lo[i]+counts[i]).
+    positions = (
+        np.repeat(lo, counts)
+        + np.arange(total, dtype=np.int64)
+        - np.repeat(np.cumsum(counts) - counts, counts)
+    )
+    pair_codes = np.repeat(region_of * J, counts) + machine_of[positions]
+    overlaps += np.bincount(pair_codes, minlength=J * J).reshape(J, J)
+    return overlaps
 
 
 def _best_region_map(
@@ -146,14 +189,9 @@ def _best_region_map(
     so the resulting partial plan never migrates more than the full plan.
     Deterministic: ties break towards lower region then machine index.
     """
-    overlaps = np.zeros((num_machines, num_machines), dtype=np.int64)
-    for region in range(num_machines):
-        if len(routed1[region]) == 0 and len(routed2[region]) == 0:
-            continue
-        for machine in range(num_machines):
-            overlaps[region, machine] = _overlap(
-                routed1[region], old1[machine]
-            ) + _overlap(routed2[region], old2[machine])
+    overlaps = _overlap_matrix(routed1, old1, num_machines) + _overlap_matrix(
+        routed2, old2, num_machines
+    )
 
     pairs = sorted(
         (

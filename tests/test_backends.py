@@ -14,6 +14,9 @@ deselect them with ``-m "not multiprocess"``.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -27,9 +30,15 @@ from repro.streaming import (
     MultiprocessBackend,
     SimulatedBackend,
     SlowConsumerBackend,
+    SortedRegionState,
+    StickyWorkerBackend,
     StreamingJoinEngine,
+    StreamingPipeline,
+    default_mp_context,
     make_backend,
 )
+from repro.streaming.backends import _StickyWorkerState
+from repro.streaming.shm import SEGMENT_PREFIX
 
 UNIT = WeightFunction(1.0, 1.0)
 BAND = BandJoinCondition(beta=1.0)
@@ -127,6 +136,13 @@ class TestMakeBackend:
         assert backend.max_workers == 2
         backend.close()
 
+    def test_sticky_by_name(self):
+        backend = make_backend("sticky", max_workers=2)
+        assert isinstance(backend, StickyWorkerBackend)
+        assert backend.max_workers == 2
+        assert backend.owns_state
+        backend.close()  # never bound: no workers to stop, still final
+
     def test_unknown_name(self):
         with pytest.raises(ValueError, match="unknown backend"):
             make_backend("gpu")
@@ -134,6 +150,43 @@ class TestMakeBackend:
     def test_invalid_workers(self):
         with pytest.raises(ValueError):
             MultiprocessBackend(max_workers=0)
+        with pytest.raises(ValueError):
+            StickyWorkerBackend(max_workers=0)
+
+
+class TestStartMethodPinning:
+    """The process backends must never inherit the platform's fork default.
+
+    A forked worker inherits the parent's locks mid-state; combined with
+    ``StreamingPipeline(mode="thread")`` that is a textbook deadlock.  Both
+    process backends therefore pin an explicit context (forkserver where
+    available, else spawn) instead of trusting
+    ``multiprocessing.get_start_method()``.
+    """
+
+    def test_default_context_is_never_fork(self):
+        assert default_mp_context().get_start_method() in {
+            "forkserver",
+            "spawn",
+        }
+
+    def test_multiprocess_backend_pins_the_default_context(self):
+        backend = MultiprocessBackend(max_workers=1)
+        assert backend.start_method in {"forkserver", "spawn"}
+        backend.close()
+
+    def test_sticky_backend_pins_the_default_context(self):
+        backend = StickyWorkerBackend(max_workers=1)
+        assert backend.start_method in {"forkserver", "spawn"}
+        backend.close()
+
+    def test_explicit_context_accepted_by_name(self):
+        backend = MultiprocessBackend(max_workers=1, mp_context="spawn")
+        assert backend.start_method == "spawn"
+        backend.close()
+        sticky = StickyWorkerBackend(max_workers=1, mp_context="spawn")
+        assert sticky.start_method == "spawn"
+        sticky.close()
 
 
 @pytest.mark.multiprocess
@@ -173,24 +226,271 @@ class TestMultiprocessBackend:
         backend.close()  # idempotent
 
 
-def _drift_run(backend, repartition_mode="partial"):
-    """One fixed-seed drifting-Zipf run on the given backend."""
-    source = DriftingZipfSource(
+class TestStickyWorkerState:
+    """In-process checks of the sticky worker's resident-state handlers.
+
+    ``_StickyWorkerState`` is the code that actually runs inside the worker
+    processes; exercising it in-process pins the handler semantics exactly
+    (and keeps it visible to coverage, which cannot see subprocesses).
+    """
+
+    @staticmethod
+    def _layout(num_machines, machine, idx1, keys1, idx2, keys2):
+        """A machine-major message with one populated machine."""
+        empty_i = np.empty(0, dtype=np.int64)
+        empty_k = np.empty(0)
+        arrays = [empty_i, empty_k, empty_i, empty_k] * num_machines
+        arrays[4 * machine : 4 * machine + 4] = [idx1, keys1, idx2, keys2]
+        return arrays
+
+    def test_count_replays_the_incremental_fold(self, rng):
+        worker = _StickyWorkerState(machines=(0,))
+        op, pid = worker.init(BAND, BAND.transposed)
+        assert op == "ok" and pid == os.getpid()
+        history1 = rng.uniform(0, 50, 60)
+        history2 = rng.uniform(0, 50, 60)
+        state1 = SortedRegionState()
+        state2 = SortedRegionState()
+        for lo, hi in ((0, 30), (30, 60)):
+            idx1 = np.arange(lo, hi, dtype=np.int64)
+            idx2 = np.arange(lo, hi, dtype=np.int64)
+            keys1, keys2 = history1[idx1], history2[idx2]
+            # The engine's reference decomposition:
+            # C(new1, state2 + new2) + C_transposed(new2, old state1).
+            old_keys1 = state1.keys.copy()
+            state2.insert(idx2, keys2)
+            expected = count_join_output(
+                keys1, state2.keys, BAND, keys2_sorted=True
+            )
+            if len(old_keys1):
+                expected += count_join_output(
+                    keys2, old_keys1, BAND.transposed, keys2_sorted=True
+                )
+            state1.insert(idx1, keys1)
+            op, counted = worker.count([idx1, keys1, idx2, keys2])
+            assert op == "counted"
+            ((machine, out_a, out_b, sec_a, sec_b),) = counted
+            assert machine == 0
+            assert out_a + out_b == expected
+            assert sec_a >= 0.0 and sec_b >= 0.0
+        np.testing.assert_array_equal(worker.state1[0].keys, state1.keys)
+        np.testing.assert_array_equal(worker.state2[0].keys, state2.keys)
+
+    def test_count_touches_owned_machines_only(self, rng):
+        worker = _StickyWorkerState(machines=(1,))
+        worker.init(BAND, BAND.transposed)
+        keys = rng.uniform(0, 50, 20)
+        idx = np.arange(20, dtype=np.int64)
+        op, counted = worker.count(self._layout(2, 1, idx, keys, idx, keys))
+        assert op == "counted"
+        assert [entry[0] for entry in counted] == [1]
+        assert 0 not in worker.state1
+        assert len(worker.state1[1]) == 20
+
+    def test_empty_sides_are_skipped_and_untimed(self):
+        worker = _StickyWorkerState(machines=(0,))
+        worker.init(BAND, BAND.transposed)
+        empty_i, empty_k = np.empty(0, dtype=np.int64), np.empty(0)
+        op, counted = worker.count([empty_i, empty_k, empty_i, empty_k])
+        assert counted == [(0, 0, 0, 0.0, 0.0)]
+
+    def test_evict_reports_entries_actually_dropped(self, rng):
+        worker = _StickyWorkerState(machines=(0,))
+        worker.init(BAND, BAND.transposed)
+        idx = np.arange(10, dtype=np.int64)
+        keys = rng.uniform(0, 50, 10)
+        worker.count([idx, keys, idx, keys])
+        expired = np.array([2, 5, 7, 99], dtype=np.int64)  # 99 not resident
+        op, dropped = worker.evict([expired, expired])
+        assert op == "evicted"
+        assert dropped == 6  # three real entries per side
+        assert len(worker.state1[0]) == 7 and len(worker.state2[0]) == 7
+
+    def test_rebase_shifts_resident_arrival_indices(self, rng):
+        worker = _StickyWorkerState(machines=(0,))
+        worker.init(BAND, BAND.transposed)
+        idx = np.arange(10, 20, dtype=np.int64)
+        keys = rng.uniform(0, 50, 10)
+        worker.count([idx, keys, idx, keys])
+        assert worker.rebase(10, 10) == ("rebased",)
+        assert worker.state1[0].index.min() == 0
+        assert worker.state2[0].index.max() == 9
+
+    def test_install_rebuilds_bit_identical_to_from_indices(self, rng):
+        worker = _StickyWorkerState(machines=(0,))
+        worker.init(BAND, BAND.transposed)
+        history = rng.uniform(0, 50, 40)
+        idx = rng.permutation(40)[:15].astype(np.int64)
+        op = worker.install([idx, history[idx], idx, history[idx]])[0]
+        assert op == "installed"
+        reference = SortedRegionState.from_indices(idx, history)
+        np.testing.assert_array_equal(worker.state1[0].keys, reference.keys)
+        np.testing.assert_array_equal(worker.state1[0].index, reference.index)
+
+    def test_state_never_aliases_the_message_views(self, rng):
+        # Handler inputs are views into a reused shared segment; resident
+        # state must copy them or the next message would corrupt it.
+        worker = _StickyWorkerState(machines=(0,))
+        worker.init(BAND, BAND.transposed)
+        idx = np.arange(5, dtype=np.int64)
+        keys = rng.uniform(0, 50, 5)
+        worker.count([idx, keys, idx, keys])
+        before = worker.state1[0].keys.copy()
+        keys[:] = -1.0  # simulate the arena overwriting the segment
+        idx[:] = 0
+        np.testing.assert_array_equal(worker.state1[0].keys, before)
+
+    def test_unknown_command_raises(self):
+        worker = _StickyWorkerState(machines=(0,))
+        with pytest.raises(ValueError, match="unknown sticky-worker command"):
+            worker.handle(("bogus",), None)
+
+
+@pytest.mark.multiprocess
+class TestStickyWorkerBackend:
+    """Lifecycle contract of the sticky backend: bind once, close cleanly."""
+
+    def test_counts_match_the_in_process_fold(self, rng):
+        history1 = rng.uniform(0, 50, 80)
+        history2 = rng.uniform(0, 50, 80)
+        split = [np.arange(0, 40, dtype=np.int64), np.arange(40, 80, dtype=np.int64)]
+        reference = _StickyWorkerState(machines=(0, 1))
+        reference.init(BAND, BAND.transposed)
+        expected = reference.count(
+            [split[0], history1[split[0]], split[0], history2[split[0]],
+             split[1], history1[split[1]], split[1], history2[split[1]]]
+        )[1]
+        with StickyWorkerBackend(max_workers=2) as backend:
+            backend.bind(2, BAND, BAND.transposed)
+            result = backend.count_batch(split, split, history1, history2)
+        for machine, out_a, out_b, _sec_a, _sec_b in expected:
+            assert result.per_machine_output[machine] == out_a + out_b
+
+    def test_rebind_refused(self):
+        with StickyWorkerBackend(max_workers=1) as backend:
+            backend.bind(2, BAND, BAND.transposed)
+            assert backend.bound
+            with pytest.raises(RuntimeError, match="re-binding"):
+                backend.bind(2, BAND, BAND.transposed)
+
+    def test_stateful_calls_before_bind_are_refused(self):
+        backend = StickyWorkerBackend(max_workers=1)
+        empty = np.empty(0)
+        with pytest.raises(RuntimeError, match="not bound"):
+            backend.count_batch([], [], empty, empty)
+        with pytest.raises(RuntimeError, match="not bound"):
+            backend.evict_state(empty, empty)
+        backend.close()
+
+    def test_use_after_close_raises_instead_of_restarting_workers(self):
+        backend = StickyWorkerBackend(max_workers=1)
+        backend.bind(1, BAND, BAND.transposed)
+        backend.close()
+        assert backend.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.bind(1, BAND, BAND.transposed)
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.count_batch([], [], np.empty(0), np.empty(0))
+        backend.close()  # idempotent
+
+    def test_join_regions_refused(self, rng):
+        with StickyWorkerBackend(max_workers=1) as backend:
+            with pytest.raises(RuntimeError, match="state-ownership protocol"):
+                backend.join_regions(_region_keys(rng, size=10), BAND)
+
+    def test_close_unlinks_the_shared_segment(self, rng):
+        shm_dir = Path("/dev/shm")
+        if not shm_dir.is_dir():  # pragma: no cover - non-Linux fallback
+            pytest.skip("POSIX shm is not mounted at /dev/shm here")
+        before = {p.name for p in shm_dir.glob(f"{SEGMENT_PREFIX}-*")}
+        backend = StickyWorkerBackend(max_workers=1)
+        backend.bind(1, BAND, BAND.transposed)
+        idx = np.arange(16, dtype=np.int64)
+        history = rng.uniform(0, 50, 16)
+        backend.count_batch([idx], [idx], history, history)
+        live = {
+            p.name for p in shm_dir.glob(f"{SEGMENT_PREFIX}-*")
+        } - before
+        assert live  # the arena segment exists while the stream is bound
+        backend.close()
+        after = {p.name for p in shm_dir.glob(f"{SEGMENT_PREFIX}-*")}
+        assert not (live & after)
+
+    def test_worker_pids_are_real_and_follow_ownership(self, rng):
+        with StickyWorkerBackend(max_workers=2) as backend:
+            backend.bind(4, BAND, BAND.transposed)
+            idx = np.arange(8, dtype=np.int64)
+            history = rng.uniform(0, 50, 8)
+            result = backend.count_batch(
+                [idx] * 4, [idx] * 4, history, history
+            )
+        pids = result.worker_pids
+        assert pids is not None and np.all(pids > 0)
+        assert not np.any(pids == os.getpid())
+        # Machine m lives on worker m % W: machines 0/2 and 1/3 share pids.
+        assert pids[0] == pids[2] and pids[1] == pids[3]
+        assert pids[0] != pids[1]
+
+    def test_worker_errors_surface_engine_side(self):
+        with StickyWorkerBackend(max_workers=1) as backend:
+            backend.bind(1, BAND, BAND.transposed)
+            with pytest.raises(RuntimeError, match="sticky worker failed"):
+                backend._broadcast(("bogus",))
+
+    def test_drain_reports_batch_bytes_then_goes_quiet(self, rng):
+        with StickyWorkerBackend(max_workers=1) as backend:
+            backend.bind(1, BAND, BAND.transposed)
+            pickled, unpickled, shm = backend.drain_channel_bytes()
+            assert pickled > 0 and unpickled > 0  # the init command
+            assert shm == 0  # init ships no arrays
+            assert backend.drain_channel_bytes() == (None, None, None)
+            idx = np.arange(8, dtype=np.int64)
+            history = rng.uniform(0, 50, 8)
+            backend.count_batch([idx], [idx], history, history)
+            pickled, unpickled, shm = backend.drain_channel_bytes()
+            assert pickled > 0 and unpickled > 0
+            assert shm == 4 * 8 * 8  # two index + two key arrays, 8 int64/f64
+
+    def test_drain_without_profiling_still_meters_shm(self, rng):
+        with StickyWorkerBackend(
+            max_workers=1, profile_serialization=False
+        ) as backend:
+            backend.bind(1, BAND, BAND.transposed)
+            idx = np.arange(4, dtype=np.int64)
+            history = rng.uniform(0, 50, 4)
+            backend.count_batch([idx], [idx], history, history)
+            pickled, unpickled, shm = backend.drain_channel_bytes()
+            assert pickled is None and unpickled is None
+            assert shm == 4 * 8 * 4
+
+
+def _drift_source():
+    """The fixed-seed drifting-Zipf stream shared by the equivalence runs."""
+    return DriftingZipfSource(
         num_batches=8, tuples_per_batch=250, num_values=80,
         z_initial=0.1, z_final=1.3, shift_at_batch=3, seed=11,
     )
+
+
+def _drift_engine(backend, repartition_mode="partial", window="unbounded"):
+    """A fixed-seed adaptive engine over the given backend."""
     policy = DriftAdaptiveEWHPolicy(
         DriftDetector(threshold=1.3, warmup_batches=1, cooldown_batches=2)
     )
-    engine = StreamingJoinEngine(
+    return StreamingJoinEngine(
         4, BAND, UNIT,
         policy=policy,
         backend=backend,
         repartition_mode=repartition_mode,
         sample_capacity=256,
         seed=4,
+        window=window,
     )
-    return engine.run(source)
+
+
+def _drift_run(backend, repartition_mode="partial", window="unbounded"):
+    """One fixed-seed drifting-Zipf run on the given backend."""
+    return _drift_engine(backend, repartition_mode, window).run(_drift_source())
 
 
 @pytest.mark.multiprocess
@@ -279,3 +579,201 @@ class TestCrossBackendEquivalence:
             and batch.per_machine_join_seconds.max() > 0
             for batch in busy_batches
         )
+
+
+@pytest.mark.multiprocess
+class TestStickyBackendEquivalence:
+    """The sticky backend's worker-resident fold must be bit-identical.
+
+    Same fixed-seed drifting stream as the multiprocess equivalence class;
+    here the join state lives in the worker processes and the engine only
+    ever ships deltas, so these tests pin the whole state-ownership
+    protocol (count/evict/rebase/install) against the in-process engine.
+    """
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        simulated = _drift_run(SimulatedBackend())
+        with StickyWorkerBackend(max_workers=2) as backend:
+            sticky = _drift_run(backend)
+        return simulated, sticky
+
+    def test_backend_name_and_repartitioning(self, runs):
+        simulated, sticky = runs
+        assert sticky.backend == "sticky"
+        assert simulated.num_repartitions >= 1
+        assert sticky.num_repartitions == simulated.num_repartitions
+
+    def test_total_output_identical_and_correct(self, runs):
+        simulated, sticky = runs
+        assert simulated.output_correct and sticky.output_correct
+        assert simulated.total_output == sticky.total_output
+
+    def test_per_region_output_counts_identical(self, runs):
+        simulated, sticky = runs
+        for sim_batch, sticky_batch in zip(simulated.batches, sticky.batches):
+            if sim_batch.per_machine_output_delta is None:
+                assert sticky_batch.per_machine_output_delta is None
+                continue
+            np.testing.assert_array_equal(
+                sim_batch.per_machine_output_delta,
+                sticky_batch.per_machine_output_delta,
+            )
+            assert sim_batch.output_delta == sticky_batch.output_delta
+
+    def test_cost_model_loads_identical(self, runs):
+        simulated, sticky = runs
+        np.testing.assert_allclose(
+            simulated.cumulative_load, sticky.cumulative_load
+        )
+        for sim_batch, sticky_batch in zip(simulated.batches, sticky.batches):
+            np.testing.assert_allclose(
+                sim_batch.per_machine_load, sticky_batch.per_machine_load
+            )
+            assert sim_batch.live_imbalance == pytest.approx(
+                sticky_batch.live_imbalance
+            )
+
+    def test_migration_plans_identical(self, runs):
+        simulated, sticky = runs
+        assert [
+            b.batch_index for b in simulated.batches if b.repartitioned
+        ] == [b.batch_index for b in sticky.batches if b.repartitioned]
+        sim_plans = [
+            b.migration_plan for b in simulated.batches if b.repartitioned
+        ]
+        sticky_plans = [
+            b.migration_plan for b in sticky.batches if b.repartitioned
+        ]
+        for sim_plan, sticky_plan in zip(sim_plans, sticky_plans):
+            assert sim_plan.mode == sticky_plan.mode == "partial"
+            np.testing.assert_array_equal(
+                sim_plan.region_to_machine, sticky_plan.region_to_machine
+            )
+            np.testing.assert_array_equal(
+                sim_plan.per_machine_arrivals, sticky_plan.per_machine_arrivals
+            )
+            np.testing.assert_array_equal(
+                sim_plan.per_machine_departures,
+                sticky_plan.per_machine_departures,
+            )
+
+    def test_resident_accounting_matches_the_in_process_engine(self, runs):
+        simulated, sticky = runs
+        for sim_batch, sticky_batch in zip(simulated.batches, sticky.batches):
+            assert sim_batch.resident_tuples == sticky_batch.resident_tuples
+
+    def test_deltas_travel_over_shared_memory_not_pickle(self, runs):
+        _, sticky = runs
+        assert sticky.total_bytes_shm is not None
+        assert sticky.total_bytes_shm > 0
+        counting = [b for b in sticky.batches if b.new_tuples > 0]
+        assert counting
+        assert all(b.bytes_shm is not None and b.bytes_shm > 0 for b in counting)
+        # The pickle channel carries only control messages: far smaller
+        # than the array payload it replaces (the hard >=10x steady-state
+        # bound against the multiprocess backend lives in
+        # benchmarks/test_streaming_scaling.py).
+        assert sticky.total_bytes_pickled < sticky.total_bytes_shm
+
+    def test_sticky_records_real_worker_timings(self, runs):
+        _, sticky = runs
+        assert sticky.join_seconds > 0
+        busy_batches = [
+            batch for batch in sticky.batches if batch.output_delta > 0
+        ]
+        assert busy_batches
+        assert all(
+            batch.per_machine_join_seconds is not None
+            and batch.per_machine_join_seconds.max() > 0
+            for batch in busy_batches
+        )
+
+
+@pytest.mark.multiprocess
+class TestStickyWindowedEquivalence:
+    """Windowed runs drive evict + rebase through the ownership protocol.
+
+    A bounded window makes the engine evict expired state and compact its
+    history every batch, so the worker-resident copies must shrink and
+    rebase in lockstep with the in-process mirror -- any divergence either
+    trips the engine's drop-count cross-check or shows up here as a load or
+    output mismatch.
+    """
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        simulated = _drift_run(SimulatedBackend(), window="batches:3")
+        with StickyWorkerBackend(max_workers=2) as backend:
+            sticky = _drift_run(backend, window="batches:3")
+        return simulated, sticky
+
+    def test_the_window_actually_evicts_and_compacts(self, runs):
+        simulated, _ = runs
+        assert simulated.total_evicted > 0
+        assert simulated.total_history_trimmed > 0
+
+    def test_outputs_and_loads_identical(self, runs):
+        simulated, sticky = runs
+        assert simulated.total_output == sticky.total_output
+        np.testing.assert_allclose(
+            simulated.cumulative_load, sticky.cumulative_load
+        )
+        for sim_batch, sticky_batch in zip(simulated.batches, sticky.batches):
+            np.testing.assert_array_equal(
+                sim_batch.per_machine_output_delta,
+                sticky_batch.per_machine_output_delta,
+            )
+
+    def test_eviction_and_memory_accounting_identical(self, runs):
+        simulated, sticky = runs
+        assert simulated.total_evicted == sticky.total_evicted
+        assert simulated.total_history_trimmed == sticky.total_history_trimmed
+        for sim_batch, sticky_batch in zip(simulated.batches, sticky.batches):
+            assert sim_batch.tuples_evicted == sticky_batch.tuples_evicted
+            assert sim_batch.resident_tuples == sticky_batch.resident_tuples
+            assert (
+                sim_batch.history_tuples_trimmed
+                == sticky_batch.history_tuples_trimmed
+            )
+
+
+@pytest.mark.multiprocess
+@pytest.mark.threads
+class TestThreadedPipelineOverProcessBackends:
+    """Real threads feeding a process-backed engine must not deadlock.
+
+    Under the platform-default fork start method a worker forked while the
+    pipeline's producer thread holds an internal lock can inherit that lock
+    mid-acquire and hang forever; the pinned forkserver/spawn context makes
+    the combination safe.  These runs also re-pin losslessness: block-mode
+    pipelining never changes what is computed.
+    """
+
+    def test_thread_pipeline_over_multiprocess_backend(self):
+        sync = _drift_run(SimulatedBackend())
+        with MultiprocessBackend(max_workers=2) as backend:
+            piped = StreamingPipeline(
+                _drift_source(),
+                _drift_engine(backend),
+                queue_batches=2,
+                backpressure="block",
+                mode="thread",
+            ).run()
+        assert piped.total_output == sync.total_output
+        assert piped.total_tuples_shed == 0
+        np.testing.assert_allclose(piped.cumulative_load, sync.cumulative_load)
+
+    def test_thread_pipeline_over_sticky_backend(self):
+        sync = _drift_run(SimulatedBackend())
+        with StickyWorkerBackend(max_workers=2) as backend:
+            piped = StreamingPipeline(
+                _drift_source(),
+                _drift_engine(backend),
+                queue_batches=2,
+                backpressure="block",
+                mode="thread",
+            ).run()
+        assert piped.total_output == sync.total_output
+        assert piped.total_tuples_shed == 0
+        np.testing.assert_allclose(piped.cumulative_load, sync.cumulative_load)

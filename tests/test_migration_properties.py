@@ -22,7 +22,11 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.streaming.migration import pad_assignments, plan_migration
+from repro.streaming.migration import (
+    _overlap_matrix,
+    pad_assignments,
+    plan_migration,
+)
 
 
 class ModPartitioning:
@@ -215,3 +219,39 @@ def test_planned_state_is_exactly_the_new_routing(
         np.testing.assert_array_equal(
             np.sort(plan.new_assignments2[machine]), np.sort(routed2[region])
         )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    keys=keys_strategy,
+    num_machines=machines_strategy,
+    old_salt=salt_strategy,
+    new_salt=salt_strategy,
+    replicate=st.booleans(),
+)
+def test_overlap_matrix_equals_pairwise_intersections(
+    keys, num_machines, old_salt, new_salt, replicate
+):
+    """The vectorised overlap matrix equals the per-pair ``intersect1d`` it replaced.
+
+    ``_best_region_map`` used to build its J x J overlap matrix with one
+    ``np.intersect1d`` per (region, machine) pair -- J^2 sorts per rebuild.
+    The single sort/searchsorted pass must agree with that reference on
+    every entry, including empty sets and replicated (shared-index)
+    assignments.
+    """
+    rng = np.random.default_rng(0)
+    old_cls = ReplicatingPartitioning if replicate else ModPartitioning
+    new_cls = ReplicatingPartitioning if replicate else ModPartitioning
+    held = pad_assignments(
+        old_cls(num_machines, old_salt).assign_r1(keys, rng), num_machines
+    )
+    routed = pad_assignments(
+        new_cls(num_machines, new_salt).assign_r1(keys, rng), num_machines
+    )
+    matrix = _overlap_matrix(routed, held, num_machines)
+    assert matrix.shape == (num_machines, num_machines)
+    for region in range(num_machines):
+        for machine in range(num_machines):
+            expected = len(np.intersect1d(routed[region], held[machine]))
+            assert matrix[region, machine] == expected
