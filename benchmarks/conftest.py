@@ -23,6 +23,13 @@ import pytest
 
 from bench_utils import bench_machines
 
+# Fault-injection factory fixtures, shared with the unit-test suite: the
+# recovery benchmark kills a backend mid-stream through the same wrappers.
+from repro.streaming.testing import (  # noqa: F401
+    crashing_backend,
+    flaky_backend,
+)
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 

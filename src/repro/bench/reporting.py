@@ -179,6 +179,12 @@ def format_streaming_table(
     at the full queue) and ``stall s`` (producer time lost blocking on
     it); synchronous runs render ``-`` there.
 
+    When any run was elastic or crash-survivable -- it took checkpoints,
+    was restored from one, or resized its fleet mid-stream -- three more
+    columns appear: ``ckpts``, ``restores`` and ``resizes``.  Plain runs
+    keep the historical column set, so committed goldens stay byte-stable
+    until a benchmark opts into elasticity.
+
     ``pickled KB`` is the run's total serialization tax -- bytes the
     multiprocess backend's task and result payloads shipped through its
     pickle channel; runs whose backend has no serialization channel (the
@@ -202,6 +208,10 @@ def format_streaming_table(
     pipelined = any(
         result.backpressure is not None for result in results.values()
     )
+    elastic = any(
+        result.checkpoints_taken or result.restores or result.num_resizes
+        for result in results.values()
+    )
     headers = [
         "scheme",
         "backend",
@@ -220,6 +230,8 @@ def format_streaming_table(
     ]
     if pipelined:
         headers += ["backpressure", "peak queue", "shed", "stall s"]
+    if elastic:
+        headers += ["ckpts", "restores", "resizes"]
     headers += [
         "throughput",
         "join s",
@@ -265,6 +277,12 @@ def format_streaming_table(
                     if hide_stall
                     else f"{result.producer_stall_seconds:.3f}",
                 ]
+        if elastic:
+            row += [
+                str(result.checkpoints_taken),
+                str(result.restores),
+                str(result.num_resizes),
+            ]
         row += [
             _format_ratio(result.mean_throughput),
             "-" if hide_join else f"{result.join_seconds:.3f}",

@@ -29,6 +29,18 @@ drop whole batches at the full queue; ``coalesce`` -- merge the queue into
 one super-batch), so a slow batch no longer stalls the producer and the
 arrivals-outpace-joining regime is measurable: queue depth, shed volume,
 producer stall and consumer idle time all land in the metrics.
+
+The engine is elastic and crash-survivable:
+:meth:`~repro.streaming.engine.StreamingJoinEngine.checkpoint` captures the
+complete resumable state at any batch boundary
+(:class:`~repro.streaming.checkpoint.StreamCheckpoint`, with a versioned
+integrity-checked on-disk format),
+:meth:`~repro.streaming.engine.StreamingJoinEngine.resize` re-plans the join
+onto a different machine set mid-stream through the same migration machinery
+a drift rebuild uses, and :func:`~repro.streaming.checkpoint.run_resilient`
+drives a run to completion across backend worker crashes
+(:class:`~repro.streaming.backends.WorkerCrashError`) by restoring from the
+last checkpoint and replaying the source (see ``docs/fault_tolerance.md``).
 """
 
 from repro.streaming.backends import (
@@ -38,8 +50,14 @@ from repro.streaming.backends import (
     SimulatedBackend,
     SlowConsumerBackend,
     StickyWorkerBackend,
+    WorkerCrashError,
     default_mp_context,
     make_backend,
+)
+from repro.streaming.checkpoint import (
+    CHECKPOINT_VERSION,
+    StreamCheckpoint,
+    run_resilient,
 )
 from repro.streaming.shm import ShmArena, ShmReader
 from repro.streaming.drift import DriftDetector, DriftObservation
@@ -131,4 +149,8 @@ __all__ = [
     "DriftAdaptiveEWHPolicy",
     "StreamingJoinEngine",
     "compare_streaming_schemes",
+    "WorkerCrashError",
+    "CHECKPOINT_VERSION",
+    "StreamCheckpoint",
+    "run_resilient",
 ]

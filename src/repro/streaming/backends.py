@@ -50,6 +50,7 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 import numpy as np
@@ -71,9 +72,23 @@ __all__ = [
     "MultiprocessBackend",
     "StickyWorkerBackend",
     "SlowConsumerBackend",
+    "WorkerCrashError",
     "default_mp_context",
     "make_backend",
 ]
+
+
+class WorkerCrashError(RuntimeError):
+    """A backend worker process died (or its channel broke) mid-command.
+
+    Raised promptly -- the engine never hangs on a dead worker's pipe --
+    with the worker identity and exit code in the message where known.
+    The run that hit it is unrecoverable in place (the dead worker's
+    resident state is gone); restore from the last
+    :class:`~repro.streaming.checkpoint.StreamCheckpoint` onto a fresh
+    backend instead, which is exactly what
+    :func:`~repro.streaming.checkpoint.run_resilient` automates.
+    """
 
 
 def default_mp_context() -> multiprocessing.context.BaseContext:
@@ -323,15 +338,30 @@ class MultiprocessBackend(ExecutionBackend):
         condition: "JoinCondition | list[JoinCondition]",
         keys2_sorted: bool = False,
     ) -> RegionJoinResult:
-        """Ship each non-empty region to the worker pool and count there."""
+        """Ship each non-empty region to the worker pool and count there.
+
+        A worker process dying mid-batch breaks the whole pool; the broken
+        executor is discarded (a later call lazily starts a fresh one) and
+        the failure surfaces as :class:`WorkerCrashError` so callers can
+        restore from a checkpoint instead of unpicking executor internals.
+        """
         self._ensure_open()
-        execution = join_assigned_regions(
-            self._ensure_pool(),
-            region_keys,
-            condition,
-            keys2_sorted=keys2_sorted,
-            profile_serialization=self.profile_serialization,
-        )
+        try:
+            execution = join_assigned_regions(
+                self._ensure_pool(),
+                region_keys,
+                condition,
+                keys2_sorted=keys2_sorted,
+                profile_serialization=self.profile_serialization,
+            )
+        except BrokenProcessPool as error:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+            raise WorkerCrashError(
+                "multiprocess worker pool broke mid-batch (a worker process "
+                f"died: {error}); the pool was discarded -- restore the run "
+                "from its last checkpoint"
+            ) from error
         return RegionJoinResult(
             per_machine_output=execution.per_machine_output,
             per_machine_seconds=execution.per_machine_seconds,
@@ -440,6 +470,21 @@ class _StickyWorkerState:
             self.state2[machine].rebase(trim2)
         return ("rebased",)
 
+    def resize(self, machines: "tuple[int, ...]"):
+        """Adopt a new owned-machine set, discarding all resident state.
+
+        A fleet resize reassigns machine ownership wholesale, so the worker
+        starts from empty state for its new machines; the engine follows up
+        with an :meth:`install` carrying every machine's complete
+        post-resize state (the migration plan's new assignments).  The
+        reply repeats the worker's pid so the engine can rebuild its
+        machine-to-pid map for the new fleet.
+        """
+        self.machines = tuple(machines)
+        self.state1 = {machine: SortedRegionState() for machine in self.machines}
+        self.state2 = {machine: SortedRegionState() for machine in self.machines}
+        return ("resized", os.getpid())
+
     def install(self, arrays: "list[np.ndarray]"):
         """Replace every owned machine's state with migrated assignments.
 
@@ -467,6 +512,8 @@ class _StickyWorkerState:
             return self.rebase(command[1], command[2])
         if op == "install":
             return self.install(reader.arrays(command[1]))
+        if op == "resize":
+            return self.resize(command[1])
         if op == "init":
             return self.init(command[1], command[2])
         raise ValueError(f"unknown sticky-worker command {op!r}")
@@ -639,6 +686,60 @@ class StickyWorkerBackend(ExecutionBackend):
             pids[worker::workers] = reply[1]
         self._machine_pids = pids
 
+    def _crashed(self, worker: int, cause: "BaseException | None" = None):
+        """Build the :class:`WorkerCrashError` for a dead worker's channel."""
+        process = self._processes[worker]
+        error = WorkerCrashError(
+            f"sticky worker {worker} (pid {process.pid}) died with exit code "
+            f"{process.exitcode} before replying; its resident join state is "
+            "lost -- restore the run from its last checkpoint onto a fresh "
+            "backend"
+        )
+        if cause is not None:
+            error.__cause__ = cause
+        return error
+
+    def _send(self, worker: int, command: tuple) -> None:
+        """Send one command to one worker; a broken pipe means it crashed."""
+        try:
+            self._channels[worker].send(command)
+        except (BrokenPipeError, OSError) as error:
+            raise self._crashed(worker, error) from error
+
+    def _recv(self, worker: int):
+        """Receive one reply, polling so a dead worker can never hang us.
+
+        The engine's copy of the worker end of each pipe is closed right
+        after the worker starts, so a worker death *eventually* surfaces as
+        ``EOFError`` on ``recv`` -- but a blocking ``recv`` still hangs if
+        the pipe breaks in ways that never deliver the EOF.  Polling with a
+        liveness check bounds the wait: once the process is dead, one grace
+        poll collects any reply it managed to send before exiting, then the
+        crash is raised.
+        """
+        channel = self._channels[worker]
+        process = self._processes[worker]
+        while True:
+            try:
+                if channel.poll(0.05):
+                    reply = channel.recv()
+                    break
+            except (EOFError, BrokenPipeError, OSError) as error:
+                raise self._crashed(worker, error) from error
+            if not process.is_alive():
+                try:
+                    if channel.poll(0.2):
+                        reply = channel.recv()
+                        break
+                except (EOFError, BrokenPipeError, OSError):
+                    pass
+                raise self._crashed(worker)
+        if self.profile_serialization:
+            self._bytes_unpickled += pickled_nbytes(reply)
+        if reply[0] == "error":
+            raise RuntimeError(f"sticky worker failed: {reply[1]}")
+        return reply
+
     def _broadcast(self, command: tuple) -> list:
         """Send one command to every worker; gather (and check) the replies.
 
@@ -646,22 +747,15 @@ class StickyWorkerBackend(ExecutionBackend):
         measures the payload once and charges it per worker.  Replies are
         collected synchronously -- the arena's segment is only reused after
         every worker has consumed the previous message, which this barrier
-        guarantees.
+        guarantees.  A worker dying mid-command surfaces as
+        :class:`WorkerCrashError`, never a hang (see :meth:`_recv`).
         """
         self._commands_since_drain = True
         if self.profile_serialization:
             self._bytes_pickled += pickled_nbytes(command) * len(self._channels)
-        for channel in self._channels:
-            channel.send(command)
-        replies = []
-        for channel in self._channels:
-            reply = channel.recv()
-            if self.profile_serialization:
-                self._bytes_unpickled += pickled_nbytes(reply)
-            if reply[0] == "error":
-                raise RuntimeError(f"sticky worker failed: {reply[1]}")
-            replies.append(reply)
-        return replies
+        for worker in range(len(self._channels)):
+            self._send(worker, command)
+        return [self._recv(worker) for worker in range(len(self._channels))]
 
     def _write(self, arrays: "list[np.ndarray]"):
         """Write an array payload into the shared arena; meter its bytes."""
@@ -756,6 +850,34 @@ class StickyWorkerBackend(ExecutionBackend):
             self._state_layout(assignments1, assignments2, history1, history2)
         )
         self._broadcast(("install", message))
+
+    def resize(self, num_machines: int) -> None:
+        """Reassign machine ownership across the workers for a new fleet size.
+
+        The worker process count is fixed at :meth:`bind`; a resize only
+        redistributes machine ownership (machine ``m`` moves to worker
+        ``m % W`` of the *new* numbering) and resets every worker to empty
+        state for its new machines.  The engine must follow up with
+        :meth:`install_state` carrying the complete post-resize state from
+        its migration plan -- a resize without a reinstall would silently
+        drop all resident state.
+        """
+        self._ensure_bound()
+        if num_machines <= 0:
+            raise ValueError("num_machines must be positive")
+        workers = len(self._channels)
+        self._commands_since_drain = True
+        for worker in range(workers):
+            command = ("resize", tuple(range(worker, num_machines, workers)))
+            if self.profile_serialization:
+                self._bytes_pickled += pickled_nbytes(command)
+            self._send(worker, command)
+        pids = np.zeros(num_machines, dtype=np.int64)
+        for worker in range(workers):
+            reply = self._recv(worker)
+            pids[worker::workers] = reply[1]
+        self._num_machines = num_machines
+        self._machine_pids = pids
 
     def drain_channel_bytes(
         self,

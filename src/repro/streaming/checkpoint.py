@@ -1,0 +1,358 @@
+"""Checkpoint/restore of a running streaming join, and crash-resilient driving.
+
+A streaming join is long-lived state: per-machine sorted region state, the
+flat key histories, window liveness, the histogram's decayed sample
+reservoirs, the drift detector's EWMA and the engine's own random generator.
+:class:`StreamCheckpoint` captures *all* of it -- everything
+:meth:`~repro.streaming.engine.StreamingJoinEngine.process_batch` reads or
+writes -- so a run can be stopped at any batch boundary and resumed
+bit-identically: the restored run produces the same outputs, per-machine
+loads, migration plans and resident counts as the run that never stopped
+(``tests/test_checkpoint.py`` pins this with hypothesis across window
+policies, backends and crash points).
+
+On-disk format
+--------------
+``to_bytes`` serializes a versioned, integrity-checked container::
+
+    magic  b"RPSC"            4 bytes
+    version  uint32 LE        4 bytes   (refused on load if unknown)
+    payload length  uint64 LE 8 bytes
+    sha256(payload)          32 bytes   (refused on load if it mismatches)
+    payload                   pickle protocol 4 of the checkpoint fields
+
+The payload pins pickle protocol 4, so serializing the same state twice in
+one process yields byte-identical files -- ``save`` output is deterministic
+and safe to golden.  ``from_bytes`` refuses unknown versions and corrupt
+payloads with a clear ``ValueError`` instead of unpickling garbage.
+
+Driving a crash-survivable run
+------------------------------
+:func:`run_resilient` wraps the engine's stepwise API into a loop that
+checkpoints every ``checkpoint_every`` batches and, when a backend worker
+dies mid-stream (:class:`~repro.streaming.backends.WorkerCrashError`),
+restores onto a fresh backend from the last checkpoint and replays the
+source -- the engine skips the already-processed prefix, so the final
+result is identical to an uninterrupted run::
+
+    result = run_resilient(
+        lambda: StreamingJoinEngine(8, condition, weights, backend=backend()),
+        source,
+        checkpoint_every=6,
+        backend_factory=lambda: SimulatedBackend(),
+    )
+
+The source must be re-iterable (every
+:class:`~repro.streaming.source.StreamSource` is); a one-shot iterable can
+be driven through the stepwise API directly with externally stored batches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import struct
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.streaming.backends import WorkerCrashError
+from repro.streaming.metrics import StreamRunResult
+
+__all__ = ["CHECKPOINT_VERSION", "StreamCheckpoint", "run_resilient"]
+
+#: Magic prefix of the serialized container ("RePro Stream Checkpoint").
+_MAGIC = b"RPSC"
+
+#: Format version written by this build; :meth:`StreamCheckpoint.from_bytes`
+#: refuses anything else.
+CHECKPOINT_VERSION = 1
+
+#: Pickle protocol pinned for deterministic bytes (same state, same process,
+#: same serialization).
+_PICKLE_PROTOCOL = 4
+
+_HEADER = struct.Struct("<4sIQ32s")
+
+
+@dataclass(eq=False)
+class StreamCheckpoint:
+    """The complete resumable state of a streaming join at a batch boundary.
+
+    Captured by
+    :meth:`~repro.streaming.engine.StreamingJoinEngine.checkpoint` and
+    consumed by
+    :meth:`~repro.streaming.engine.StreamingJoinEngine.resume_from`; the
+    fields split into the engine's *configuration* (scalars plus the live
+    condition/weight/policy/window/histogram objects, pickled wholesale so
+    the restored engine is constructed exactly like the original) and the
+    run's *mutable state* (histories, liveness, per-machine region state,
+    generator state, accumulated result).
+
+    Attributes
+    ----------
+    num_machines, counting, repartition_mode, compact_history,
+    migration_cost_factor, rebuild_scan_factor, seed:
+        The engine constructor arguments at checkpoint time
+        (``num_machines`` reflects any resize already adopted).
+    condition, weight_fn, policy, window, histogram, partitioning:
+        The engine's live collaborator objects, deep-copied at capture so
+        later batches cannot mutate the checkpoint retroactively.  The
+        policy carries its drift detector's EWMA/cooldown, the histogram
+        its decayed reservoirs; ``partitioning`` is ``None`` before the
+        initial build.
+    rng_state:
+        The engine generator's ``bit_generator.state`` dict -- restoring it
+        replays routing, reservoir sampling and decay-window survival draws
+        exactly.
+    history1, history2, starts1, starts2, live1, live2:
+        The flat per-side key histories, batch-start lists and live
+        arrival-index sets, in engine coordinates (rebased by whatever
+        history compaction trimmed).
+    state_index1, state_keys1, state_index2, state_keys2:
+        Per-machine region state.  For engine-resident state both the index
+        and key columns are stored verbatim (restore is an exact
+        reconstruction); for a state-owning sticky backend the engine only
+        mirrors the indices, so the key lists are ``None`` and a restore
+        regathers keys from the history.
+    prev_outputs:
+        The recount baseline's cumulative per-machine counts.
+    region_to_machine:
+        Where each region's state lives after any partial-repartitioning
+        remap.
+    last_batch_index, position:
+        The last consumed source index (resume skips everything at or
+        below it when the source is replayed) and the engine's own
+        processed-batch counter.
+    cumulative:
+        Per-machine cost-model load accumulated so far.
+    result:
+        The partially filled :class:`~repro.streaming.metrics.StreamRunResult`
+        (all batches processed so far), so the resumed run's final result
+        covers the whole stream.
+    pending_resize:
+        Charges of a :meth:`~repro.streaming.engine.StreamingJoinEngine.resize`
+        not yet folded into a batch, or ``None``.
+    version:
+        Format version (:data:`CHECKPOINT_VERSION`).
+    """
+
+    num_machines: int
+    counting: str
+    repartition_mode: str
+    compact_history: bool
+    migration_cost_factor: float
+    rebuild_scan_factor: float
+    seed: int
+    condition: Any
+    weight_fn: Any
+    policy: Any
+    window: Any
+    histogram: Any
+    partitioning: Any
+    rng_state: dict
+    history1: np.ndarray
+    history2: np.ndarray
+    starts1: list[int]
+    starts2: list[int]
+    live1: np.ndarray
+    live2: np.ndarray
+    state_index1: "list[np.ndarray]"
+    state_keys1: "list[np.ndarray] | None"
+    state_index2: "list[np.ndarray]"
+    state_keys2: "list[np.ndarray] | None"
+    prev_outputs: np.ndarray
+    region_to_machine: np.ndarray
+    last_batch_index: "int | None"
+    position: int
+    cumulative: np.ndarray
+    result: StreamRunResult
+    pending_resize: "dict | None" = None
+    version: int = CHECKPOINT_VERSION
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned, digest-protected container format.
+
+        Deterministic within a process: pickling the same captured state
+        twice yields identical bytes (the protocol is pinned and dict
+        insertion order is stable), which
+        ``tests/test_checkpoint.py::test_checkpoint_roundtrip`` asserts.
+        """
+        payload = pickle.dumps(self._payload(), protocol=_PICKLE_PROTOCOL)
+        header = _HEADER.pack(
+            _MAGIC, self.version, len(payload), hashlib.sha256(payload).digest()
+        )
+        return header + payload
+
+    def _payload(self) -> dict:
+        """The field dict shipped in the pickled payload (version travels in the header)."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "version"
+        }
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "StreamCheckpoint":
+        """Parse the container format; refuse unknown versions and corruption."""
+        if len(raw) < _HEADER.size:
+            raise ValueError(
+                f"truncated stream checkpoint: {len(raw)} bytes is shorter "
+                f"than the {_HEADER.size}-byte header"
+            )
+        magic, version, length, digest = _HEADER.unpack_from(raw)
+        if magic != _MAGIC:
+            raise ValueError(
+                f"not a stream checkpoint (bad magic {magic!r}, "
+                f"expected {_MAGIC!r})"
+            )
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported stream checkpoint version {version}; this "
+                f"build reads version {CHECKPOINT_VERSION} only"
+            )
+        payload = raw[_HEADER.size :]
+        if len(payload) != length:
+            raise ValueError(
+                f"truncated stream checkpoint: header promises {length} "
+                f"payload bytes, got {len(payload)}"
+            )
+        if hashlib.sha256(payload).digest() != digest:
+            raise ValueError(
+                "corrupt stream checkpoint: payload digest mismatch"
+            )
+        return cls(version=version, **pickle.loads(payload))
+
+    def save(self, path: "str | Path") -> int:
+        """Write the serialized checkpoint to ``path``; return bytes written."""
+        data = self.to_bytes()
+        Path(path).write_bytes(data)
+        return len(data)
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "StreamCheckpoint":
+        """Read a checkpoint written by :meth:`save` (validating the format)."""
+        return cls.from_bytes(Path(path).read_bytes())
+
+    @property
+    def resident_tuples(self) -> int:
+        """State entries captured across all machines and both sides."""
+        return sum(len(index) for index in self.state_index1) + sum(
+            len(index) for index in self.state_index2
+        )
+
+
+def run_resilient(
+    engine_factory: "Callable[[], Any]",
+    source: "Iterable[Any]",
+    *,
+    checkpoint_every: int = 8,
+    max_restarts: int = 3,
+    backend_factory: "Callable[[], Any] | None" = None,
+    machines: "int | None" = None,
+    verify: bool = True,
+    allow_gaps: bool = False,
+) -> StreamRunResult:
+    """Run a streaming join to completion, surviving backend worker crashes.
+
+    Drives ``engine_factory()``'s engine through the stepwise API
+    (``start`` / ``process_batch`` / ``finish``), capturing a
+    :class:`StreamCheckpoint` every ``checkpoint_every`` processed batches.
+    When a :class:`~repro.streaming.backends.WorkerCrashError` surfaces the
+    crashed engine is closed (which reaps an engine-owned backend; an
+    *injected* backend stays the caller's to close, so a transient
+    :class:`~repro.streaming.testing.FlakyBackend` shared across restarts
+    survives), the run is restored from the last checkpoint onto a fresh
+    backend (``backend_factory()`` when given, else the restored engine's
+    default simulated backend) and the source is replayed -- the engine
+    skips every batch at or below the checkpoint's position, so nothing is
+    double-counted.  A crash before the first checkpoint restarts from
+    scratch via ``engine_factory()``.
+
+    Parameters
+    ----------
+    engine_factory:
+        Zero-argument callable building a fresh, unconsumed engine (with a
+        fresh backend if it uses a process-backed one).
+    source:
+        The stream; must be re-iterable for replay after a crash.
+    checkpoint_every:
+        Checkpoint cadence in processed batches; ``0`` disables periodic
+        checkpoints (a crash then always restarts from scratch).
+    max_restarts:
+        Crash budget; the ``WorkerCrashError`` is re-raised once exceeded.
+    backend_factory:
+        Builds the backend each *restore* runs on.  ``None`` resumes onto
+        the engine default (in-process simulated).
+    machines:
+        Optional fleet size to resize onto at restore time -- crash
+        recovery onto a surviving (smaller) fleet is
+        ``machines=<survivors>``.
+    verify, allow_gaps:
+        Forwarded to ``finish`` / ``process_batch`` (same semantics as
+        :meth:`~repro.streaming.engine.StreamingJoinEngine.run`).
+
+    Returns the completed :class:`~repro.streaming.metrics.StreamRunResult`;
+    its ``restores`` field counts how many recoveries happened.
+    """
+    if checkpoint_every < 0:
+        raise ValueError("checkpoint_every must be non-negative")
+    if max_restarts < 0:
+        raise ValueError("max_restarts must be non-negative")
+    engine = engine_factory()
+    restarts = 0
+    last_checkpoint: "StreamCheckpoint | None" = None
+    # Backends built by backend_factory are this function's resources: the
+    # resumed engine treats an injected backend as the caller's, and here
+    # the caller is this loop.  close() is idempotent.
+    factory_backends: "list[Any]" = []
+    try:
+        while True:
+            try:
+                if engine.phase == "new":
+                    engine.start()
+                processed = 0
+                batches = (
+                    source.batches()
+                    if hasattr(source, "batches")
+                    else iter(source)
+                )
+                for batch in batches:
+                    if engine.process_batch(batch, allow_gaps=allow_gaps) is None:
+                        continue  # replayed prefix, already restored
+                    processed += 1
+                    if checkpoint_every and processed % checkpoint_every == 0:
+                        last_checkpoint = engine.checkpoint()
+                return engine.finish(verify=verify)
+            except WorkerCrashError:
+                # Engine-owned backends are reaped here; an injected backend
+                # stays the caller's to close (a transient FlakyBackend
+                # shared across restarts must survive the crash, and a dead
+                # sticky fleet is the caller's resource either way).
+                engine.close()
+                restarts += 1
+                if restarts > max_restarts:
+                    raise
+                if last_checkpoint is None:
+                    # No checkpoint yet: restart from scratch.  The factory
+                    # must hand back a fresh usable backend (the crashed
+                    # engine's owned backend is closed above).
+                    engine = engine_factory()
+                else:
+                    backend = (
+                        backend_factory()
+                        if backend_factory is not None
+                        else None
+                    )
+                    if backend is not None:
+                        factory_backends.append(backend)
+                    engine = type(engine).resume_from(
+                        last_checkpoint,
+                        backend=backend,
+                        machines=machines,
+                    )
+    finally:
+        for backend in factory_backends:
+            backend.close()

@@ -64,6 +64,7 @@ which ``tests/test_backends.py`` pins down.
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import replace
 from typing import Iterable
@@ -82,6 +83,7 @@ from repro.streaming.backends import (
     RegionJoinResult,
     SimulatedBackend,
 )
+from repro.streaming.checkpoint import StreamCheckpoint
 from repro.streaming.incremental import IncrementalHistogram, SortedRegionState
 from repro.streaming.metrics import BatchMetrics, StreamRunResult
 from repro.streaming.migration import (
@@ -102,6 +104,38 @@ __all__ = ["COUNTING_MODES", "StreamingJoinEngine", "compare_streaming_schemes"]
 
 #: Output-delta counting modes accepted by :class:`StreamingJoinEngine`.
 COUNTING_MODES = ("incremental", "recount")
+
+
+class _RunState:
+    """Mutable loop state of one engine run, hoisted off the stack.
+
+    Everything :meth:`StreamingJoinEngine.process_batch` reads or writes
+    between batches lives here (the engine object itself holds only
+    configuration), so a checkpoint is a copy of this object's fields plus
+    the engine's collaborators, and a restore rebuilds exactly this.
+    """
+
+    __slots__ = (
+        "rng",
+        "history1",
+        "history2",
+        "state1",
+        "state2",
+        "held1",
+        "held2",
+        "prev_outputs",
+        "partitioning",
+        "region_to_machine",
+        "live1",
+        "live2",
+        "starts1",
+        "starts2",
+        "last_batch_index",
+        "position",
+        "cumulative",
+        "result",
+        "pending_resize",
+    )
 
 
 class StreamingJoinEngine:
@@ -278,6 +312,15 @@ class StreamingJoinEngine:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self._consumed = False
+        # Stepwise-run lifecycle: "new" -> start() -> "running" ->
+        # finish() -> "finished".  run() is a thin wrapper over the three.
+        self._phase = "new"
+        self._state: "_RunState | None" = None
+        self._run_span = None
+        # After a restore, source batches at or below this index were
+        # already processed before the checkpoint and are silently skipped
+        # when the stream is replayed.
+        self._skip_through: "int | None" = None
 
     # ------------------------------------------------------------------
     # Internals
@@ -623,6 +666,98 @@ class StreamingJoinEngine:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
+    @property
+    def phase(self) -> str:
+        """Lifecycle phase: ``"new"``, ``"running"`` or ``"finished"``.
+
+        :meth:`start` (or :meth:`resume_from`) moves a new engine to
+        running; :meth:`finish` moves it to finished.  :meth:`run` drives
+        the whole cycle in one call.
+        """
+        return self._phase
+
+    def _open_run_span(self) -> None:
+        """Open the run-level span the whole consumption nests under.
+
+        Every span arg is deterministic (indices, counts, flags -- never
+        seconds), so a simulated-mode run traced with a TickClock produces
+        a byte-identical trace on every replay.
+        """
+        self._run_span = self.tracer.span(
+            "run",
+            category="run",
+            scheme=self.policy.scheme_name,
+            machines=self.num_machines,
+            backend=self.backend.name,
+            window=self.window.name,
+            counting=self.counting,
+        )
+        self._run_span.__enter__()
+
+    def start(self) -> None:
+        """Begin a stepwise run: initialise the loop state, bind the backend.
+
+        The stepwise API -- :meth:`start`, then :meth:`process_batch` per
+        micro-batch, then :meth:`finish` -- is :meth:`run` taken apart, so
+        a driver can interleave its own actions between batches:
+        :meth:`checkpoint` for crash recovery, :meth:`resize` for
+        mid-stream elasticity.  An engine still consumes at most one
+        stream; a second ``start`` raises exactly like a second ``run``.
+        """
+        if self._consumed:
+            raise RuntimeError(
+                "this engine has already consumed a stream; create a fresh "
+                "StreamingJoinEngine (and policy) per run"
+            )
+        self._consumed = True
+        J = self.num_machines
+        s = _RunState()
+        s.rng = np.random.default_rng(self.seed)
+        s.history1 = np.empty(0, dtype=np.float64)
+        s.history2 = np.empty(0, dtype=np.float64)
+        if self._stateful:
+            # The workers own the region state; the engine keeps only a
+            # sorted per-machine mirror of the arrival indices each worker
+            # holds (enough for migration planning, eviction accounting and
+            # resident metrics, with no state readback ever).
+            self.backend.bind(J, self.condition, self._transposed)
+            s.state1 = []
+            s.state2 = []
+            empty_index = np.empty(0, dtype=np.int64)
+            s.held1 = [empty_index] * J
+            s.held2 = [empty_index] * J
+        else:
+            s.state1 = [SortedRegionState() for _ in range(J)]
+            s.state2 = [SortedRegionState() for _ in range(J)]
+            s.held1 = s.held2 = None
+        s.prev_outputs = np.zeros(J, dtype=np.int64)
+        s.partitioning = None
+        # Where each region's state lives; partial repartitioning may remap.
+        s.region_to_machine = np.arange(J, dtype=np.int64)
+        # Liveness bookkeeping (windowed runs only): sorted arrival indices
+        # still live per side and each batch's arrival-index start.  With
+        # compaction, all stored indices are rebased by the amount trimmed
+        # so far ("engine coordinates") and these structures stay O(window).
+        s.live1 = np.empty(0, dtype=np.int64)
+        s.live2 = np.empty(0, dtype=np.int64)
+        s.starts1 = []
+        s.starts2 = []
+        s.last_batch_index = None
+        s.position = -1
+        s.result = StreamRunResult(
+            scheme=self.policy.scheme_name,
+            num_machines=J,
+            backend=self.backend.name,
+            window=self.window.name,
+            counting=self.counting,
+            join_clock=self.backend.clock_domain,
+        )
+        s.cumulative = np.zeros(J, dtype=np.float64)
+        s.pending_resize = None
+        self._state = s
+        self._phase = "running"
+        self._open_run_span()
+
     def run(
         self,
         source: "StreamSource | Iterable[MicroBatch]",
@@ -664,124 +799,99 @@ class StreamingJoinEngine:
 
         An engine can only consume one stream: the maintained sample state
         and the policy's drift bookkeeping are not reset between runs, so a
-        second call raises instead of silently mixing streams.
+        second call raises instead of silently mixing streams.  This is a
+        thin wrapper over the stepwise API (:meth:`start` /
+        :meth:`process_batch` / :meth:`finish`), which drivers needing
+        checkpoints or mid-stream resizes call directly.
         """
-        if self._consumed:
-            raise RuntimeError(
-                "this engine has already consumed a stream; create a fresh "
-                "StreamingJoinEngine (and policy) per run"
-            )
-        self._consumed = True
+        self.start()
         try:
-            return self._run(source, verify, allow_gaps)
+            batches = (
+                source.batches() if hasattr(source, "batches") else iter(source)
+            )
+            for batch in batches:
+                self.process_batch(batch, allow_gaps=allow_gaps)
+            return self.finish(verify=verify)
         finally:
             if self._owns_backend:
                 self.backend.close()
 
-    def _run(
-        self,
-        source: "StreamSource | Iterable[MicroBatch]",
-        verify: bool,
-        allow_gaps: bool,
-    ) -> StreamRunResult:
-        rng = np.random.default_rng(self.seed)
+    def process_batch(
+        self, batch: MicroBatch, allow_gaps: bool = False
+    ) -> "BatchMetrics | None":
+        """Consume one micro-batch; return its metrics.
+
+        The stepwise core of :meth:`run`: route the arrivals, count the
+        incremental output, evict/compact under the window, let the policy
+        repartition, and append the batch's
+        :class:`~repro.streaming.metrics.BatchMetrics` to the running
+        result.  After :meth:`resume_from`, source batches at or below the
+        checkpoint's last consumed index are already part of the restored
+        state; they are skipped silently and return ``None`` (this is what
+        lets a driver replay a re-iterable source from the top after a
+        crash).
+        """
+        if self._phase != "running":
+            raise RuntimeError(
+                "process_batch() requires a running engine; call start() "
+                "(or resume_from()) first"
+            )
+        if self._skip_through is not None:
+            if batch.index <= self._skip_through:
+                return None
+            self._skip_through = None
+        s = self._state
         J = self.num_machines
         weight = self.weight_fn
         windowed = not self.window.is_unbounded
         compacting = windowed and self.compact_history
         incremental = self.counting == "incremental"
-
         stateful = self._stateful
-        history1 = np.empty(0, dtype=np.float64)
-        history2 = np.empty(0, dtype=np.float64)
-        if stateful:
-            # The workers own the region state; the engine keeps only a
-            # sorted per-machine mirror of the arrival indices each worker
-            # holds (enough for migration planning, eviction accounting and
-            # resident metrics, with no state readback ever).
-            self.backend.bind(J, self.condition, self._transposed)
-            state1 = []
-            state2 = []
-            empty_index = np.empty(0, dtype=np.int64)
-            held1 = [empty_index] * J
-            held2 = [empty_index] * J
-        else:
-            state1 = [SortedRegionState() for _ in range(J)]
-            state2 = [SortedRegionState() for _ in range(J)]
-            held1 = held2 = None
-        prev_outputs = np.zeros(J, dtype=np.int64)
-        partitioning: Partitioning | None = None
-        # Where each region's state lives; partial repartitioning may remap.
-        region_to_machine = np.arange(J, dtype=np.int64)
-        # Liveness bookkeeping (windowed runs only): sorted arrival indices
-        # still live per side and each batch's arrival-index start.  With
-        # compaction, all stored indices are rebased by the amount trimmed
-        # so far ("engine coordinates") and these structures stay O(window).
-        live1 = np.empty(0, dtype=np.int64)
-        live2 = np.empty(0, dtype=np.int64)
-        starts1: list[int] = []
-        starts2: list[int] = []
-        last_batch_index: int | None = None
-        position = -1
-
-        result = StreamRunResult(
-            scheme=self.policy.scheme_name,
-            num_machines=J,
-            backend=self.backend.name,
-            window=self.window.name,
-            counting=self.counting,
-            join_clock=self.backend.clock_domain,
-        )
-        cumulative = np.zeros(J, dtype=np.float64)
         tracer = self.tracer
+        rng = s.rng
+        history1, history2 = s.history1, s.history2
+        state1, state2 = s.state1, s.state2
+        held1, held2 = s.held1, s.held2
+        prev_outputs = s.prev_outputs
+        partitioning = s.partitioning
+        region_to_machine = s.region_to_machine
+        live1, live2 = s.live1, s.live2
+        starts1, starts2 = s.starts1, s.starts2
 
-        batches = source.batches() if hasattr(source, "batches") else iter(source)
-        # The whole consumption runs under one `run` span; every span arg
-        # below is deterministic (indices, counts, flags -- never seconds),
-        # so a simulated-mode run traced with a TickClock produces a
-        # byte-identical trace on every replay.
-        with tracer.span(
-            "run",
-            category="run",
-            scheme=self.policy.scheme_name,
-            machines=J,
-            backend=self.backend.name,
-            window=self.window.name,
-            counting=self.counting,
-        ):
-            for batch in batches:
-                start = time.perf_counter()
-                # Liveness and windows key off the engine's own
-                # processed-batch count, so any strictly increasing source
-                # numbering works -- but a non-monotone one would silently
-                # reorder time, and a gap in a contiguous stream usually
-                # means lost data, so gaps must be opted into
-                # (shed/coalesced pipelines, renumbered replays).
-                if last_batch_index is not None:
-                    if batch.index <= last_batch_index:
-                        raise ValueError(
-                            f"stream batch indices must be strictly "
-                            f"increasing, got batch {batch.index} after "
-                            f"{last_batch_index}"
-                        )
-                    if not allow_gaps and batch.index != last_batch_index + 1:
-                        raise ValueError(
-                            f"stream batch indices must be contiguous, got "
-                            f"batch {batch.index} after {last_batch_index}; "
-                            "pass allow_gaps=True for streams that "
-                            "legitimately skip indices (shed/coalesced "
-                            "pipelines, renumbered sources)"
-                        )
-                last_batch_index = batch.index
-                position += 1
-                batch_span = tracer.span(
-                    "batch",
-                    category="batch",
-                    index=batch.index,
-                    position=position,
-                    tuples=batch.num_tuples,
+        start = time.perf_counter()
+        # Liveness and windows key off the engine's own
+        # processed-batch count, so any strictly increasing source
+        # numbering works -- but a non-monotone one would silently
+        # reorder time, and a gap in a contiguous stream usually
+        # means lost data, so gaps must be opted into
+        # (shed/coalesced pipelines, renumbered replays).
+        if s.last_batch_index is not None:
+            if batch.index <= s.last_batch_index:
+                raise ValueError(
+                    f"stream batch indices must be strictly "
+                    f"increasing, got batch {batch.index} after "
+                    f"{s.last_batch_index}"
                 )
-                with batch_span:
+            if not allow_gaps and batch.index != s.last_batch_index + 1:
+                raise ValueError(
+                    f"stream batch indices must be contiguous, got "
+                    f"batch {batch.index} after {s.last_batch_index}; "
+                    "pass allow_gaps=True for streams that "
+                    "legitimately skip indices (shed/coalesced "
+                    "pipelines, renumbered sources)"
+                )
+        s.last_batch_index = batch.index
+        s.position += 1
+        position = s.position
+        batch_span = tracer.span(
+            "batch",
+            category="batch",
+            index=batch.index,
+            position=position,
+            tuples=batch.num_tuples,
+        )
+        if True:
+            with batch_span:
                     if self.policy.needs_statistics(partitioning is not None):
                         self.histogram.observe(batch, rng)
 
@@ -972,6 +1082,22 @@ class StreamingJoinEngine:
                         join_clock=self.backend.clock_domain,
                     )
 
+                    # A resize() between batches moved state immediately but
+                    # parked its charges; fold them into this batch, after
+                    # live_imbalance (computed above from the batch's own
+                    # loads) exactly like a drift migration's charges land
+                    # after it below.
+                    if s.pending_resize is not None:
+                        pending = s.pending_resize
+                        s.pending_resize = None
+                        metrics.resized_from = pending["resized_from"]
+                        metrics.migrated_tuples += pending["migrated"]
+                        metrics.rebuild_cost += pending["rebuild_cost"]
+                        metrics.per_machine_load = (
+                            metrics.per_machine_load + pending["load"]
+                        )
+                        metrics.migration_plan = pending["plan"]
+
                     # Window eviction runs after the batch is counted and
                     # *before* any repartitioning, so a migration only ever
                     # ships live state.
@@ -1137,7 +1263,7 @@ class StreamingJoinEngine:
                             metrics.per_machine_load = (
                                 metrics.per_machine_load + migration_load
                             )
-                            metrics.migrated_tuples = plan.total_moved
+                            metrics.migrated_tuples += plan.total_moved
                             metrics.repartitioned = True
                             # Keep the plan's accounting for reports and
                             # equivalence tests, but drop the O(history)
@@ -1184,24 +1310,436 @@ class StreamingJoinEngine:
                         output_delta=metrics.output_delta,
                         repartitioned=metrics.repartitioned,
                     )
-                cumulative += metrics.per_machine_load
-                result.batches.append(metrics)
-                self._meter_batch(metrics)
+        # Write the rebound loop locals back onto the run state (the lists
+        # starts1/starts2 are mutated in place and stay aliased).
+        s.history1, s.history2 = history1, history2
+        s.state1, s.state2 = state1, state2
+        s.held1, s.held2 = held1, held2
+        s.prev_outputs = prev_outputs
+        s.partitioning = partitioning
+        s.region_to_machine = region_to_machine
+        s.live1, s.live2 = live1, live2
+        s.cumulative += metrics.per_machine_load
+        s.result.batches.append(metrics)
+        self._meter_batch(metrics)
+        return metrics
 
-            result.cumulative_load = cumulative
-            result.total_output = int(
-                sum(batch.output_delta for batch in result.batches)
+    def finish(self, verify: bool = True) -> StreamRunResult:
+        """End the stream: finalise totals, verify, close the run span.
+
+        See :meth:`run` for the ``verify`` semantics (end-of-stream exact
+        recount, unbounded windows only).  An engine-owned backend is
+        closed here, matching :meth:`run`; an injected backend stays open
+        for the caller.
+        """
+        if self._phase != "running":
+            raise RuntimeError(
+                "finish() requires a running engine (start() first; "
+                "finish() may only be called once)"
             )
-            if verify and not windowed:
-                with tracer.span("verify", category="run") as verify_span:
-                    result.expected_output = count_join_output(
-                        history1, history2, self.condition
-                    )
-                    result.output_correct = (
-                        result.total_output == result.expected_output
-                    )
-                    verify_span.set(correct=result.output_correct)
+        s = self._state
+        result = s.result
+        result.cumulative_load = s.cumulative
+        result.total_output = int(
+            sum(batch.output_delta for batch in result.batches)
+        )
+        if verify and self.window.is_unbounded:
+            with self.tracer.span("verify", category="run") as verify_span:
+                result.expected_output = count_join_output(
+                    s.history1, s.history2, self.condition
+                )
+                result.output_correct = (
+                    result.total_output == result.expected_output
+                )
+                verify_span.set(correct=result.output_correct)
+        self._run_span.__exit__(None, None, None)
+        self._run_span = None
+        self._phase = "finished"
+        if self._owns_backend:
+            self.backend.close()
         return result
+
+    def close(self) -> None:
+        """Release an engine-owned backend without finishing the run.
+
+        Crash cleanup: after :meth:`process_batch` raises (e.g. a
+        :class:`~repro.streaming.backends.WorkerCrashError`), the run
+        cannot be finished, only abandoned or restored elsewhere.
+        Idempotent; an injected backend is left untouched, exactly as in
+        :meth:`run`'s ``finally``.
+        """
+        if self._owns_backend:
+            self.backend.close()
+
+    # ------------------------------------------------------------------
+    # Elasticity and fault tolerance
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> StreamCheckpoint:
+        """Capture the complete resumable state at this batch boundary.
+
+        The checkpoint is self-contained: configuration, policy and window
+        objects, sample state, RNG state, retained history, per-machine
+        region state (index mirrors for stateful backends, verbatim
+        index+key arrays otherwise), liveness bookkeeping and the
+        accumulated :class:`~repro.streaming.metrics.StreamRunResult`.
+        Everything is deep-copied, so the engine may keep running after
+        taking it.  :meth:`resume_from` on the checkpoint continues the
+        run bit-identically to never having stopped.
+        """
+        if self._phase != "running":
+            raise RuntimeError(
+                "checkpoint() requires a running engine (between start()/"
+                "process_batch() and finish())"
+            )
+        s = self._state
+        with self.tracer.span(
+            "checkpoint", category="run", position=s.position
+        ) as span:
+            s.result.checkpoints_taken += 1
+            if self._stateful:
+                # The workers' key arrays are reproducible from the index
+                # mirrors plus the history, so the checkpoint stays
+                # O(resident indices) and never reads state back.
+                state_index1 = [np.array(held) for held in s.held1]
+                state_index2 = [np.array(held) for held in s.held2]
+                state_keys1 = state_keys2 = None
+            else:
+                state_index1 = [np.array(st.index) for st in s.state1]
+                state_keys1 = [np.array(st.keys) for st in s.state1]
+                state_index2 = [np.array(st.index) for st in s.state2]
+                state_keys2 = [np.array(st.keys) for st in s.state2]
+            checkpoint = StreamCheckpoint(
+                num_machines=self.num_machines,
+                counting=self.counting,
+                repartition_mode=self.repartition_mode,
+                compact_history=self.compact_history,
+                migration_cost_factor=self.migration_cost_factor,
+                rebuild_scan_factor=self.rebuild_scan_factor,
+                seed=self.seed,
+                condition=self.condition,
+                weight_fn=self.weight_fn,
+                policy=copy.deepcopy(self.policy),
+                window=copy.deepcopy(self.window),
+                histogram=copy.deepcopy(self.histogram),
+                partitioning=copy.deepcopy(s.partitioning),
+                rng_state=copy.deepcopy(s.rng.bit_generator.state),
+                history1=np.array(s.history1),
+                history2=np.array(s.history2),
+                starts1=list(s.starts1),
+                starts2=list(s.starts2),
+                live1=np.array(s.live1),
+                live2=np.array(s.live2),
+                state_index1=state_index1,
+                state_keys1=state_keys1,
+                state_index2=state_index2,
+                state_keys2=state_keys2,
+                prev_outputs=np.array(s.prev_outputs),
+                region_to_machine=np.array(s.region_to_machine),
+                last_batch_index=s.last_batch_index,
+                position=s.position,
+                cumulative=np.array(s.cumulative),
+                result=copy.deepcopy(s.result),
+                pending_resize=copy.deepcopy(s.pending_resize),
+            )
+            span.set(
+                batches=len(s.result.batches),
+                resident=checkpoint.resident_tuples,
+            )
+        if self.metrics is not None:
+            self.metrics.counter("stream.checkpoints").inc()
+        return checkpoint
+
+    def resize(self, machines: int) -> None:
+        """Re-plan the join onto ``machines`` machines mid-stream.
+
+        The policy rebuilds its partitioning for the new fleet
+        (:meth:`~repro.streaming.policies.RepartitioningPolicy.resize_partitioning`),
+        :func:`~repro.streaming.migration.plan_migration` moves the
+        resident state onto the new machine set (growing pads empty
+        machines in; shrinking drains the departing ones), and sticky
+        workers are rebound through the same evict/install protocol a
+        drift migration uses.  State moves immediately; the migration and
+        rebuild *charges* are parked and folded into the next processed
+        batch's metrics (marked via ``resized_from``), mirroring how a
+        drift migration's charges land on the batch that triggered it.
+
+        Resizing to the current size is a no-op.  The recount baseline
+        differences cumulative per-machine counts and cannot survive a
+        fleet change, so ``counting="recount"`` engines refuse.
+        """
+        if self._phase != "running":
+            raise RuntimeError(
+                "resize() requires a running engine (between start() and "
+                "finish())"
+            )
+        if machines <= 0:
+            raise ValueError("machines must be positive")
+        if self.counting == "recount":
+            raise ValueError(
+                "resize() is not supported with counting='recount': the "
+                "recount baseline differences cumulative per-machine "
+                "counts, which a fleet change invalidates; use "
+                "counting='incremental'"
+            )
+        s = self._state
+        if s.partitioning is None:
+            raise RuntimeError(
+                "cannot resize before the initial partitioning is built; "
+                "process at least one batch of each side first"
+            )
+        old_machines = self.num_machines
+        if machines == old_machines:
+            return
+        windowed = not self.window.is_unbounded
+        weight = self.weight_fn
+        with self.tracer.span(
+            "resize",
+            category="run",
+            machines_from=old_machines,
+            machines_to=machines,
+        ) as span:
+            builds_before = self.histogram.rebuilds
+            replacement = self.policy.resize_partitioning(
+                machines, self.histogram, self.condition, s.rng
+            )
+            plan = plan_migration(
+                s.held1
+                if self._stateful
+                else [state.index for state in s.state1],
+                s.held2
+                if self._stateful
+                else [state.index for state in s.state2],
+                replacement,
+                s.history1,
+                s.history2,
+                machines,
+                s.rng,
+                mode=self.repartition_mode,
+                live1=s.live1 if windowed else None,
+                live2=s.live2 if windowed else None,
+            )
+            self.num_machines = machines
+            s.partitioning = replacement
+            s.region_to_machine = plan.region_to_machine
+            if self._stateful:
+                self.backend.resize(machines)
+                self.backend.install_state(
+                    plan.new_assignments1,
+                    plan.new_assignments2,
+                    s.history1,
+                    s.history2,
+                )
+                s.held1 = [
+                    np.sort(np.asarray(indices, dtype=np.int64))
+                    for indices in plan.new_assignments1
+                ]
+                s.held2 = [
+                    np.sort(np.asarray(indices, dtype=np.int64))
+                    for indices in plan.new_assignments2
+                ]
+            else:
+                s.state1 = [
+                    SortedRegionState.from_indices(indices, s.history1)
+                    for indices in plan.new_assignments1
+                ]
+                s.state2 = [
+                    SortedRegionState.from_indices(indices, s.history2)
+                    for indices in plan.new_assignments2
+                ]
+            # Incremental counting charges output at arrival time, so the
+            # per-machine baseline resets cleanly with the fleet.
+            s.prev_outputs = np.zeros(machines, dtype=np.int64)
+            survivors = min(old_machines, machines)
+            cumulative = np.zeros(machines, dtype=np.float64)
+            cumulative[:survivors] = s.cumulative[:survivors]
+            s.cumulative = cumulative
+            s.result.num_machines = machines
+            migration_load = (
+                self.migration_cost_factor
+                * weight.input_cost
+                * plan.per_machine_arrivals.astype(np.float64)
+            )
+            rebuild_cost = 0.0
+            if self.histogram.rebuilds > builds_before:
+                # _rebuild_charge() spreads the scan over num_machines,
+                # which was updated above -- the charge is for the new
+                # fleet doing the rebuild.
+                rebuild_cost = self._rebuild_charge()
+                migration_load = migration_load + rebuild_cost
+            s.pending_resize = {
+                "resized_from": old_machines,
+                "load": migration_load,
+                "migrated": plan.total_moved,
+                "rebuild_cost": rebuild_cost,
+                "plan": replace(
+                    plan, new_assignments1=[], new_assignments2=[]
+                ),
+            }
+            span.set(moved=plan.total_moved)
+        if self.metrics is not None:
+            self.metrics.counter("stream.resizes").inc()
+
+    @classmethod
+    def resume_from(
+        cls,
+        checkpoint: StreamCheckpoint,
+        *,
+        backend: "ExecutionBackend | None" = None,
+        machines: "int | None" = None,
+        tracer=None,
+        metrics=None,
+    ) -> "StreamingJoinEngine":
+        """Reconstruct a running engine from a checkpoint.
+
+        The engine continues bit-identically to the one that took the
+        checkpoint: same RNG stream, same sample state, same per-machine
+        region state, same accumulated result.  ``backend`` provides the
+        execution backend for the resumed run (default: a fresh simulated
+        backend); it need not match the original -- region state is
+        reinstalled through ``bind``/``install_state`` for stateful
+        backends and rebuilt from the checkpoint arrays otherwise.
+        ``machines`` optionally resizes onto a different fleet straight
+        away (crash recovery onto the survivors), which is exactly
+        :meth:`resize` from the restored state.
+
+        The checkpoint is deep-copied first, so one checkpoint can seed
+        any number of resumed runs.
+        """
+        checkpoint = copy.deepcopy(checkpoint)
+        engine = cls(
+            checkpoint.num_machines,
+            checkpoint.condition,
+            checkpoint.weight_fn,
+            policy=checkpoint.policy,
+            backend=backend,
+            window=checkpoint.window,
+            counting=checkpoint.counting,
+            repartition_mode=checkpoint.repartition_mode,
+            compact_history=checkpoint.compact_history,
+            histogram=checkpoint.histogram,
+            migration_cost_factor=checkpoint.migration_cost_factor,
+            rebuild_scan_factor=checkpoint.rebuild_scan_factor,
+            seed=checkpoint.seed,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        engine._restore(checkpoint)
+        if machines is not None and machines != engine.num_machines:
+            engine.resize(machines)
+        return engine
+
+    def _restore(self, checkpoint: StreamCheckpoint) -> None:
+        """Adopt a (privately owned) checkpoint as this engine's run state."""
+        self._consumed = True
+        s = _RunState()
+        rng = np.random.default_rng(self.seed)
+        rng.bit_generator.state = checkpoint.rng_state
+        s.rng = rng
+        s.history1, s.history2 = checkpoint.history1, checkpoint.history2
+        s.starts1 = list(checkpoint.starts1)
+        s.starts2 = list(checkpoint.starts2)
+        s.live1, s.live2 = checkpoint.live1, checkpoint.live2
+        s.partitioning = checkpoint.partitioning
+        s.region_to_machine = checkpoint.region_to_machine
+        s.prev_outputs = checkpoint.prev_outputs
+        s.last_batch_index = checkpoint.last_batch_index
+        s.position = checkpoint.position
+        s.cumulative = checkpoint.cumulative
+        s.result = checkpoint.result
+        s.pending_resize = checkpoint.pending_resize
+        s.result.restores += 1
+        s.result.backend = self.backend.name
+        s.result.join_clock = self.backend.clock_domain
+        self._state = s
+        self._phase = "running"
+        # Replayed source batches at or below this index were already
+        # consumed before the checkpoint; process_batch skips them.
+        self._skip_through = checkpoint.last_batch_index
+        self._open_run_span()
+        with self.tracer.span(
+            "restore", category="run", position=s.position
+        ) as span:
+            if self._stateful:
+                self.backend.bind(
+                    self.num_machines, self.condition, self._transposed
+                )
+                # Checkpoint index lists may be key-sorted (taken from a
+                # stateless engine); the held mirrors are index-sorted.
+                s.held1 = [
+                    np.sort(np.asarray(indices, dtype=np.int64))
+                    for indices in checkpoint.state_index1
+                ]
+                s.held2 = [
+                    np.sort(np.asarray(indices, dtype=np.int64))
+                    for indices in checkpoint.state_index2
+                ]
+                self.backend.install_state(
+                    s.held1, s.held2, s.history1, s.history2
+                )
+                s.state1 = []
+                s.state2 = []
+            else:
+                s.held1 = s.held2 = None
+                if checkpoint.state_keys1 is None:
+                    # Stateful-origin checkpoint: rebuild keys from the
+                    # index mirrors, exactly as install_state would.
+                    s.state1 = [
+                        SortedRegionState.from_indices(indices, s.history1)
+                        for indices in checkpoint.state_index1
+                    ]
+                    s.state2 = [
+                        SortedRegionState.from_indices(indices, s.history2)
+                        for indices in checkpoint.state_index2
+                    ]
+                else:
+                    # Verbatim restore preserves the exact duplicate-key
+                    # order the original engine held.
+                    s.state1 = [
+                        SortedRegionState(index=indices, keys=keys)
+                        for indices, keys in zip(
+                            checkpoint.state_index1, checkpoint.state_keys1
+                        )
+                    ]
+                    s.state2 = [
+                        SortedRegionState(index=indices, keys=keys)
+                        for indices, keys in zip(
+                            checkpoint.state_index2, checkpoint.state_keys2
+                        )
+                    ]
+            span.set(
+                batches=len(s.result.batches),
+                resident=checkpoint.resident_tuples,
+            )
+        if self.metrics is not None:
+            self.metrics.counter("stream.restores").inc()
+
+    def measured_machine_speeds(self, last_n: int = 8) -> "np.ndarray | None":
+        """Normalised machine speeds from recently measured join seconds.
+
+        The live analogue of :mod:`repro.engine.heterogeneous`'s static
+        speed vector: average each machine's measured join seconds over
+        the last ``last_n`` batches and invert, normalised to mean 1.0.
+        Returns None when nothing has been measured yet (simulated
+        backends before any real timing, or no batches).  A driver can
+        feed this into its own resize policy -- e.g. shrink when the
+        slowest machine is idle, grow when every machine is saturated.
+        """
+        if self._state is None:
+            return None
+        J = self.num_machines
+        totals = np.zeros(J)
+        for metrics in self._state.result.batches[-last_n:]:
+            seconds = metrics.per_machine_join_seconds
+            if seconds is not None and len(seconds) == J:
+                totals += np.asarray(seconds, dtype=np.float64)
+        busy = totals > 0
+        if not busy.any():
+            return None
+        speeds = np.zeros(J)
+        speeds[busy] = 1.0 / totals[busy]
+        if (~busy).any():
+            speeds[~busy] = speeds[busy].mean()
+        return speeds * (J / speeds.sum())
 
 
 def compare_streaming_schemes(

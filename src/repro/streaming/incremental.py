@@ -68,6 +68,14 @@ class SortedRegionState:
     and expired tuples are dropped with one vectorised mask -- no per-batch
     re-sort of the full region ever happens.
 
+    The ``(index, keys)`` pair is also the unit of state portability:
+    checkpoints (:class:`~repro.streaming.checkpoint.StreamCheckpoint`)
+    capture it verbatim, migrations and restores rebuild it with
+    :meth:`from_indices` / :meth:`from_pairs`, and because the key-sort is
+    stable, rebuilding from arrival-index-sorted inputs reproduces the
+    original ordering exactly -- the foundation of the kill-and-restore ==
+    uninterrupted-run guarantee.
+
     Attributes
     ----------
     keys:

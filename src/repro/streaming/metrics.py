@@ -143,6 +143,11 @@ class BatchMetrics:
         Pipelined runs: how long the consumer waited on an empty queue
         before this batch arrived (a fast consumer's idle time mirrors a
         slow consumer's stall/shed).
+    resized_from:
+        The previous fleet size when a mid-stream
+        :meth:`~repro.streaming.engine.StreamingJoinEngine.resize` was
+        folded into this batch (its migration volume and rebuild charge are
+        accounted here); ``None`` for ordinary batches.
     """
 
     batch_index: int
@@ -177,6 +182,7 @@ class BatchMetrics:
     tuples_shed: int = 0
     producer_stall_seconds: float = 0.0
     consumer_idle_seconds: float = 0.0
+    resized_from: int | None = None
 
     #: Bytes per retained state entry (float64 key + int64 arrival index)
     #: and per history / live-set entry (one float64 key, one int64 index
@@ -276,6 +282,12 @@ class StreamRunResult:
     queue_clock:
         Clock domain of the queue timings (stall/idle); ``None`` for
         synchronous runs, which have no queue.
+    checkpoints_taken:
+        How many :class:`~repro.streaming.checkpoint.StreamCheckpoint`
+        snapshots the engine captured during the run.
+    restores:
+        How many times this run was resumed from a checkpoint (a crash
+        recovery increments it; an uninterrupted run reports 0).
     """
 
     scheme: str
@@ -293,6 +305,8 @@ class StreamRunResult:
     wall_clock: str = "real"
     join_clock: str = "real"
     queue_clock: str | None = None
+    checkpoints_taken: int = 0
+    restores: int = 0
 
     @property
     def num_batches(self) -> int:
@@ -382,6 +396,11 @@ class StreamRunResult:
     def num_repartitions(self) -> int:
         """Repartitionings adopted during the run."""
         return sum(1 for batch in self.batches if batch.repartitioned)
+
+    @property
+    def num_resizes(self) -> int:
+        """Mid-stream fleet resizes folded into this run's batches."""
+        return sum(1 for batch in self.batches if batch.resized_from is not None)
 
     @property
     def wall_seconds(self) -> float:

@@ -75,7 +75,9 @@ class MigrationPlan:
     per_machine_departures:
         Tuples each machine held under the old partitioning but no longer
         holds under the new one (dropped locally, shipped by the sender side
-        of the arrivals above).
+        of the arrivals above).  On a shrinking resize this vector covers
+        the *old* fleet, so it can be longer than ``per_machine_arrivals``;
+        a machine leaving the cluster departs everything it held.
     region_to_machine:
         The adopted region-to-machine bijection: new region ``r``'s state
         lives on machine ``region_to_machine[r]``.  The identity permutation
@@ -279,7 +281,12 @@ def plan_migration(
         The retained key history, indexed by the arrival indices (the
         engine passes its compacted arrays; indices are rebased to match).
     num_machines:
-        Cluster size (at least the region count of either partitioning).
+        The *target* cluster size (at least the region count of the new
+        partitioning).  The old assignment lists may be longer -- a shrink
+        plans the surviving ``num_machines`` fleet and every tuple held by
+        a departing machine counts as a departure there (and as an arrival
+        on its new holder, if it is still live).  Shorter old lists (a
+        grow) are padded with empty machines as before.
     rng:
         Generator for randomised schemes.
     mode:
@@ -303,12 +310,22 @@ def plan_migration(
     routed2 = _route_live(
         new_partitioning.assign_r2, keys2, live2, num_machines, rng
     )
-    old1 = pad_assignments(old_assignments1, num_machines)
-    old2 = pad_assignments(old_assignments2, num_machines)
+    # A resize may shrink the fleet: the old lists then outnumber the new
+    # machines.  Pad the old side to whichever count is larger so departing
+    # machines' state is diffed (everything they hold departs), while the
+    # new state, the matching and the arrival vector live on the target
+    # fleet only.
+    old_machines = max(len(old_assignments1), len(old_assignments2), num_machines)
+    old1 = pad_assignments(old_assignments1, old_machines)
+    old2 = pad_assignments(old_assignments2, old_machines)
 
     if mode == "partial":
         region_to_machine = _best_region_map(
-            routed1, routed2, old1, old2, num_machines
+            routed1,
+            routed2,
+            old1[:num_machines],
+            old2[:num_machines],
+            num_machines,
         )
     else:
         region_to_machine = np.arange(num_machines, dtype=np.int64)
@@ -321,13 +338,16 @@ def plan_migration(
         new2[machine] = routed2[region]
 
     arrivals = np.zeros(num_machines, dtype=np.int64)
-    departures = np.zeros(num_machines, dtype=np.int64)
-    for machine in range(num_machines):
-        moved_in1 = np.setdiff1d(new1[machine], old1[machine], assume_unique=True)
-        moved_in2 = np.setdiff1d(new2[machine], old2[machine], assume_unique=True)
-        moved_out1 = np.setdiff1d(old1[machine], new1[machine], assume_unique=True)
-        moved_out2 = np.setdiff1d(old2[machine], new2[machine], assume_unique=True)
-        arrivals[machine] = len(moved_in1) + len(moved_in2)
+    departures = np.zeros(old_machines, dtype=np.int64)
+    for machine in range(old_machines):
+        target1 = new1[machine] if machine < num_machines else empty
+        target2 = new2[machine] if machine < num_machines else empty
+        if machine < num_machines:
+            moved_in1 = np.setdiff1d(target1, old1[machine], assume_unique=True)
+            moved_in2 = np.setdiff1d(target2, old2[machine], assume_unique=True)
+            arrivals[machine] = len(moved_in1) + len(moved_in2)
+        moved_out1 = np.setdiff1d(old1[machine], target1, assume_unique=True)
+        moved_out2 = np.setdiff1d(old2[machine], target2, assume_unique=True)
         departures[machine] = len(moved_out1) + len(moved_out2)
     return MigrationPlan(
         new_assignments1=new1,

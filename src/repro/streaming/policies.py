@@ -95,6 +95,26 @@ class RepartitioningPolicy(abc.ABC):
         """The imbalance the current partitioning is expected to exhibit."""
         return histogram.predicted_imbalance()
 
+    def resize_partitioning(
+        self,
+        num_machines: int,
+        histogram: IncrementalHistogram,
+        condition: JoinCondition,
+        rng: np.random.Generator,
+    ) -> Partitioning:
+        """Build the partitioning for a mid-stream fleet resize.
+
+        The engine calls this when
+        :meth:`~repro.streaming.engine.StreamingJoinEngine.resize` changes
+        the machine count: the histogram is retargeted at the new fleet and
+        rebuilt from the maintained sample state.  Policies that never
+        consult statistics (1-Bucket) override this to rebuild their grid
+        directly.  The histogram's machine count is mutated in place --
+        subsequent drift rebuilds target the new fleet too.
+        """
+        histogram.num_machines = num_machines
+        return histogram.build_partitioning(condition, rng)
+
 
 class StaticOneBucketPolicy(RepartitioningPolicy):
     """1-Bucket built once; random routing needs no statistics and no rebuilds."""
@@ -117,6 +137,11 @@ class StaticOneBucketPolicy(RepartitioningPolicy):
     def predicted_imbalance(self, histogram) -> float:
         """Randomised routing balances in expectation regardless of content."""
         return 1.0
+
+    def resize_partitioning(self, num_machines, histogram, condition, rng):
+        """Rebuild the 1-Bucket grid for the new fleet; no statistics needed."""
+        self.num_machines = num_machines
+        return build_one_bucket_partitioning(num_machines)
 
 
 class _EWHPolicyBase(RepartitioningPolicy):

@@ -1,25 +1,49 @@
-"""Equivalence assertions shared by the streaming test and benchmark suites.
+"""Test helpers for the streaming suites: equivalence assertions and faults.
 
 Several suites pin the same contract -- two engine runs over the same seeded
 stream must be *behaviourally bit-identical* -- from different angles:
 history compaction versus the uncompacted reference, incremental counting
-versus the legacy recount, one execution backend versus another.  Keeping
-the comparison in one place means a metric added to the contract tightens
-every suite at once instead of silently weakening whichever copy was not
-updated.
+versus the legacy recount, one execution backend versus another, and a
+kill-and-restore run versus the run that never stopped.  Keeping the
+comparison in one place (:func:`assert_equivalent_runs`) means a metric
+added to the contract tightens every suite at once instead of silently
+weakening whichever copy was not updated.
 
 Wall-clock quantities (``wall_seconds``, ``join_seconds``,
 ``per_machine_join_seconds``) are deliberately excluded: they measure the
 machine, not the behaviour.
+
+The fault-injection decorators make worker crashes deterministic without
+killing real processes: :class:`CrashingBackend` raises
+:class:`~repro.streaming.backends.WorkerCrashError` at a chosen work call
+(and stays dead, like a real lost fleet), :class:`FlakyBackend` fails a
+fixed number of calls and then recovers (a transient fault).  Both wrap any
+:class:`~repro.streaming.backends.ExecutionBackend` -- simulated for fast
+deterministic tests, sticky/multiprocess for end-to-end ones -- and forward
+the full state-ownership protocol, so the engine cannot tell them from the
+real thing until the fault fires.  ``tests/conftest.py`` and
+``benchmarks/conftest.py`` re-export the factory fixtures
+(:func:`crashing_backend`, :func:`flaky_backend`) so every suite can inject
+faults without owning backend cleanup.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.streaming.backends import (
+    ExecutionBackend,
+    RegionJoinResult,
+    SimulatedBackend,
+    WorkerCrashError,
+)
 from repro.streaming.metrics import StreamRunResult
 
-__all__ = ["assert_equivalent_runs"]
+__all__ = [
+    "assert_equivalent_runs",
+    "CrashingBackend",
+    "FlakyBackend",
+]
 
 
 def assert_equivalent_runs(
@@ -38,6 +62,7 @@ def assert_equivalent_runs(
     """
     assert actual.num_batches == reference.num_batches
     assert actual.total_output == reference.total_output
+    assert actual.num_machines == reference.num_machines
     np.testing.assert_array_equal(
         actual.cumulative_load, reference.cumulative_load
     )
@@ -49,6 +74,7 @@ def assert_equivalent_runs(
         assert act.resident_tuples == ref.resident_tuples
         assert act.migrated_tuples == ref.migrated_tuples
         assert act.repartitioned == ref.repartitioned
+        assert act.resized_from == ref.resized_from
         assert act.rebuild_cost == ref.rebuild_cost
         np.testing.assert_array_equal(
             act.per_machine_load, ref.per_machine_load
@@ -74,3 +100,240 @@ def assert_equivalent_runs(
                 ref.migration_plan.region_to_machine,
             )
             assert act.migration_plan.mode == ref.migration_plan.mode
+
+
+#: Work operations a fault can be scoped to.  ``bind``, ``resize`` and
+#: ``drain_channel_bytes`` are deliberately not fault points: they are
+#: engine-side bookkeeping commands whose failure modes the crash tests for
+#: real backends already cover.
+FAULT_OPS = ("join", "count", "evict", "rebase", "install")
+
+
+class _ForwardingBackend(ExecutionBackend):
+    """Transparent decorator over any backend, including the sticky protocol.
+
+    Subclasses inject faults by overriding :meth:`_before`, which runs ahead
+    of every *work* call (the operations in :data:`FAULT_OPS`).  Everything
+    else -- identity, clock domain, state ownership, byte accounting -- is
+    forwarded verbatim, so the engine drives the wrapped backend exactly as
+    it would drive the inner one.
+    """
+
+    #: Prefix composed into ``name`` (e.g. ``crashing(simulated)``).
+    wrapper_name = "forwarding"
+
+    def __init__(self, inner: ExecutionBackend) -> None:
+        self.inner = inner
+        #: Work calls observed so far (faulting and forwarded alike).
+        self.calls = 0
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        """Reporting name: the wrapper composed over the inner backend's."""
+        return f"{self.wrapper_name}({self.inner.name})"
+
+    @property
+    def clock_domain(self) -> str:  # type: ignore[override]
+        """The inner backend's clock domain, forwarded."""
+        return self.inner.clock_domain
+
+    @property
+    def owns_state(self) -> bool:  # type: ignore[override]
+        """Whether the inner backend keeps the join state resident."""
+        return bool(getattr(self.inner, "owns_state", False))
+
+    def _before(self, op: str) -> None:
+        """Fault hook; called before each work call with its operation name."""
+
+    def join_regions(
+        self, region_keys, condition, keys2_sorted: bool = False
+    ) -> RegionJoinResult:
+        """Forward a stateless region join, faults permitting."""
+        self._ensure_open()
+        self._before("join")
+        return self.inner.join_regions(
+            region_keys, condition, keys2_sorted=keys2_sorted
+        )
+
+    def bind(self, num_machines, condition, transposed) -> None:
+        """Forward the stream binding (never a fault point)."""
+        self._ensure_open()
+        self.inner.bind(num_machines, condition, transposed)
+
+    def count_batch(self, new1, new2, history1, history2) -> RegionJoinResult:
+        """Forward a stateful batch count, faults permitting."""
+        self._ensure_open()
+        self._before("count")
+        return self.inner.count_batch(new1, new2, history1, history2)
+
+    def evict_state(self, expired1, expired2) -> int:
+        """Forward a worker-side eviction, faults permitting."""
+        self._ensure_open()
+        self._before("evict")
+        return self.inner.evict_state(expired1, expired2)
+
+    def rebase_state(self, trim1: int, trim2: int) -> None:
+        """Forward an index rebase, faults permitting."""
+        self._ensure_open()
+        self._before("rebase")
+        self.inner.rebase_state(trim1, trim2)
+
+    def install_state(self, assignments1, assignments2, history1, history2):
+        """Forward a state migration install, faults permitting."""
+        self._ensure_open()
+        self._before("install")
+        return self.inner.install_state(
+            assignments1, assignments2, history1, history2
+        )
+
+    def resize(self, num_machines: int) -> None:
+        """Forward a fleet resize (never a fault point)."""
+        self._ensure_open()
+        self.inner.resize(num_machines)
+
+    def drain_channel_bytes(self):
+        """Forward the per-batch byte accounting drain."""
+        return self.inner.drain_channel_bytes()
+
+    def close(self) -> None:
+        """Close the wrapper and the wrapped backend."""
+        super().close()
+        self.inner.close()
+
+
+class CrashingBackend(_ForwardingBackend):
+    """Inject a permanent worker crash at a chosen work call.
+
+    The ``crash_at_call``-th matching work call (1-based; see
+    :data:`FAULT_OPS`) raises
+    :class:`~repro.streaming.backends.WorkerCrashError`, and -- like a real
+    fleet whose resident state died with its processes -- every later work
+    call keeps raising.  ``crash_on`` restricts which operations count and
+    can fault (e.g. ``("install",)`` crashes *during a migration*);
+    ``None`` counts every work call.  ``crash_at_call=None`` never
+    crashes, making the wrapper a pure pass-through control.
+    """
+
+    wrapper_name = "crashing"
+
+    def __init__(
+        self,
+        inner: ExecutionBackend,
+        crash_at_call: "int | None" = None,
+        crash_on: "tuple[str, ...] | None" = None,
+    ) -> None:
+        super().__init__(inner)
+        if crash_at_call is not None and crash_at_call <= 0:
+            raise ValueError("crash_at_call must be positive (1-based)")
+        if crash_on is not None:
+            unknown = set(crash_on) - set(FAULT_OPS)
+            if unknown:
+                raise ValueError(
+                    f"unknown crash_on operations {sorted(unknown)!r} "
+                    f"(expected a subset of {FAULT_OPS})"
+                )
+        self.crash_at_call = crash_at_call
+        self.crash_on = tuple(crash_on) if crash_on is not None else None
+        #: Set once the injected crash has fired; the backend stays dead.
+        self.crashed = False
+
+    def _before(self, op: str) -> None:
+        """Raise the injected crash at (and after) the configured call."""
+        if self.crashed:
+            raise WorkerCrashError(
+                f"injected crash: backend already dead (work call {op!r} "
+                "after the crash) -- restore the run from its last "
+                "checkpoint onto a fresh backend"
+            )
+        if self.crash_on is not None and op not in self.crash_on:
+            return
+        self.calls += 1
+        if self.crash_at_call is not None and self.calls >= self.crash_at_call:
+            self.crashed = True
+            raise WorkerCrashError(
+                f"injected crash at work call {self.calls} ({op!r}); the "
+                "backend stays dead -- restore the run from its last "
+                "checkpoint onto a fresh backend"
+            )
+
+
+class FlakyBackend(_ForwardingBackend):
+    """Inject ``failures`` transient faults, then behave normally.
+
+    The first ``failures`` work calls raise
+    :class:`~repro.streaming.backends.WorkerCrashError`; every call after
+    that is forwarded -- the model of a worker that died and was replaced,
+    where retrying the whole run (or resuming it) succeeds.  The instance
+    keeps its recovery across engines, so a driver that restarts on the
+    *same* backend object observes fail-then-succeed.
+    """
+
+    wrapper_name = "flaky"
+
+    def __init__(self, inner: ExecutionBackend, failures: int = 1) -> None:
+        super().__init__(inner)
+        if failures < 0:
+            raise ValueError("failures must be non-negative")
+        #: Remaining work calls that will fault; decremented per fault.
+        self.failures_remaining = failures
+
+    def _before(self, op: str) -> None:
+        """Fault while the failure budget lasts, then forward forever."""
+        self.calls += 1
+        if self.failures_remaining > 0:
+            self.failures_remaining -= 1
+            raise WorkerCrashError(
+                f"injected transient fault at work call {self.calls} "
+                f"({op!r}); {self.failures_remaining} more will fail"
+            )
+
+
+try:  # pragma: no cover - exercised via the test suites' conftests
+    import pytest
+except ImportError:  # pragma: no cover - pytest is a test-only dependency
+    pytest = None
+
+if pytest is not None:
+    __all__ += ["crashing_backend", "flaky_backend"]
+
+    @pytest.fixture
+    def crashing_backend():
+        """Factory fixture: build :class:`CrashingBackend` wrappers.
+
+        Call the factory with the same arguments as the class (``inner``
+        defaults to a fresh :class:`SimulatedBackend`); every backend it
+        built is closed at teardown, so tests do not own cleanup even when
+        the injected crash aborts them mid-run.
+        """
+        created = []
+
+        def factory(inner=None, **kwargs):
+            backend = CrashingBackend(
+                inner if inner is not None else SimulatedBackend(), **kwargs
+            )
+            created.append(backend)
+            return backend
+
+        yield factory
+        for backend in created:
+            backend.close()
+
+    @pytest.fixture
+    def flaky_backend():
+        """Factory fixture: build :class:`FlakyBackend` wrappers.
+
+        Same shape as :func:`crashing_backend`: call with the class's
+        arguments, teardown closes everything the factory built.
+        """
+        created = []
+
+        def factory(inner=None, **kwargs):
+            backend = FlakyBackend(
+                inner if inner is not None else SimulatedBackend(), **kwargs
+            )
+            created.append(backend)
+            return backend
+
+        yield factory
+        for backend in created:
+            backend.close()

@@ -11,6 +11,13 @@ from repro.core.weights import WeightFunction
 from repro.joins.conditions import BandJoinCondition
 from repro.streaming.shm import SEGMENT_PREFIX
 
+# Fault-injection factory fixtures (CrashingBackend / FlakyBackend wrappers
+# with teardown-owned cleanup), shared with the benchmark suite.
+from repro.streaming.testing import (  # noqa: F401
+    crashing_backend,
+    flaky_backend,
+)
+
 
 @pytest.fixture(autouse=True)
 def no_leaked_shm_segments():

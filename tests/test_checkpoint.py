@@ -1,0 +1,410 @@
+"""Checkpoint/restore and mid-stream elasticity of the streaming engine.
+
+The headline property is **kill-and-restore == uninterrupted run**: stop an
+engine at any batch boundary, reconstruct it from the checkpoint (same or
+different backend), replay the stream, and every behavioural metric --
+outputs, per-machine loads, migration plans, resident counts -- is
+bit-identical to the run that never stopped.  Hypothesis sweeps the crash
+point, window policy and random seed; a multiprocess-marked variant pins the
+same property across the real process-backed backends.
+
+The serialized format gets its own roundtrip property: ``save`` is
+deterministic (same state, same bytes), ``load`` reconstructs a checkpoint
+that resumes identically, and corrupt or unknown-version containers are
+refused with a clear error instead of unpickling garbage.
+
+``resize()`` is pinned against its own definition: resizing a running
+engine mid-stream is bit-identical to checkpointing at the same boundary
+and resuming onto the target fleet (``resume_from(cp, machines=J')``), for
+growth and shrinkage alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weights import WeightFunction
+from repro.joins.conditions import BandJoinCondition
+from repro.obs.metrics import MetricsRegistry
+from repro.streaming import (
+    CHECKPOINT_VERSION,
+    DriftAdaptiveEWHPolicy,
+    DriftDetector,
+    DriftingZipfSource,
+    MultiprocessBackend,
+    StaticOneBucketPolicy,
+    StickyWorkerBackend,
+    StreamCheckpoint,
+    StreamingJoinEngine,
+    run_resilient,
+)
+from repro.streaming.testing import assert_equivalent_runs
+
+UNIT = WeightFunction(1.0, 1.0)
+BAND = BandJoinCondition(beta=1.0)
+MACHINES = 4
+NUM_BATCHES = 10
+
+WINDOWS = [None, "batches:4", "tuples:800", "decay:0.85"]
+
+
+def make_source(seed: int, num_batches: int = NUM_BATCHES) -> DriftingZipfSource:
+    """A short drifting stream with integer-valued (exact) keys."""
+    return DriftingZipfSource(
+        num_batches=num_batches, tuples_per_batch=120, num_values=60,
+        z_initial=0.2, z_final=1.2, shift_at_batch=4, seed=seed,
+    )
+
+
+def make_engine(window=None, backend=None, seed=0, machines=MACHINES,
+                counting="incremental", metrics=None):
+    """A fresh adaptive engine with an eagerly re-triggering drift detector."""
+    return StreamingJoinEngine(
+        machines, BAND, UNIT,
+        policy=DriftAdaptiveEWHPolicy(
+            DriftDetector(threshold=1.2, warmup_batches=1, cooldown_batches=2)
+        ),
+        backend=backend, window=window, counting=counting,
+        sample_capacity=256, seed=seed, metrics=metrics,
+    )
+
+
+def run_with_checkpoint(source, stop_after, window=None, seed=0):
+    """Run to completion, capturing a checkpoint after batch ``stop_after``."""
+    engine = make_engine(window=window, seed=seed)
+    engine.start()
+    checkpoint = None
+    for batch in source.batches():
+        engine.process_batch(batch)
+        if batch.index == stop_after:
+            checkpoint = engine.checkpoint()
+    return engine.finish(), checkpoint
+
+
+def resume_and_finish(checkpoint, source, backend=None, machines=None):
+    """Resume from a checkpoint, replay the whole source, finish."""
+    engine = StreamingJoinEngine.resume_from(
+        checkpoint, backend=backend, machines=machines
+    )
+    for batch in source.batches():
+        engine.process_batch(batch)
+    return engine.finish()
+
+
+# ---------------------------------------------------------------------------
+# Kill-and-restore == uninterrupted (the headline property)
+# ---------------------------------------------------------------------------
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    stop_after=st.integers(0, NUM_BATCHES - 2),
+    window=st.sampled_from(WINDOWS),
+)
+def test_restore_is_bit_identical_to_uninterrupted(seed, stop_after, window):
+    """Resuming at any boundary reproduces the uninterrupted run exactly."""
+    source = make_source(seed)
+    uninterrupted, checkpoint = run_with_checkpoint(
+        source, stop_after, window=window, seed=seed
+    )
+    resumed = resume_and_finish(checkpoint, source)
+    assert_equivalent_runs(resumed, uninterrupted)
+    assert resumed.restores == 1
+    assert uninterrupted.checkpoints_taken == 1
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    stop_after=st.integers(1, NUM_BATCHES - 2),
+    window=st.sampled_from(WINDOWS),
+)
+def test_one_checkpoint_seeds_many_resumes(seed, stop_after, window):
+    """A checkpoint is immutable: two resumes from it agree with each other."""
+    source = make_source(seed)
+    _, checkpoint = run_with_checkpoint(
+        source, stop_after, window=window, seed=seed
+    )
+    first = resume_and_finish(checkpoint, source)
+    second = resume_and_finish(checkpoint, source)
+    assert_equivalent_runs(second, first)
+
+
+@pytest.mark.multiprocess
+@pytest.mark.parametrize("backend_name", ["multiprocess", "sticky"])
+@pytest.mark.parametrize("window", [None, "batches:4"])
+def test_restore_bit_identical_across_real_backends(backend_name, window):
+    """Kill-and-restore holds on the real process-backed backends too."""
+
+    def build_backend():
+        if backend_name == "multiprocess":
+            return MultiprocessBackend(max_workers=2)
+        return StickyWorkerBackend(max_workers=2)
+
+    source = make_source(seed=7)
+    backend = build_backend()
+    try:
+        engine = make_engine(window=window, backend=backend, seed=7)
+        engine.start()
+        checkpoint = None
+        for batch in source.batches():
+            engine.process_batch(batch)
+            if batch.index == 4:
+                checkpoint = engine.checkpoint()
+        uninterrupted = engine.finish()
+    finally:
+        backend.close()
+    replacement = build_backend()
+    try:
+        resumed = resume_and_finish(checkpoint, source, backend=replacement)
+    finally:
+        replacement.close()
+    assert_equivalent_runs(resumed, uninterrupted)
+    # And the simulated backend continues the same checkpoint identically.
+    simulated = resume_and_finish(checkpoint, source)
+    assert_equivalent_runs(simulated, uninterrupted)
+
+
+# ---------------------------------------------------------------------------
+# Serialized container: deterministic save, exact load, refused corruption
+# ---------------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    stop_after=st.integers(0, NUM_BATCHES - 2),
+    window=st.sampled_from(WINDOWS),
+)
+def test_checkpoint_roundtrip(seed, stop_after, window):
+    """save/load roundtrips exactly and serialization is deterministic."""
+    source = make_source(seed)
+    uninterrupted, checkpoint = run_with_checkpoint(
+        source, stop_after, window=window, seed=seed
+    )
+    payload = checkpoint.to_bytes()
+    assert payload == checkpoint.to_bytes(), "two saves must be byte-identical"
+    loaded = StreamCheckpoint.from_bytes(payload)
+    assert loaded.version == CHECKPOINT_VERSION
+    assert loaded.num_machines == checkpoint.num_machines
+    assert loaded.last_batch_index == checkpoint.last_batch_index
+    np.testing.assert_array_equal(loaded.history1, checkpoint.history1)
+    np.testing.assert_array_equal(loaded.history2, checkpoint.history2)
+    np.testing.assert_array_equal(
+        loaded.prev_outputs, checkpoint.prev_outputs
+    )
+    assert loaded.rng_state == checkpoint.rng_state
+    for mine, theirs in zip(loaded.state_index1, checkpoint.state_index1):
+        np.testing.assert_array_equal(mine, theirs)
+    # The loaded checkpoint resumes bit-identically to the original run.
+    resumed = resume_and_finish(loaded, source)
+    assert_equivalent_runs(resumed, uninterrupted)
+
+
+def test_checkpoint_save_and_load_file(tmp_path):
+    """save() writes the container to disk; load() reads it back."""
+    source = make_source(seed=3)
+    _, checkpoint = run_with_checkpoint(source, 4, seed=3)
+    path = tmp_path / "run.ckpt"
+    written = checkpoint.save(path)
+    assert written == path.stat().st_size > 0
+    loaded = StreamCheckpoint.load(path)
+    assert loaded.position == checkpoint.position
+    assert loaded.resident_tuples == checkpoint.resident_tuples
+
+
+def test_from_bytes_refuses_garbage():
+    """Truncation, bad magic, unknown versions and corruption all raise."""
+    source = make_source(seed=3)
+    _, checkpoint = run_with_checkpoint(source, 4, seed=3)
+    payload = checkpoint.to_bytes()
+
+    with pytest.raises(ValueError, match="truncated"):
+        StreamCheckpoint.from_bytes(payload[:10])
+    with pytest.raises(ValueError, match="magic"):
+        StreamCheckpoint.from_bytes(b"XXXX" + payload[4:])
+    versioned = bytearray(payload)
+    versioned[4:8] = (99).to_bytes(4, "little")
+    with pytest.raises(ValueError, match="version 99"):
+        StreamCheckpoint.from_bytes(bytes(versioned))
+    corrupted = bytearray(payload)
+    corrupted[-1] ^= 0xFF
+    with pytest.raises(ValueError, match="digest mismatch"):
+        StreamCheckpoint.from_bytes(bytes(corrupted))
+    with pytest.raises(ValueError, match="payload bytes"):
+        StreamCheckpoint.from_bytes(payload + b"trailing")
+
+
+# ---------------------------------------------------------------------------
+# Mid-stream resize
+# ---------------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    resize_after=st.integers(1, NUM_BATCHES - 2),
+    target=st.sampled_from([2, 3, 6, 8]),
+    window=st.sampled_from([None, "batches:4"]),
+)
+def test_resize_matches_resume_onto_target_fleet(
+    seed, resize_after, target, window
+):
+    """In-place resize == checkpoint + resume_from(machines=target)."""
+    source = make_source(seed)
+    engine = make_engine(window=window, seed=seed)
+    engine.start()
+    checkpoint = None
+    for batch in source.batches():
+        engine.process_batch(batch)
+        if batch.index == resize_after:
+            checkpoint = engine.checkpoint()
+            engine.resize(target)
+    resized = engine.finish(verify=False)
+    resumed = resume_and_finish(checkpoint, source, machines=target)
+    assert_equivalent_runs(resumed, resized)
+    assert resized.num_machines == target
+    assert resized.num_resizes == 1
+    marked = [b for b in resized.batches if b.resized_from is not None]
+    assert len(marked) == 1 and marked[0].resized_from == MACHINES
+
+
+def test_resize_preserves_total_output():
+    """Growing then shrinking the fleet never changes the join output."""
+    source = make_source(seed=11)
+    reference = make_engine(seed=11).run(source)
+    engine = make_engine(seed=11)
+    engine.start()
+    for batch in source.batches():
+        engine.process_batch(batch)
+        if batch.index == 3:
+            engine.resize(7)
+        if batch.index == 6:
+            engine.resize(2)
+    elastic = engine.finish(verify=False)
+    assert elastic.total_output == reference.total_output
+    assert elastic.num_resizes == 2
+    assert elastic.num_machines == 2
+    assert len(elastic.cumulative_load) == 2
+
+
+def test_resize_works_for_one_bucket_policy():
+    """The statistics-free 1-Bucket policy rebuilds its grid on resize."""
+    source = make_source(seed=5)
+    engine = StreamingJoinEngine(
+        MACHINES, BAND, UNIT, policy=StaticOneBucketPolicy(MACHINES),
+        sample_capacity=256, seed=5,
+    )
+    engine.start()
+    for batch in source.batches():
+        engine.process_batch(batch)
+        if batch.index == 4:
+            engine.resize(6)
+    result = engine.finish(verify=False)
+    reference = StreamingJoinEngine(
+        MACHINES, BAND, UNIT, policy=StaticOneBucketPolicy(MACHINES),
+        sample_capacity=256, seed=5,
+    ).run(source)
+    assert result.total_output == reference.total_output
+    assert result.num_machines == 6
+
+
+def test_resize_validation():
+    """resize() refuses bad fleets, bad phases and the recount baseline."""
+    engine = make_engine(seed=1)
+    with pytest.raises(RuntimeError, match="running"):
+        engine.resize(2)
+    engine.start()
+    with pytest.raises(ValueError, match="positive"):
+        engine.resize(0)
+    with pytest.raises(RuntimeError, match="initial partitioning"):
+        engine.resize(2)
+    source = make_source(seed=1)
+    for batch in source.batches():
+        engine.process_batch(batch)
+    before = engine.num_machines
+    engine.resize(before)  # no-op, never raises
+    assert engine.num_machines == before
+    engine.finish()
+
+    recount = make_engine(seed=1, counting="recount")
+    recount.start()
+    for batch in make_source(seed=1).batches():
+        recount.process_batch(batch)
+        break
+    with pytest.raises(ValueError, match="recount"):
+        recount.resize(2)
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle and counters
+# ---------------------------------------------------------------------------
+def test_stepwise_equals_run():
+    """start/process_batch/finish is run() taken apart, bit for bit."""
+    source = make_source(seed=9)
+    via_run = make_engine(seed=9).run(source)
+    engine = make_engine(seed=9)
+    assert engine.phase == "new"
+    engine.start()
+    assert engine.phase == "running"
+    for batch in source.batches():
+        engine.process_batch(batch)
+    stepwise = engine.finish()
+    assert engine.phase == "finished"
+    assert_equivalent_runs(stepwise, via_run)
+    assert stepwise.output_correct is True
+
+
+def test_lifecycle_misuse_raises():
+    """Each lifecycle method refuses to run outside its phase."""
+    source = make_source(seed=2)
+    engine = make_engine(seed=2)
+    batch = next(iter(source.batches()))
+    with pytest.raises(RuntimeError, match="running engine"):
+        engine.process_batch(batch)
+    with pytest.raises(RuntimeError, match="running engine"):
+        engine.finish()
+    with pytest.raises(RuntimeError, match="checkpoint"):
+        engine.checkpoint()
+    engine.start()
+    with pytest.raises(RuntimeError, match="already consumed"):
+        engine.start()
+    engine.process_batch(batch)
+    engine.finish()
+    with pytest.raises(RuntimeError, match="finish"):
+        engine.finish()
+    with pytest.raises(RuntimeError, match="already consumed"):
+        engine.run(source)
+
+
+def test_elasticity_counters_and_metrics_registry():
+    """stream.checkpoints/restores/resizes land in the metrics registry."""
+    source = make_source(seed=4)
+    registry = MetricsRegistry()
+    engine = make_engine(seed=4, metrics=registry)
+    engine.start()
+    checkpoint = None
+    for batch in source.batches():
+        engine.process_batch(batch)
+        if batch.index == 3:
+            checkpoint = engine.checkpoint()
+            engine.resize(5)
+    engine.finish(verify=False)
+    assert registry.counter("stream.checkpoints").value == 1
+    assert registry.counter("stream.resizes").value == 1
+
+    resumed_registry = MetricsRegistry()
+    resumed = StreamingJoinEngine.resume_from(
+        checkpoint, metrics=resumed_registry
+    )
+    for batch in source.batches():
+        resumed.process_batch(batch)
+    resumed.finish()
+    assert resumed_registry.counter("stream.restores").value == 1
+
+
+def test_run_resilient_validation():
+    """run_resilient rejects nonsensical cadences and budgets."""
+    source = make_source(seed=1)
+    with pytest.raises(ValueError, match="checkpoint_every"):
+        run_resilient(lambda: make_engine(), source, checkpoint_every=-1)
+    with pytest.raises(ValueError, match="max_restarts"):
+        run_resilient(lambda: make_engine(), source, max_restarts=-1)
