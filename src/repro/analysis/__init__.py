@@ -1,0 +1,48 @@
+"""`repro.analysis` — static enforcement of the repository's disciplines.
+
+An AST-based rule engine (:mod:`repro.analysis.engine`) plus a battery of
+domain rules (:mod:`repro.analysis.rules`) that reject, at review time, the
+code patterns whose bugs the test suite can only catch dynamically:
+ambient wall-clock reads, global-RNG draws, float coercions on exact int64
+join keys, multiprocessing footguns, and incomplete backend protocol
+surfaces.
+
+Run it as a module::
+
+    python -m repro.analysis src/repro            # human report, exit 1 on findings
+    python -m repro.analysis src/repro --format json --output report.json
+
+Deliberate exceptions carry ``# repro: ignore[RULE]  # why`` inline; the
+analyzer reports the suppression inventory so drift stays visible.  The CI
+``analysis`` job runs the analyzer and mypy over ``src/`` on every push;
+``tests/test_analysis.py`` pins each rule on violating/clean/suppressed
+fixtures and asserts the tree itself stays clean.  Full catalogue and
+how-to-add-a-rule guide: ``docs/static_analysis.md``.
+"""
+
+from repro.analysis.engine import (
+    AnalysisReport,
+    Analyzer,
+    FileReport,
+    Finding,
+    Rule,
+    SourceContext,
+    Violation,
+    format_findings,
+    report_to_json,
+)
+from repro.analysis.rules import ALL_RULES, default_rules
+
+__all__ = [
+    "AnalysisReport",
+    "Analyzer",
+    "FileReport",
+    "Finding",
+    "Rule",
+    "SourceContext",
+    "Violation",
+    "format_findings",
+    "report_to_json",
+    "ALL_RULES",
+    "default_rules",
+]

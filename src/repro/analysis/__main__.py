@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.analysis [paths...]``."""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

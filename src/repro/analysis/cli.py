@@ -1,0 +1,89 @@
+"""Command line front end: ``python -m repro.analysis [paths]``.
+
+Exit status is the contract CI builds on: ``0`` for a clean run (every
+finding suppressed with an inline justification), ``1`` when unsuppressed
+findings or parse errors remain, ``2`` for usage errors.  ``--format json``
+emits the machine report (:func:`repro.analysis.engine.report_to_json`),
+which the full CI job stores as a golden-adjacent artifact so a rule
+addition shows its src-wide impact in the artifact diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import Analyzer, format_findings, report_to_json
+from repro.analysis.rules import default_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (separate for help/usage tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Static invariant checker: determinism, clock-domain, RNG, "
+            "join-key exactness, concurrency and backend-protocol rules "
+            "over the repro source tree."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in the human report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """Run the analyzer; return the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    rules = default_rules()
+    if args.list_rules:
+        for rule in sorted(rules, key=lambda r: r.rule_id):
+            print(f"{rule.rule_id}  {rule.name}: {rule.description}")
+        return 0
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(missing)}")
+    analyzer = Analyzer(rules)
+    report = analyzer.analyze_paths(args.paths)
+    if args.format == "json":
+        rendered = report_to_json(report, rules)
+    else:
+        rendered = format_findings(report, show_suppressed=args.show_suppressed)
+        if not rendered.endswith("\n"):
+            rendered += "\n"
+    if args.output:
+        Path(args.output).write_text(rendered, encoding="utf-8")
+    else:
+        sys.stdout.write(rendered)
+    return 0 if report.ok else 1

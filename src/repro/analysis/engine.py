@@ -1,0 +1,497 @@
+"""The visitor-based AST rule engine behind ``python -m repro.analysis``.
+
+Every headline property of this reproduction — bit-identical replays,
+kill-and-restore equivalence, exact int64 join keys, the sticky-worker
+state-ownership protocol — is a *discipline*: a way code must be written,
+not just a behaviour tests can observe.  This module provides the machinery
+to enforce those disciplines statically, before any test runs:
+
+* :class:`Rule` — one check, in the ``target_node_types`` idiom: a rule
+  declares which :mod:`ast` node types it wants to see and yields
+  :class:`Violation` records from :meth:`Rule.check`;
+* :class:`Analyzer` — parses each file once, walks the tree once, and
+  dispatches every node to the rules registered for its type (with the
+  ancestor stack available for context-sensitive checks);
+* :class:`Finding` — a rule hit pinned to ``path:line:col``, carrying the
+  rule id, the message, and whether an inline suppression absolved it;
+* suppression comments — ``# repro: ignore[RULE1,RULE2]  # why`` on the
+  offending line waives exactly the listed rules there (a bare
+  ``# repro: ignore`` waives every rule on the line);
+* reporters — :func:`format_findings` for humans, :func:`report_to_json`
+  for CI artifacts and golden-adjacent diffs.
+
+The engine itself knows nothing about the domain: the rule battery lives in
+:mod:`repro.analysis.rules` and registers through :func:`default_rules`.
+See ``docs/static_analysis.md`` for the rule catalogue and how to add one.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, ClassVar, Iterable, Iterator, Sequence
+
+__all__ = [
+    "Violation",
+    "Finding",
+    "FileReport",
+    "AnalysisReport",
+    "SourceContext",
+    "Rule",
+    "Analyzer",
+    "format_findings",
+    "report_to_json",
+]
+
+#: Matches a suppression comment, bare or with a bracketed rule-id list.
+#: (Lives in a string literal, so the scan — which reads COMMENT tokens
+#: only — never matches this file's own source.)
+_SUPPRESSION = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<ids>[A-Z0-9_,\s]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit, still anchored to its AST node (engine-internal)."""
+
+    node: ast.AST
+    message: str
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule hit pinned to a source location.
+
+    Attributes
+    ----------
+    rule_id:
+        Id of the rule that fired (``"DET001"``, ...).
+    path:
+        Posix-style path of the offending file, as given to the analyzer.
+    line, col:
+        1-based line and 0-based column of the offending node.
+    message:
+        The rule's explanation of this specific hit.
+    snippet:
+        The offending source line, stripped, for human reports.
+    suppressed:
+        Whether an inline ``# repro: ignore[...]`` comment on the line
+        waives this finding.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str
+    suppressed: bool = False
+
+    def location(self) -> str:
+        """The clickable ``path:line:col`` prefix of a human report row."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass
+class FileReport:
+    """Everything the analyzer learned about one file."""
+
+    path: str
+    findings: list[Finding] = field(default_factory=list)
+    #: Lines carrying a suppression comment (whether or not any rule
+    #: fired there) — the suppression inventory CI reports as an
+    #: artifact so drift stays visible.
+    suppression_lines: list[int] = field(default_factory=list)
+    #: Parse failure, if the file was not analyzable Python.
+    error: "str | None" = None
+
+
+@dataclass
+class AnalysisReport:
+    """The aggregate result of one analyzer run over a set of paths."""
+
+    files: list[FileReport] = field(default_factory=list)
+
+    @property
+    def findings(self) -> list[Finding]:
+        """Every finding, suppressed or not, in file order."""
+        return [f for report in self.files for f in report.findings]
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        """The findings that fail the build."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        """Findings absolved by an inline suppression comment."""
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def suppression_count(self) -> int:
+        """Inline suppression comments present across the scanned files."""
+        return sum(len(report.suppression_lines) for report in self.files)
+
+    @property
+    def errors(self) -> list[tuple[str, str]]:
+        """``(path, error)`` pairs for files that failed to parse."""
+        return [
+            (report.path, report.error)
+            for report in self.files
+            if report.error is not None
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run is clean: no unsuppressed findings, no errors."""
+        return not self.unsuppressed and not self.errors
+
+
+class SourceContext:
+    """Per-file facts rules consult while checking nodes.
+
+    Exposes the file's path, raw source lines, the import tables needed to
+    resolve dotted names, and — during a walk — the ancestor stack of the
+    node currently being checked.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = Path(path).as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        #: Ancestors of the node under check, outermost first (the module
+        #: node itself is index 0).  Maintained by :class:`Analyzer`.
+        self.parents: list[ast.AST] = []
+        #: ``alias -> module`` for ``import x`` / ``import x.y as z``.
+        self.module_aliases: dict[str, str] = {}
+        #: ``local name -> "module.name"`` for ``from x import y [as z]``.
+        self.imported_names: dict[str, str] = {}
+        self._collect_imports(tree)
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    self.imported_names[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    def resolve(self, node: ast.AST) -> "str | None":
+        """Resolve a Name/Attribute chain to its imported dotted name.
+
+        ``time.perf_counter`` (with ``import time``) resolves to
+        ``"time.perf_counter"``; ``np.random.shuffle`` (with ``import numpy
+        as np``) to ``"numpy.random.shuffle"``; a bare ``perf_counter``
+        bound by ``from time import perf_counter`` to
+        ``"time.perf_counter"``.  Chains not rooted in an import resolve to
+        ``None`` — a local variable that happens to be called ``time``
+        never trips a rule.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        if root in self.module_aliases:
+            parts.append(self.module_aliases[root])
+        elif root in self.imported_names:
+            parts.append(self.imported_names[root])
+        else:
+            return None
+        return ".".join(reversed(parts))
+
+    def source_of(self, node: ast.AST) -> str:
+        """The exact source text of ``node`` (empty when unavailable)."""
+        return ast.get_source_segment(self.source, node) or ""
+
+    def line_of(self, lineno: int) -> str:
+        """The 1-based source line, stripped, or ``""`` out of range."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def enclosing(self, *types: "type[ast.AST]") -> "ast.AST | None":
+        """The nearest ancestor of the current node matching ``types``."""
+        for parent in reversed(self.parents):
+            if isinstance(parent, types):
+                return parent
+        return None
+
+
+class Rule:
+    """One static check, dispatched on declared AST node types.
+
+    Subclasses set the class attributes and implement :meth:`check`; the
+    analyzer instantiates each rule once per run and calls ``check`` for
+    every node whose type appears in ``target_node_types`` (in files the
+    rule's path scope admits).
+
+    Attributes
+    ----------
+    rule_id:
+        Stable id used in reports and suppression comments (``DET001``).
+    name:
+        Short human label.
+    description:
+        One-line statement of the discipline the rule enforces.
+    target_node_types:
+        The :mod:`ast` node classes the rule wants to see.
+    include:
+        Path fragments the rule is restricted to (empty = every file).
+    exclude:
+        Path fragments the rule never applies to (wins over ``include``).
+    """
+
+    rule_id: ClassVar[str] = "RULE000"
+    name: ClassVar[str] = "unnamed rule"
+    description: ClassVar[str] = ""
+    target_node_types: ClassVar["tuple[type[ast.AST], ...]"] = ()
+    include: ClassVar[tuple[str, ...]] = ()
+    exclude: ClassVar[tuple[str, ...]] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule runs on ``path`` (posix fragment matching)."""
+        posix = Path(path).as_posix()
+        if any(fragment in posix for fragment in self.exclude):
+            return False
+        if not self.include:
+            return True
+        return any(fragment in posix for fragment in self.include)
+
+    def check(self, node: ast.AST, context: SourceContext) -> Iterator[Violation]:
+        """Yield a :class:`Violation` per defect found at ``node``."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes the abstract method a generator
+
+
+def _suppressions(source: str) -> dict[int, "frozenset[str] | None"]:
+    """Map line number -> suppressed rule ids (``None`` = every rule).
+
+    Suppressions are read from real comment tokens, so a string literal
+    containing ``# repro: ignore`` never waives anything.  A comment listing
+    no ids (``# repro: ignore``) suppresses every rule on its line.
+    """
+    table: dict[int, "frozenset[str] | None"] = {}
+    try:
+        tokens = tokenize.generate_tokens(iter(source.splitlines(True)).__next__)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION.search(token.string)
+            if match is None:
+                continue
+            ids = match.group("ids")
+            if ids is None:
+                table[token.start[0]] = None
+            else:
+                table[token.start[0]] = frozenset(
+                    part.strip() for part in ids.split(",") if part.strip()
+                )
+    except tokenize.TokenError:  # pragma: no cover - unparsable tail
+        pass
+    return table
+
+
+class Analyzer:
+    """Run a rule battery over files: one parse and one walk per file.
+
+    Parameters
+    ----------
+    rules:
+        The rule instances to run; defaults to the full battery from
+        :func:`repro.analysis.rules.default_rules`.
+    """
+
+    def __init__(self, rules: "Sequence[Rule] | None" = None) -> None:
+        if rules is None:
+            from repro.analysis.rules import default_rules
+
+            rules = default_rules()
+        self.rules: list[Rule] = list(rules)
+
+    # ------------------------------------------------------------------
+    # Single-file analysis
+    # ------------------------------------------------------------------
+    def analyze_source(self, source: str, path: str = "<string>") -> FileReport:
+        """Analyze one file's source text; never raises on bad input."""
+        posix = Path(path).as_posix()
+        report = FileReport(path=posix)
+        try:
+            tree = ast.parse(source, filename=posix)
+        except SyntaxError as error:
+            report.error = f"{type(error).__name__}: {error.msg} (line {error.lineno})"
+            return report
+        context = SourceContext(posix, source, tree)
+        suppressed = _suppressions(source)
+        report.suppression_lines = sorted(suppressed)
+        active = [rule for rule in self.rules if rule.applies_to(posix)]
+        if not active:
+            return report
+        dispatch: "dict[type[ast.AST], list[Rule]]" = {}
+        for rule in active:
+            for node_type in rule.target_node_types:
+                dispatch.setdefault(node_type, []).append(rule)
+        findings: list[Finding] = []
+
+        def visit(node: ast.AST) -> None:
+            for rule in dispatch.get(type(node), ()):
+                for violation in rule.check(node, context):
+                    findings.append(
+                        self._finding(rule, violation, context, suppressed)
+                    )
+            context.parents.append(node)
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+            context.parents.pop()
+
+        visit(tree)
+        report.findings = sorted(
+            findings, key=lambda f: (f.line, f.col, f.rule_id)
+        )
+        return report
+
+    @staticmethod
+    def _finding(
+        rule: Rule,
+        violation: Violation,
+        context: SourceContext,
+        suppressed: dict[int, "frozenset[str] | None"],
+    ) -> Finding:
+        """Pin a violation to its location and apply line suppressions."""
+        node = violation.node
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        end = getattr(node, "end_lineno", line) or line
+        waived = False
+        for candidate in range(line, end + 1):
+            ids = suppressed.get(candidate, frozenset())
+            if ids is None or rule.rule_id in (ids or frozenset()):
+                waived = True
+                break
+        return Finding(
+            rule_id=rule.rule_id,
+            path=context.path,
+            line=line,
+            col=col,
+            message=violation.message,
+            snippet=context.line_of(line),
+            suppressed=waived,
+        )
+
+    # ------------------------------------------------------------------
+    # Tree analysis
+    # ------------------------------------------------------------------
+    def analyze_file(self, path: "str | Path") -> FileReport:
+        """Analyze one file on disk."""
+        text = Path(path).read_text(encoding="utf-8")
+        return self.analyze_source(text, str(path))
+
+    def analyze_paths(self, paths: "Iterable[str | Path]") -> AnalysisReport:
+        """Analyze files and directories (directories recurse over ``*.py``)."""
+        report = AnalysisReport()
+        for path in paths:
+            path = Path(path)
+            if path.is_dir():
+                for file in sorted(path.rglob("*.py")):
+                    report.files.append(self.analyze_file(file))
+            else:
+                report.files.append(self.analyze_file(path))
+        return report
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+def format_findings(report: AnalysisReport, show_suppressed: bool = False) -> str:
+    """The human report: one ``path:line:col rule message`` row per finding.
+
+    Ends with a one-line summary (findings, suppressions, files scanned) so
+    a clean run still says what it checked.
+    """
+    rows: list[str] = []
+    for finding in report.unsuppressed:
+        rows.append(
+            f"{finding.location()}: {finding.rule_id} {finding.message}"
+        )
+        if finding.snippet:
+            rows.append(f"    {finding.snippet}")
+    if show_suppressed:
+        for finding in report.suppressed:
+            rows.append(
+                f"{finding.location()}: {finding.rule_id} "
+                f"[suppressed] {finding.message}"
+            )
+    for path, error in report.errors:
+        rows.append(f"{path}: PARSE error {error}")
+    rows.append(
+        f"{len(report.unsuppressed)} finding(s), "
+        f"{len(report.suppressed)} suppressed, "
+        f"{report.suppression_count} suppression comment(s), "
+        f"{len(report.files)} file(s) scanned"
+    )
+    return "\n".join(rows)
+
+
+def report_to_json(report: AnalysisReport, rules: "Sequence[Rule]") -> str:
+    """The machine report: deterministic JSON for CI artifacts.
+
+    Carries every finding (suppressed ones marked), the suppression
+    inventory per file, and the rule catalogue that produced the run, so a
+    rule addition shows its src-wide impact as a plain artifact diff.
+    """
+    payload = {
+        "ok": report.ok,
+        "summary": {
+            "files_scanned": len(report.files),
+            "findings": len(report.unsuppressed),
+            "suppressed_findings": len(report.suppressed),
+            "suppression_comments": report.suppression_count,
+            "parse_errors": len(report.errors),
+        },
+        "rules": [
+            {
+                "id": rule.rule_id,
+                "name": rule.name,
+                "description": rule.description,
+            }
+            for rule in sorted(rules, key=lambda r: r.rule_id)
+        ],
+        "findings": [
+            {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+                "suppressed": finding.suppressed,
+            }
+            for finding in report.findings
+        ],
+        "suppressions": {
+            file.path: file.suppression_lines
+            for file in report.files
+            if file.suppression_lines
+        },
+        "errors": [
+            {"path": path, "error": error} for path, error in report.errors
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+#: Callable alias rules may use for clock/predicate injection in tests.
+Reporter = Callable[[AnalysisReport], str]

@@ -1,0 +1,50 @@
+"""The domain rule battery for :mod:`repro.analysis`.
+
+Five rule families, one per discipline the repository's tests pin
+dynamically (see each module's docstring for the full rationale):
+
+========  ==========================================================
+DET001    no direct wall-clock reads outside ``repro.obs``
+DET002    no global-RNG calls — thread a seeded ``Generator``
+KEY001    no float coercion on join-key dataflow (exact int64 keys)
+CONC001   no fork / pickled lambdas / module-level mutable state
+API001    complete ``ExecutionBackend`` surfaces, bind-first ordering
+========  ==========================================================
+
+To add a rule: subclass :class:`repro.analysis.engine.Rule` in a module
+here, declare ``target_node_types``, implement ``check``, and append the
+class to :data:`ALL_RULES`.  ``docs/static_analysis.md`` walks through an
+example.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.api import BackendProtocolRule
+from repro.analysis.rules.concurrency import MultiprocessingHygieneRule
+from repro.analysis.rules.determinism import DirectClockRule, GlobalRngRule
+from repro.analysis.rules.keys import FloatKeyCoercionRule
+
+__all__ = [
+    "ALL_RULES",
+    "default_rules",
+    "DirectClockRule",
+    "GlobalRngRule",
+    "FloatKeyCoercionRule",
+    "MultiprocessingHygieneRule",
+    "BackendProtocolRule",
+]
+
+#: Every registered rule class, in catalogue order.
+ALL_RULES: "tuple[type[Rule], ...]" = (
+    DirectClockRule,
+    GlobalRngRule,
+    FloatKeyCoercionRule,
+    MultiprocessingHygieneRule,
+    BackendProtocolRule,
+)
+
+
+def default_rules() -> "list[Rule]":
+    """One fresh instance of every registered rule."""
+    return [rule_cls() for rule_cls in ALL_RULES]

@@ -1,0 +1,169 @@
+"""API001: the ExecutionBackend protocol surface and sticky-call ordering.
+
+The engine drives execution backends through two protocols: stateless
+dispatch (``join_regions``) and — when a backend declares
+``owns_state = True`` — the sticky state-ownership protocol
+(``bind`` → per-batch ``count_batch`` / ``evict_state`` /
+``rebase_state`` / ``install_state``, plus ``resize`` and
+``drain_channel_bytes``).  Forgetting one method in a new backend only
+surfaces at run time, on the first stream that happens to exercise it
+(evictions need a window, installs need a migration); calling the per-batch
+operations before ``bind`` is a latent ordering bug of exactly the kind the
+backend can only report once it is too late.  This rule rejects both
+statically:
+
+* every class that directly subclasses ``ExecutionBackend`` must define
+  ``join_regions`` in its own body (the abstract method made locally
+  visible — intermediate bases like the test-double forwarding backend are
+  subclassed by name, not re-checked);
+* a class-level ``owns_state = True`` obliges the full sticky surface;
+* within one function body, the first ``.bind(...)`` call must precede the
+  first per-batch sticky call (``count_batch``/``evict_state``/
+  ``rebase_state``/``install_state``) — functions using only one side of
+  the protocol are exempt, since binding and driving legitimately live in
+  different engine phases.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Rule, SourceContext, Violation
+
+__all__ = ["BackendProtocolRule"]
+
+#: The sticky state-ownership protocol surface, obliged by owns_state=True.
+STICKY_SURFACE = (
+    "bind",
+    "count_batch",
+    "evict_state",
+    "rebase_state",
+    "install_state",
+    "resize",
+    "drain_channel_bytes",
+)
+
+#: Per-batch sticky operations that must not precede bind in one body.
+_AFTER_BIND = frozenset(
+    {"count_batch", "evict_state", "rebase_state", "install_state"}
+)
+
+
+class BackendProtocolRule(Rule):
+    """API001: complete backend surfaces; bind before per-batch sticky calls."""
+
+    rule_id = "API001"
+    name = "backend protocol surface"
+    description = (
+        "ExecutionBackend subclasses must statically define the full "
+        "protocol surface, and sticky call sites must bind before "
+        "count_batch/evict_state in a function body"
+    )
+    target_node_types = (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def check(self, node: ast.AST, context: SourceContext) -> Iterator[Violation]:
+        """Dispatch class-surface and call-ordering checks."""
+        if isinstance(node, ast.ClassDef):
+            yield from self._check_class(node)
+        else:
+            assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            yield from self._check_ordering(node)
+
+    # ------------------------------------------------------------------
+    # Class surface
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _base_names(node: ast.ClassDef) -> set[str]:
+        names: set[str] = set()
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                names.add(base.id)
+            elif isinstance(base, ast.Attribute):
+                names.add(base.attr)
+        return names
+
+    @staticmethod
+    def _defined(node: ast.ClassDef) -> set[str]:
+        """Methods and class attributes defined directly in the body."""
+        defined: set[str] = set()
+        for statement in node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defined.add(statement.name)
+            elif isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        defined.add(target.id)
+            elif isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                defined.add(statement.target.id)
+        return defined
+
+    @staticmethod
+    def _owns_state(node: ast.ClassDef) -> bool:
+        """Whether the class body sets ``owns_state = True`` literally."""
+        for statement in node.body:
+            if isinstance(statement, ast.Assign) and any(
+                isinstance(target, ast.Name) and target.id == "owns_state"
+                for target in statement.targets
+            ):
+                value = statement.value
+                return isinstance(value, ast.Constant) and value.value is True
+        return False
+
+    def _check_class(self, node: ast.ClassDef) -> Iterator[Violation]:
+        if "ExecutionBackend" not in self._base_names(node):
+            return
+        defined = self._defined(node)
+        if "join_regions" not in defined:
+            yield Violation(
+                node,
+                f"backend {node.name!r} subclasses ExecutionBackend but "
+                "does not define join_regions; define it (raising for "
+                "protocol-only backends is fine) so the surface is "
+                "statically complete",
+            )
+        if self._owns_state(node):
+            missing = [name for name in STICKY_SURFACE if name not in defined]
+            if missing:
+                yield Violation(
+                    node,
+                    f"backend {node.name!r} declares owns_state=True but "
+                    f"is missing sticky protocol methods {missing}; the "
+                    "engine will call them on the first stream that "
+                    "evicts, migrates or resizes",
+                )
+
+    # ------------------------------------------------------------------
+    # Call-site ordering
+    # ------------------------------------------------------------------
+    def _check_ordering(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> Iterator[Violation]:
+        first_bind: "ast.Call | None" = None
+        first_batch_op: "ast.Call | None" = None
+        first_batch_attr = ""
+        for child in ast.walk(node):
+            if not (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+            ):
+                continue
+            attr = child.func.attr
+            if attr == "bind" and first_bind is None:
+                first_bind = child
+            elif attr in _AFTER_BIND and first_batch_op is None:
+                first_batch_op = child
+                first_batch_attr = attr
+        if (
+            first_bind is not None
+            and first_batch_op is not None
+            and first_batch_op.lineno < first_bind.lineno
+        ):
+            yield Violation(
+                first_batch_op,
+                f".{first_batch_attr}() is called before .bind() "
+                f"in {node.name!r}; the sticky protocol requires the "
+                "stream binding first",
+            )

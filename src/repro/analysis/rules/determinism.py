@@ -1,0 +1,138 @@
+"""Determinism rules: clock-domain discipline and RNG threading.
+
+Bit-identical replays (the ``repro.obs`` TickClock contract) and
+hypothesis-pinned run equivalence only hold when wall-clock reads and
+random draws are *injected*, never ambient:
+
+* **DET001** — no direct ``time.time()`` / ``time.perf_counter()`` /
+  ``datetime.now()`` (or their ``_ns``/``monotonic``/``process_time``
+  siblings) outside ``repro/obs``, where the sanctioned clock entry points
+  (:mod:`repro.obs.clock`) and the injectable-tracer machinery live.  A
+  module that needs a wall-clock reading imports it from
+  ``repro.obs.clock`` so every clock read in the tree shares one audited
+  home (and one place to fake).
+* **DET002** — no global-RNG draws: ``np.random.shuffle(...)``,
+  ``np.random.seed(...)``, bare ``random.random()`` and friends mutate
+  hidden process-wide state, so two call sites silently couple and replays
+  stop being bit-identical.  A seeded ``np.random.Generator`` (or
+  ``random.Random`` instance) must be threaded instead; constructors
+  (``default_rng``, ``Generator``, ``SeedSequence``, ...) are allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Rule, SourceContext, Violation
+
+__all__ = ["DirectClockRule", "GlobalRngRule"]
+
+
+class DirectClockRule(Rule):
+    """DET001: wall-clock reads must come from ``repro.obs.clock``."""
+
+    rule_id = "DET001"
+    name = "direct wall-clock read"
+    description = (
+        "time.time()/perf_counter()/datetime.now() outside repro.obs break "
+        "the clock-domain discipline; import the sanctioned entry point "
+        "from repro.obs.clock instead"
+    )
+    target_node_types = (ast.Attribute, ast.Name)
+    #: The clock abstractions themselves (and their tests' fakes) live here.
+    exclude = ("repro/obs/",)
+
+    #: Dotted names whose *read* (call or reference) is a violation.
+    banned = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.process_time",
+            "time.process_time_ns",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        }
+    )
+
+    def check(self, node: ast.AST, context: SourceContext) -> Iterator[Violation]:
+        """Flag loads (calls and bare references) of the banned clocks."""
+        if not isinstance(getattr(node, "ctx", ast.Load()), ast.Load):
+            return
+        if isinstance(node, ast.Name) and node.id in context.module_aliases:
+            # The bare module reference; the Attribute node carries the read.
+            return
+        if isinstance(node, ast.Attribute) and isinstance(
+            context.enclosing(ast.Attribute), ast.Attribute
+        ):
+            # Only the full chain is resolved, not its prefixes.
+            return
+        resolved = context.resolve(node)
+        if resolved in self.banned:
+            yield Violation(
+                node,
+                f"direct wall-clock read {resolved!r}; use the sanctioned "
+                "entry point in repro.obs.clock (or accept an injectable "
+                "clock) so the clock domain stays auditable",
+            )
+
+
+class GlobalRngRule(Rule):
+    """DET002: random draws must go through a threaded, seeded generator."""
+
+    rule_id = "DET002"
+    name = "global RNG draw"
+    description = (
+        "np.random.* / bare random.* calls mutate hidden process-global "
+        "state; thread a seeded np.random.Generator (or random.Random) "
+        "instead"
+    )
+    target_node_types = (ast.Call,)
+
+    #: Constructors of *instance* generators, which are the fix — allowed.
+    allowed_numpy = frozenset(
+        {
+            "default_rng",
+            "Generator",
+            "RandomState",
+            "SeedSequence",
+            "BitGenerator",
+            "PCG64",
+            "PCG64DXSM",
+            "Philox",
+            "SFC64",
+            "MT19937",
+        }
+    )
+    allowed_stdlib = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+
+    def check(self, node: ast.AST, context: SourceContext) -> Iterator[Violation]:
+        """Flag calls resolving into the global numpy/stdlib RNG namespaces."""
+        assert isinstance(node, ast.Call)
+        resolved = context.resolve(node.func)
+        if resolved is None:
+            return
+        if resolved.startswith("numpy.random."):
+            tail = resolved.split(".", 2)[2]
+            if "." not in tail and tail not in self.allowed_numpy:
+                yield Violation(
+                    node,
+                    f"global numpy RNG call {resolved!r}; draw from a "
+                    "seeded np.random.Generator threaded through the call "
+                    "chain instead",
+                )
+        elif resolved.startswith("random."):
+            tail = resolved.split(".", 1)[1]
+            if "." not in tail and tail not in self.allowed_stdlib:
+                yield Violation(
+                    node,
+                    f"global stdlib RNG call {resolved!r}; use a seeded "
+                    "random.Random instance threaded through the call "
+                    "chain instead",
+                )

@@ -24,7 +24,6 @@ the scheme (efficiency).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,6 +35,7 @@ from repro.core.monotonic_bsp import monotonic_bsp_partition
 from repro.core.weights import WeightFunction
 from repro.engine.operators import CSIOOperator, OperatorRunResult
 from repro.joins.conditions import BandJoinCondition
+from repro.obs.clock import perf_counter
 from repro.workloads.definitions import JoinWorkload
 
 __all__ = [
@@ -141,13 +141,13 @@ def compare_tiling_algorithms(
         delta = delta_fraction * weight_fn.weight(grid.total_input, grid.total_output)
         delta = max(delta, grid.max_cell_weight(weight_fn, candidates_only=True))
 
-        start = time.perf_counter()
+        start = perf_counter()
         bsp = bsp_partition(grid, weight_fn, delta)
-        bsp_seconds = time.perf_counter() - start
+        bsp_seconds = perf_counter() - start
 
-        start = time.perf_counter()
+        start = perf_counter()
         mono = monotonic_bsp_partition(grid, weight_fn, delta)
-        mono_seconds = time.perf_counter() - start
+        mono_seconds = perf_counter() - start
 
         rows.append(
             TilingComparisonRow(

@@ -20,7 +20,6 @@ the busiest machine's work (``CSIO-est`` in Figure 4h).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,6 +34,7 @@ from repro.core.sample_matrix import (
 )
 from repro.core.weights import WeightFunction
 from repro.joins.conditions import JoinCondition
+from repro.obs.clock import perf_counter
 from repro.sampling.equidepth import build_equidepth_histogram
 from repro.sampling.parallel_stream_sample import (
     ParallelSampleStats,
@@ -192,7 +192,7 @@ def build_equi_weight_histogram(
     # ------------------------------------------------------------------
     # Stage 1: sampling.
     # ------------------------------------------------------------------
-    start = time.perf_counter()
+    start = perf_counter()
     ns = config.sample_matrix_size or sample_matrix_size(n, num_machines)
     ns = min(ns, config.max_sample_matrix_size)
 
@@ -225,12 +225,12 @@ def build_equi_weight_histogram(
                 hist2 = build_equidepth_histogram(sample2, ns, len(keys2))
 
     sample_matrix = build_sample_matrix(hist1, hist2, output_sample, condition)
-    stage_seconds["sampling"] = time.perf_counter() - start
+    stage_seconds["sampling"] = perf_counter() - start
 
     # ------------------------------------------------------------------
     # Stage 2: coarsening.
     # ------------------------------------------------------------------
-    start = time.perf_counter()
+    start = perf_counter()
     nc = coarsened_size(
         num_machines, sample_matrix.grid.num_rows, config.max_coarsened_size
     )
@@ -238,17 +238,17 @@ def build_equi_weight_histogram(
         sample_matrix.grid, nc, nc, weight_fn,
         max_iterations=config.coarsening_iterations,
     )
-    stage_seconds["coarsening"] = time.perf_counter() - start
+    stage_seconds["coarsening"] = perf_counter() - start
 
     # ------------------------------------------------------------------
     # Stage 3: regionalization.
     # ------------------------------------------------------------------
-    start = time.perf_counter()
+    start = perf_counter()
     regionalization = regionalize(
         coarsening.grid, num_machines, weight_fn,
         algorithm=config.tiling_algorithm,
     )
-    stage_seconds["regionalization"] = time.perf_counter() - start
+    stage_seconds["regionalization"] = perf_counter() - start
 
     # ------------------------------------------------------------------
     # Map grid regions back to join-key space.

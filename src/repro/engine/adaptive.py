@@ -22,7 +22,6 @@ between the paper's cluster and a laptop-scale Python run.
 
 from __future__ import annotations
 
-import time
 from typing import Callable
 
 import numpy as np
@@ -32,6 +31,7 @@ from repro.core.weights import WeightFunction
 from repro.engine.operators import CIOperator, CSIOOperator, Operator, OperatorRunResult
 from repro.joins.conditions import JoinCondition
 from repro.joins.local import count_join_output
+from repro.obs.clock import perf_counter
 
 __all__ = ["AdaptiveOperator"]
 
@@ -52,7 +52,8 @@ class AdaptiveOperator(Operator):
         Configuration forwarded to the CSIO build.
     clock:
         Monotonic time source used to measure the scheme build (defaults to
-        :func:`time.perf_counter`).  Injectable so tests can drive the
+        :func:`repro.obs.clock.perf_counter`).  Injectable so tests can
+        drive the
         fallback decision deterministically.
     """
 
@@ -70,7 +71,7 @@ class AdaptiveOperator(Operator):
             raise ValueError("fallback_seconds_per_million must be positive")
         self.fallback_seconds_per_million = fallback_seconds_per_million
         self.ewh_config = ewh_config
-        self.clock = clock or time.perf_counter
+        self.clock = clock or perf_counter
         self.fell_back = False
 
     def build_partitioning(self, keys1, keys2, condition, weight_fn, rng):

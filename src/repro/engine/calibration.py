@@ -13,7 +13,6 @@ that ``w_i = 1``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,6 +20,7 @@ import numpy as np
 from repro.core.weights import WeightFunction
 from repro.joins.conditions import JoinCondition
 from repro.joins.local import count_join_output
+from repro.obs.clock import perf_counter
 
 __all__ = ["CalibrationSample", "calibrate_cost_weights", "collect_calibration_samples"]
 
@@ -90,9 +90,9 @@ def collect_calibration_samples(
         take2 = max(1, int(len(keys2) * fraction))
         subset1 = rng.choice(keys1, size=take1, replace=False)
         subset2 = rng.choice(keys2, size=take2, replace=False)
-        start = time.perf_counter()
+        start = perf_counter()
         output = count_join_output(subset1, subset2, condition)
-        seconds = time.perf_counter() - start
+        seconds = perf_counter() - start
         samples.append(
             CalibrationSample(
                 input_tuples=take1 + take2,

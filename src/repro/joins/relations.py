@@ -73,7 +73,7 @@ class Relation:
     @property
     def keys(self) -> np.ndarray:
         """The join-key column as a float64 array."""
-        return np.asarray(self._columns[self.key_column], dtype=np.float64)
+        return np.asarray(self._columns[self.key_column], dtype=np.float64)  # repro: ignore[KEY001]  # Relation feeds the float-domain partitioning simulators
 
     def __getitem__(self, name: str) -> np.ndarray:
         return self.column(name)

@@ -1,11 +1,15 @@
 """`repro.obs` — tracing and metrics for the streaming stack.
 
-Two small, dependency-free building blocks:
+Three small, dependency-free building blocks:
 
 * :mod:`repro.obs.trace` — hierarchical spans (``run → batch → {route,
   incremental_count, join, evict, compact, drift_decide, migrate}``) with an
   injectable clock, a zero-overhead no-op tracer as the default, and
   exporters to JSONL event logs and Chrome-trace/Perfetto JSON.
+* :mod:`repro.obs.clock` — the single sanctioned home for wall-clock
+  reads (``perf_counter``/``monotonic``/``wall_time``); everything outside
+  this package that wants the time imports it from here, a boundary the
+  static analyzer's ``DET001`` rule enforces.
 * :mod:`repro.obs.metrics` — a counter/gauge/histogram registry with a
   periodic snapshot reporter, the single home for the run-time quantities
   that used to live only as ad-hoc fields scattered across
@@ -20,6 +24,7 @@ traced runs are behaviourally bit-identical to untraced runs, which
 ``docs/observability.md`` for the full narrative.
 """
 
+from repro.obs.clock import monotonic, perf_counter, wall_time
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -48,4 +53,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "SnapshotReporter",
+    "perf_counter",
+    "monotonic",
+    "wall_time",
 ]

@@ -1,0 +1,45 @@
+"""`repro.obs.clock` — the single sanctioned home for clock reads.
+
+Every wall-clock read in the codebase goes through this module.  The point
+is not abstraction for its own sake: the experiments are deterministic by
+construction (seeded generators, injectable tracer clocks, simulated-time
+fault schedules), and the one thing that must never leak into result
+arithmetic is a real clock.  Timing is *observation only* — wall-seconds
+fields in metrics — and funnelling all of it through one module keeps that
+boundary auditable: the static analyzer (rule ``DET001``, see
+``docs/static_analysis.md``) rejects direct ``time.time()`` /
+``time.perf_counter()`` / ``datetime.now()`` calls everywhere outside
+``repro.obs``, so a clock read showing up in, say, a partitioning decision
+is a build failure rather than a flaky test.
+
+The names are zero-overhead aliases of the stdlib functions — importing
+from here costs nothing at call time and changes no behaviour:
+
+* :func:`perf_counter` — high-resolution timer for measuring durations;
+  the default clock for every ``wall_seconds`` metric.
+* :func:`monotonic` — monotonic timer for deadlines and timeouts.
+* :func:`wall_time` — seconds since the Unix epoch, for timestamping
+  artifacts (never for durations).
+
+Code that needs a *controllable* clock (tests, the pipeline's pacing loop)
+should keep taking a ``clock:`` callable parameter and default it to
+:func:`perf_counter`; see :class:`repro.obs.trace.TickClock` for the
+deterministic stand-in.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+__all__ = ["monotonic", "perf_counter", "wall_time"]
+
+#: High-resolution duration timer (alias of :func:`time.perf_counter`).
+perf_counter = _time.perf_counter
+
+#: Monotonic timer for deadlines/timeouts (alias of :func:`time.monotonic`).
+monotonic = _time.monotonic
+
+
+def wall_time() -> float:
+    """Seconds since the Unix epoch, for timestamping — never durations."""
+    return _time.time()

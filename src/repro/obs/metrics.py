@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 from bisect import bisect_right
+from typing import Callable, TypeVar
 
 __all__ = [
     "Counter",
@@ -60,7 +61,7 @@ class Counter:
         """The current total."""
         return self._value
 
-    def to_snapshot(self) -> dict:
+    def to_snapshot(self) -> dict[str, object]:
         """This instrument's entry in a registry snapshot."""
         return {"type": "counter", "value": self._value}
 
@@ -83,7 +84,7 @@ class Gauge:
         """The last value written (0.0 before any write)."""
         return self._value
 
-    def to_snapshot(self) -> dict:
+    def to_snapshot(self) -> dict[str, object]:
         """This instrument's entry in a registry snapshot."""
         return {"type": "gauge", "value": self._value}
 
@@ -158,7 +159,7 @@ class Histogram:
         """Mean observation (``nan`` when empty)."""
         return self._sum / self._count if self._count else float("nan")
 
-    def to_snapshot(self) -> dict:
+    def to_snapshot(self) -> dict[str, object]:
         """This instrument's entry in a registry snapshot."""
         return {
             "type": "histogram",
@@ -169,6 +170,11 @@ class Histogram:
             "buckets": list(self.buckets),
             "counts": list(self._counts),
         }
+
+
+#: The instrument types a registry can hold; ``_get_or_create`` preserves
+#: the concrete type requested by ``counter``/``gauge``/``histogram``.
+_InstrumentT = TypeVar("_InstrumentT", bound="Counter | Gauge | Histogram")
 
 
 class MetricsRegistry:
@@ -187,7 +193,9 @@ class MetricsRegistry:
         self._reporters: "list[SnapshotReporter]" = []
         self._pulses = 0
 
-    def _get_or_create(self, name: str, factory, kind: type):
+    def _get_or_create(
+        self, name: str, factory: "Callable[[], _InstrumentT]", kind: "type[_InstrumentT]"
+    ) -> "_InstrumentT":
         instrument = self._instruments.get(name)
         if instrument is None:
             instrument = factory()
@@ -242,7 +250,7 @@ class MetricsRegistry:
         for reporter in self._reporters:
             reporter.on_pulse(self._pulses, self)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, dict[str, object]]:
         """The whole registry as one sorted, JSON-able dict."""
         return {
             name: self._instruments[name].to_snapshot()
@@ -270,7 +278,7 @@ class SnapshotReporter:
         if every <= 0:
             raise ValueError("every must be positive")
         self.every = every
-        self.snapshots: "list[tuple[int, dict]]" = []
+        self.snapshots: "list[tuple[int, dict[str, dict[str, object]]]]" = []
 
     def on_pulse(self, pulse: int, registry: MetricsRegistry) -> None:
         """Registry callback: snapshot when the period boundary is reached."""
@@ -278,7 +286,7 @@ class SnapshotReporter:
             self.snapshots.append((pulse, registry.snapshot()))
 
     @property
-    def latest(self) -> "dict | None":
+    def latest(self) -> "dict[str, dict[str, object]] | None":
         """The most recent snapshot (``None`` before the first)."""
         return self.snapshots[-1][1] if self.snapshots else None
 

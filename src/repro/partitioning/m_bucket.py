@@ -19,7 +19,6 @@ spent.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,6 +27,7 @@ from repro.core.region import GridRegion
 from repro.core.sample_matrix import candidate_mask
 from repro.core.weights import WeightFunction
 from repro.joins.conditions import JoinCondition
+from repro.obs.clock import perf_counter
 from repro.partitioning.grid_routed import GridRoutedPartitioning
 from repro.sampling.equidepth import EquiDepthHistogram, build_equidepth_histogram
 from repro.sampling.sizes import input_sample_size
@@ -206,7 +206,7 @@ def build_m_bucket_partitioning(
     if num_machines <= 0:
         raise ValueError("num_machines must be positive")
 
-    start = time.perf_counter()
+    start = perf_counter()
     p = max(1, min(config.num_buckets, len(keys1), len(keys2)))
     si = input_sample_size(p, max(len(keys1), len(keys2)))
     sample1 = rng.choice(keys1, size=min(si, len(keys1)), replace=False)
@@ -258,7 +258,7 @@ def build_m_bucket_partitioning(
     col_boundaries = hist2.boundaries.copy()
     row_boundaries[0], row_boundaries[-1] = -np.inf, np.inf
     col_boundaries[0], col_boundaries[-1] = -np.inf, np.inf
-    build_seconds = time.perf_counter() - start
+    build_seconds = perf_counter() - start
     return MBucketPartitioning(
         row_boundaries=row_boundaries,
         col_boundaries=col_boundaries,

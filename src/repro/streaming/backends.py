@@ -48,7 +48,6 @@ from __future__ import annotations
 import abc
 import multiprocessing
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -62,6 +61,7 @@ from repro.engine.executor import (
 )
 from repro.joins.conditions import JoinCondition
 from repro.joins.local import count_join_output
+from repro.obs.clock import perf_counter
 from repro.streaming.incremental import SortedRegionState
 from repro.streaming.shm import ShmArena, ShmReader
 
@@ -258,19 +258,19 @@ class SimulatedBackend(ExecutionBackend):
         conditions = broadcast_conditions(condition, len(region_keys))
         outputs = np.zeros(len(region_keys), dtype=np.int64)
         seconds = np.zeros(len(region_keys))
-        start = time.perf_counter()
+        start = perf_counter()
         for machine, (keys1, keys2) in enumerate(region_keys):
             if len(keys1) == 0 or len(keys2) == 0:
                 continue
-            region_start = time.perf_counter()
+            region_start = perf_counter()
             outputs[machine] = count_join_output(
                 keys1, keys2, conditions[machine], keys2_sorted=keys2_sorted
             )
-            seconds[machine] = time.perf_counter() - region_start
+            seconds[machine] = perf_counter() - region_start
         return RegionJoinResult(
             per_machine_output=outputs,
             per_machine_seconds=seconds,
-            wall_seconds=time.perf_counter() - start,
+            wall_seconds=perf_counter() - start,
         )
 
 
@@ -434,17 +434,17 @@ class _StickyWorkerState:
             out_a = out_b = 0
             sec_a = sec_b = 0.0
             if len(keys1) and len(state2.keys):
-                started = time.perf_counter()
+                started = perf_counter()
                 out_a = count_join_output(
                     keys1, state2.keys, self.condition, keys2_sorted=True
                 )
-                sec_a = time.perf_counter() - started
+                sec_a = perf_counter() - started
             if len(keys2) and len(old_keys1):
-                started = time.perf_counter()
+                started = perf_counter()
                 out_b = count_join_output(
                     keys2, old_keys1, self.transposed, keys2_sorted=True
                 )
-                sec_b = time.perf_counter() - started
+                sec_b = perf_counter() - started
             state1.insert(idx1, keys1)
             counted.append((machine, int(out_a), int(out_b), sec_a, sec_b))
         return ("counted", counted)
@@ -796,7 +796,7 @@ class StickyWorkerBackend(ExecutionBackend):
         not just the count.
         """
         self._ensure_bound()
-        start = time.perf_counter()
+        start = perf_counter()
         message = self._write(
             self._state_layout(new1, new2, history1, history2)
         )
@@ -809,7 +809,7 @@ class StickyWorkerBackend(ExecutionBackend):
         return RegionJoinResult(
             per_machine_output=outputs,
             per_machine_seconds=seconds,
-            wall_seconds=time.perf_counter() - start,
+            wall_seconds=perf_counter() - start,
             worker_pids=self._machine_pids.copy(),
         )
 

@@ -152,7 +152,7 @@ class StreamCheckpoint:
     window: Any
     histogram: Any
     partitioning: Any
-    rng_state: dict
+    rng_state: dict[str, Any]
     history1: np.ndarray
     history2: np.ndarray
     starts1: list[int]
@@ -169,7 +169,7 @@ class StreamCheckpoint:
     position: int
     cumulative: np.ndarray
     result: StreamRunResult
-    pending_resize: "dict | None" = None
+    pending_resize: "dict[str, Any] | None" = None
     version: int = CHECKPOINT_VERSION
 
     def to_bytes(self) -> bytes:
@@ -186,7 +186,7 @@ class StreamCheckpoint:
         )
         return header + payload
 
-    def _payload(self) -> dict:
+    def _payload(self) -> dict[str, Any]:
         """The field dict shipped in the pickled payload (version travels in the header)."""
         return {
             f.name: getattr(self, f.name)

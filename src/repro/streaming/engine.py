@@ -65,7 +65,6 @@ which ``tests/test_backends.py`` pins down.
 from __future__ import annotations
 
 import copy
-import time
 from dataclasses import replace
 from typing import Iterable
 
@@ -75,6 +74,7 @@ from repro.core.histogram import EWHConfig
 from repro.core.weights import WeightFunction
 from repro.joins.conditions import JoinCondition
 from repro.joins.local import count_join_output
+from repro.obs.clock import perf_counter
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.partitioning.base import Partitioning
@@ -858,7 +858,7 @@ class StreamingJoinEngine:
         live1, live2 = s.live1, s.live2
         starts1, starts2 = s.starts1, s.starts2
 
-        start = time.perf_counter()
+        start = perf_counter()
         # Liveness and windows key off the engine's own
         # processed-batch count, so any strictly increasing source
         # numbering works -- but a non-monotone one would silently
@@ -1305,7 +1305,7 @@ class StreamingJoinEngine:
                     metrics.bytes_pickled = bytes_pickled
                     metrics.bytes_unpickled = bytes_unpickled
                     metrics.bytes_shm = bytes_shm
-                    metrics.wall_seconds = time.perf_counter() - start
+                    metrics.wall_seconds = perf_counter() - start
                     batch_span.set(
                         output_delta=metrics.output_delta,
                         repartitioned=metrics.repartitioned,

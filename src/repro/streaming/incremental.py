@@ -239,7 +239,7 @@ class DecayedReservoir:
         self, keys: np.ndarray, batch_index: int, rng: np.random.Generator
     ) -> None:
         """Offer one micro-batch of keys, all weighted by the batch's age."""
-        keys = np.asarray(keys, dtype=np.float64)
+        keys = np.asarray(keys, dtype=np.float64)  # repro: ignore[KEY001]  # reservoir samples feed float EWH boundaries, not join state
         self.tuples_seen += len(keys)
         if len(keys) == 0:
             return
@@ -254,7 +254,7 @@ class DecayedReservoir:
             mask = priorities > self._heap[0][0]
             keys, priorities = keys[mask], priorities[mask]
         for key, priority in zip(keys, priorities):
-            entry = (float(priority), self._counter, float(key))
+            entry = (float(priority), self._counter, float(key))  # repro: ignore[KEY001]  # heap entry over the sampled float key
             self._counter += 1
             if len(self._heap) < self.capacity:
                 heapq.heappush(self._heap, entry)

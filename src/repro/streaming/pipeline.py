@@ -68,6 +68,7 @@ from typing import Callable, Iterator
 
 import numpy as np
 
+from repro.obs.clock import perf_counter
 from repro.streaming.engine import StreamingJoinEngine
 from repro.streaming.metrics import StreamRunResult
 from repro.streaming.source import MicroBatch, StreamSource
@@ -476,7 +477,7 @@ class StreamingPipeline:
         mode: str = "thread",
         service_model: "Callable[[MicroBatch], float] | float | None" = None,
         allow_gaps: bool = False,
-        clock: "Callable[[], float]" = time.perf_counter,
+        clock: "Callable[[], float]" = perf_counter,
         sleep: "Callable[[float], None]" = time.sleep,
     ) -> None:
         if mode not in ("thread", "simulated"):

@@ -257,7 +257,7 @@ class DriftingZipfSource(StreamSource):
                 counts = sample_zipf_multiplicities(
                     self.num_values, self.tuples_per_batch, self._z_of(index), rng
                 )
-                keys = np.repeat(phase_values, counts).astype(np.float64)
+                keys = np.repeat(phase_values, counts).astype(np.float64)  # repro: ignore[KEY001]  # drifting-Zipf source emits small-domain float keys by design
                 rng.shuffle(keys)
                 sides.append(keys)
             yield MicroBatch(index=index, keys1=sides[0], keys2=sides[1])
