@@ -1,0 +1,8 @@
+-- Admitted: band join with an integral width (stays on the exact int64
+-- band path) and a bounded window, so the shed policy's losses are
+-- confined to state that would expire anyway.
+SELECT COUNT(*)
+FROM orders AS o1 JOIN orders2 AS o2
+  ON ABS(o1.price - o2.price) <= 10
+WINDOW 'tuples:5000'
+POLICY 'shed' QUEUE 8

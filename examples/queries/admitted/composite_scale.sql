@@ -1,0 +1,8 @@
+-- Admitted: the paper's BE_OCD shape -- equality on one attribute AND a
+-- band on another, lowered through the lexicographic key encoding (the
+-- SCALE clause supplies the multiplier and the band attribute's domain).
+SELECT COUNT(*)
+FROM o1 JOIN o2
+  ON o1.custkey = o2.custkey AND ABS(o1.priority - o2.priority) <= 1
+WINDOW 'batches:16'
+SCALE 100 DOMAIN 0 TO 10

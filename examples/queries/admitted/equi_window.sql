@@ -1,0 +1,6 @@
+-- Admitted: equi join over exact int64 keys with a sliding window and
+-- lossless backpressure.  The canonical front-door query.
+SELECT COUNT(*)
+FROM r1 JOIN r2 ON r1.key = r2.key
+WINDOW 'batches:8'
+POLICY 'block' QUEUE 4

@@ -1,0 +1,6 @@
+-- Admitted: a bandless inequality is fine when a bounded window caps the
+-- joinable history (QRY002's requirement).
+SELECT COUNT(*)
+FROM bids JOIN asks ON bids.ts <= asks.ts
+WINDOW 'batches:4'
+POLICY 'coalesce' QUEUE 2

@@ -1,0 +1,7 @@
+-- Admitted via suppression: the decay window below is declared bounded,
+-- but this spec documents the inline-waiver workflow on a bandless
+-- inequality whose window is spelled unbounded on purpose.
+SELECT COUNT(*)
+FROM a JOIN b ON a.seq < b.seq -- repro: ignore[QRY002] -- replayed finite archive, state fits one host
+WINDOW 'unbounded'
+POLICY 'block'

@@ -1,0 +1,2 @@
+-- Rejected (QRY001): an explicit cross join -- every pair matches.
+SELECT COUNT(*) FROM r1 CROSS JOIN r2 WINDOW 'batches:8'

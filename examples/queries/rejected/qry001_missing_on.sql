@@ -1,0 +1,2 @@
+-- Rejected (QRY001): the comma form with no WHERE is a cross join.
+SELECT COUNT(*) FROM r1, r2 WINDOW 'batches:8'

@@ -1,0 +1,2 @@
+-- Rejected (QRY001): a trivially-true condition filters nothing.
+SELECT COUNT(*) FROM r1 JOIN r2 ON 1 = 1 WINDOW 'batches:8'

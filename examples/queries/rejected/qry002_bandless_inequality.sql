@@ -1,0 +1,3 @@
+-- Rejected (QRY002): each arrival joins the other side's full history;
+-- with no bounded window, resident state grows with the stream.
+SELECT COUNT(*) FROM bids JOIN asks ON bids.ts < asks.ts

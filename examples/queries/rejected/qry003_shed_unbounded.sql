@@ -1,0 +1,6 @@
+-- Rejected (QRY003): full-history semantics plus silently dropped
+-- batches -- the result is load-dependent and nothing says so.
+SELECT COUNT(*)
+FROM r1 JOIN r2 ON r1.key = r2.key
+WINDOW 'unbounded'
+POLICY 'shed' QUEUE 4

@@ -1,0 +1,6 @@
+-- Rejected (QRY004): a non-integral band width over KEYS INT forces key
+-- arithmetic onto float64, rounding keys above 2**53.
+SELECT COUNT(*)
+FROM r1 JOIN r2 ON ABS(r1.key - r2.key) <= 2.5
+WINDOW 'batches:8'
+KEYS INT

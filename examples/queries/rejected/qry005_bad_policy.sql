@@ -1,0 +1,5 @@
+-- Rejected (QRY005): 'drop' is not a registered backpressure mode.
+SELECT COUNT(*)
+FROM r1 JOIN r2 ON r1.key = r2.key
+WINDOW 'batches:8'
+POLICY 'drop'

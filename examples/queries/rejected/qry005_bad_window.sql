@@ -1,0 +1,2 @@
+-- Rejected (QRY005): 'bogus:3' parses against no registered window form.
+SELECT COUNT(*) FROM r1 JOIN r2 ON r1.key = r2.key WINDOW 'bogus:3'

@@ -23,26 +23,38 @@ how-to-add-a-rule guide: ``docs/static_analysis.md``.
 from repro.analysis.engine import (
     AnalysisReport,
     Analyzer,
+    AstWalker,
+    BaseContext,
     FileReport,
     Finding,
     Rule,
     SourceContext,
+    SuppressionComment,
     Violation,
+    Walker,
+    check_tree,
     format_findings,
     report_to_json,
+    scan_suppressions,
 )
 from repro.analysis.rules import ALL_RULES, default_rules
 
 __all__ = [
     "AnalysisReport",
     "Analyzer",
+    "AstWalker",
+    "BaseContext",
     "FileReport",
     "Finding",
     "Rule",
     "SourceContext",
+    "SuppressionComment",
     "Violation",
+    "Walker",
+    "check_tree",
     "format_findings",
     "report_to_json",
+    "scan_suppressions",
     "ALL_RULES",
     "default_rules",
 ]

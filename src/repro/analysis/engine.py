@@ -1,4 +1,4 @@
-"""The visitor-based AST rule engine behind ``python -m repro.analysis``.
+"""The visitor-based rule engine behind ``python -m repro.analysis``.
 
 Every headline property of this reproduction — bit-identical replays,
 kill-and-restore equivalence, exact int64 join keys, the sticky-worker
@@ -7,7 +7,7 @@ not just a behaviour tests can observe.  This module provides the machinery
 to enforce those disciplines statically, before any test runs:
 
 * :class:`Rule` — one check, in the ``target_node_types`` idiom: a rule
-  declares which :mod:`ast` node types it wants to see and yields
+  declares which node types it wants to see and yields
   :class:`Violation` records from :meth:`Rule.check`;
 * :class:`Analyzer` — parses each file once, walks the tree once, and
   dispatches every node to the rules registered for its type (with the
@@ -20,9 +20,17 @@ to enforce those disciplines statically, before any test runs:
 * reporters — :func:`format_findings` for humans, :func:`report_to_json`
   for CI artifacts and golden-adjacent diffs.
 
-The engine itself knows nothing about the domain: the rule battery lives in
-:mod:`repro.analysis.rules` and registers through :func:`default_rules`.
-See ``docs/static_analysis.md`` for the rule catalogue and how to add one.
+The engine is **AST-kind-agnostic**: dispatch, the ancestor stack, findings,
+suppressions and both reporters know nothing about Python's :mod:`ast`.  A
+:class:`Walker` tells the engine how to enumerate a dialect's children and
+locate its nodes, and a :class:`BaseContext` carries the per-file facts
+rules consult; the Python specialisation (:class:`AstWalker`,
+:class:`SourceContext`) lives here because ``python -m repro.analysis`` uses
+it, while :mod:`repro.query` plugs sqlglot-style SQL expression trees into
+the *same* engine for query-admission checks (``-- repro: ignore[...]``
+comments included).  The rule batteries live in :mod:`repro.analysis.rules`
+and :mod:`repro.query.rules`.  See ``docs/static_analysis.md`` for the rule
+catalogue and how to add one.
 """
 
 from __future__ import annotations
@@ -33,34 +41,72 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, ClassVar, Iterable, Iterator, Sequence
+from typing import Any, Callable, ClassVar, Iterable, Iterator, Mapping, Sequence
 
 __all__ = [
     "Violation",
     "Finding",
     "FileReport",
     "AnalysisReport",
+    "BaseContext",
     "SourceContext",
+    "SuppressionComment",
     "Rule",
+    "Walker",
+    "AstWalker",
+    "AST_WALKER",
     "Analyzer",
+    "check_tree",
+    "python_comments",
+    "scan_suppressions",
     "format_findings",
     "report_to_json",
 ]
 
 #: Matches a suppression comment, bare or with a bracketed rule-id list.
-#: (Lives in a string literal, so the scan — which reads COMMENT tokens
-#: only — never matches this file's own source.)
+#: Both comment leaders are accepted — ``#`` (Python) and ``--`` (SQL join
+#: specs) — so every dialect the engine checks shares one suppression
+#: syntax.  (Lives in a string literal, so the scan — which reads real
+#: comment tokens only — never matches this file's own source.)
 _SUPPRESSION = re.compile(
-    r"#\s*repro:\s*ignore(?:\[(?P<ids>[A-Z0-9_,\s]+)\])?"
+    r"(?:#|--)\s*repro:\s*ignore(?:\[(?P<ids>[A-Z0-9_,\s]+)\])?"
 )
 
 
 @dataclass(frozen=True)
 class Violation:
-    """One rule hit, still anchored to its AST node (engine-internal)."""
+    """One rule hit, still anchored to its AST node (engine-internal).
 
-    node: ast.AST
+    Node-dispatched rules anchor the violation to the offending node;
+    file-level rules (:meth:`Rule.check_file`) have no node and pass
+    ``node=None`` with an explicit ``line``/``col`` instead.
+    """
+
+    node: Any
     message: str
+    line: "int | None" = None
+    col: int = 0
+
+
+@dataclass(frozen=True)
+class SuppressionComment:
+    """One inline ``repro: ignore`` comment, as scanned from real tokens.
+
+    Attributes
+    ----------
+    line, col:
+        1-based line and 0-based column of the comment token.
+    ids:
+        The cited rule ids, or ``None`` for the bare form (which waives
+        every rule on the line).
+    text:
+        The raw comment text, for diagnostics.
+    """
+
+    line: int
+    col: int
+    ids: "tuple[str, ...] | None"
+    text: str
 
 
 @dataclass(frozen=True)
@@ -107,7 +153,7 @@ class FileReport:
     #: fired there) — the suppression inventory CI reports as an
     #: artifact so drift stays visible.
     suppression_lines: list[int] = field(default_factory=list)
-    #: Parse failure, if the file was not analyzable Python.
+    #: Parse failure, if the file was not analyzable.
     error: "str | None" = None
 
 
@@ -152,22 +198,50 @@ class AnalysisReport:
         return not self.unsuppressed and not self.errors
 
 
-class SourceContext:
-    """Per-file facts rules consult while checking nodes.
+class BaseContext:
+    """Per-file facts rules consult, independent of the AST dialect.
 
-    Exposes the file's path, raw source lines, the import tables needed to
-    resolve dotted names, and — during a walk — the ancestor stack of the
-    node currently being checked.
+    Exposes the file's path and raw source lines, the scanned suppression
+    comments, the id universe of the running analyzer (for suppression
+    hygiene rules), and — during a walk — the ancestor stack of the node
+    currently being checked.  Dialect specialisations add what their rules
+    need: :class:`SourceContext` adds Python import resolution,
+    :class:`repro.query.nodes.QueryContext` adds the parsed statement.
     """
 
-    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+    def __init__(self, path: str, source: str) -> None:
         self.path = Path(path).as_posix()
         self.source = source
         self.lines = source.splitlines()
+        #: Ancestors of the node under check, outermost first (the root
+        #: node itself is index 0).  Maintained by :func:`check_tree`.
+        self.parents: list[Any] = []
+        #: The file's inline suppression comments, in line order.
+        self.suppression_comments: list[SuppressionComment] = []
+        #: Rule ids registered with the analyzer running this check —
+        #: the id universe suppression-hygiene rules validate against.
+        self.known_rule_ids: frozenset[str] = frozenset()
+
+    def line_of(self, lineno: int) -> str:
+        """The 1-based source line, stripped, or ``""`` out of range."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def enclosing(self, *types: "type[Any]") -> "Any | None":
+        """The nearest ancestor of the current node matching ``types``."""
+        for parent in reversed(self.parents):
+            if isinstance(parent, types):
+                return parent
+        return None
+
+
+class SourceContext(BaseContext):
+    """Python-file context: adds the parsed tree and import resolution."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        super().__init__(path, source)
         self.tree = tree
-        #: Ancestors of the node under check, outermost first (the module
-        #: node itself is index 0).  Maintained by :class:`Analyzer`.
-        self.parents: list[ast.AST] = []
         #: ``alias -> module`` for ``import x`` / ``import x.y as z``.
         self.module_aliases: dict[str, str] = {}
         #: ``local name -> "module.name"`` for ``from x import y [as z]``.
@@ -218,27 +292,19 @@ class SourceContext:
         """The exact source text of ``node`` (empty when unavailable)."""
         return ast.get_source_segment(self.source, node) or ""
 
-    def line_of(self, lineno: int) -> str:
-        """The 1-based source line, stripped, or ``""`` out of range."""
-        if 1 <= lineno <= len(self.lines):
-            return self.lines[lineno - 1].strip()
-        return ""
-
-    def enclosing(self, *types: "type[ast.AST]") -> "ast.AST | None":
-        """The nearest ancestor of the current node matching ``types``."""
-        for parent in reversed(self.parents):
-            if isinstance(parent, types):
-                return parent
-        return None
-
 
 class Rule:
-    """One static check, dispatched on declared AST node types.
+    """One static check, dispatched on declared node types.
 
     Subclasses set the class attributes and implement :meth:`check`; the
     analyzer instantiates each rule once per run and calls ``check`` for
     every node whose type appears in ``target_node_types`` (in files the
-    rule's path scope admits).
+    rule's path scope admits).  ``target_node_types`` may name *any* node
+    classes — Python :mod:`ast` nodes, :mod:`repro.query.nodes` expression
+    nodes — as long as the analyzer's :class:`Walker` knows the dialect.
+    A rule may additionally (or instead) implement :meth:`check_file`,
+    which runs once per file after the walk — the hook file-scoped checks
+    like suppression hygiene use.
 
     Attributes
     ----------
@@ -249,7 +315,7 @@ class Rule:
     description:
         One-line statement of the discipline the rule enforces.
     target_node_types:
-        The :mod:`ast` node classes the rule wants to see.
+        The node classes the rule wants to see.
     include:
         Path fragments the rule is restricted to (empty = every file).
     exclude:
@@ -259,7 +325,7 @@ class Rule:
     rule_id: ClassVar[str] = "RULE000"
     name: ClassVar[str] = "unnamed rule"
     description: ClassVar[str] = ""
-    target_node_types: ClassVar["tuple[type[ast.AST], ...]"] = ()
+    target_node_types: ClassVar["tuple[type[Any], ...]"] = ()
     include: ClassVar[tuple[str, ...]] = ()
     exclude: ClassVar[tuple[str, ...]] = ()
 
@@ -272,42 +338,176 @@ class Rule:
             return True
         return any(fragment in posix for fragment in self.include)
 
-    def check(self, node: ast.AST, context: SourceContext) -> Iterator[Violation]:
+    def check(self, node: Any, context: Any) -> Iterator[Violation]:
         """Yield a :class:`Violation` per defect found at ``node``."""
         raise NotImplementedError
         yield  # pragma: no cover - makes the abstract method a generator
 
+    def check_file(self, context: Any) -> Iterator[Violation]:
+        """File-level hook: yield violations not tied to any one node.
 
-def _suppressions(source: str) -> dict[int, "frozenset[str] | None"]:
-    """Map line number -> suppressed rule ids (``None`` = every rule).
+        Called once per analyzed file, after the tree walk, with the
+        context's ``suppression_comments`` and ``known_rule_ids``
+        populated.  The default checks nothing.
+        """
+        return iter(())
 
-    Suppressions are read from real comment tokens, so a string literal
-    containing ``# repro: ignore`` never waives anything.  A comment listing
-    no ids (``# repro: ignore``) suppresses every rule on its line.
+
+class Walker:
+    """How the engine traverses and locates nodes of one AST dialect.
+
+    The engine's walk, dispatch and finding machinery use only these two
+    methods, so any tree — Python :mod:`ast`, a sqlglot-style SQL
+    expression tree — plugs in by providing a walker.
     """
-    table: dict[int, "frozenset[str] | None"] = {}
+
+    def children(self, node: Any) -> Iterable[Any]:
+        """The node's direct children, in source order."""
+        raise NotImplementedError
+
+    def location(self, node: Any) -> tuple[int, int, int]:
+        """``(line, col, end_line)``: 1-based lines, 0-based column."""
+        raise NotImplementedError
+
+
+class AstWalker(Walker):
+    """The Python :mod:`ast` dialect."""
+
+    def children(self, node: Any) -> Iterable[Any]:
+        """Direct children via :func:`ast.iter_child_nodes`."""
+        return ast.iter_child_nodes(node)
+
+    def location(self, node: Any) -> tuple[int, int, int]:
+        """Positions from the node's ``lineno``/``col_offset`` attributes."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        end = getattr(node, "end_lineno", line) or line
+        return line, col, end
+
+
+#: The shared Python-ast walker (walkers are stateless).
+AST_WALKER = AstWalker()
+
+
+def python_comments(source: str) -> "Iterator[tuple[int, int, str]]":
+    """Yield ``(line, col, text)`` for every real comment token.
+
+    Reading COMMENT tokens (not grepping) means a string literal containing
+    ``# repro: ignore`` never waives anything.
+    """
     try:
         tokens = tokenize.generate_tokens(iter(source.splitlines(True)).__next__)
         for token in tokens:
-            if token.type != tokenize.COMMENT:
-                continue
-            match = _SUPPRESSION.search(token.string)
-            if match is None:
-                continue
-            ids = match.group("ids")
-            if ids is None:
-                table[token.start[0]] = None
-            else:
-                table[token.start[0]] = frozenset(
-                    part.strip() for part in ids.split(",") if part.strip()
-                )
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
     except tokenize.TokenError:  # pragma: no cover - unparsable tail
-        pass
-    return table
+        return
+
+
+def scan_suppressions(
+    comments: "Iterable[tuple[int, int, str]]",
+) -> "tuple[list[SuppressionComment], dict[int, frozenset[str] | None]]":
+    """Scan comment tokens for suppressions; return records and line table.
+
+    The table maps line number -> suppressed rule ids (``None`` = every
+    rule); a comment listing no ids (``# repro: ignore``) suppresses every
+    rule on its line.  The records keep the cited ids and positions for
+    suppression-hygiene rules (SUP001).
+    """
+    records: list[SuppressionComment] = []
+    table: "dict[int, frozenset[str] | None]" = {}
+    for line, col, text in comments:
+        match = _SUPPRESSION.search(text)
+        if match is None:
+            continue
+        ids = match.group("ids")
+        if ids is None:
+            records.append(SuppressionComment(line, col, None, text))
+            table[line] = None
+        else:
+            cited = tuple(part.strip() for part in ids.split(",") if part.strip())
+            records.append(SuppressionComment(line, col, cited, text))
+            table[line] = frozenset(cited)
+    return records, table
+
+
+def _pin_finding(
+    rule: Rule,
+    violation: Violation,
+    context: BaseContext,
+    suppressed: "Mapping[int, frozenset[str] | None]",
+    walker: Walker,
+) -> Finding:
+    """Pin a violation to its location and apply line suppressions."""
+    if violation.node is not None:
+        line, col, end = walker.location(violation.node)
+    else:
+        line = violation.line or 1
+        col = violation.col
+        end = line
+    waived = False
+    for candidate in range(line, end + 1):
+        ids = suppressed.get(candidate, frozenset())
+        if ids is None or rule.rule_id in (ids or frozenset()):
+            waived = True
+            break
+    return Finding(
+        rule_id=rule.rule_id,
+        path=context.path,
+        line=line,
+        col=col,
+        message=violation.message,
+        snippet=context.line_of(line),
+        suppressed=waived,
+    )
+
+
+def check_tree(
+    tree: Any,
+    rules: "Sequence[Rule]",
+    context: BaseContext,
+    walker: Walker,
+    suppressed: "Mapping[int, frozenset[str] | None]",
+) -> list[Finding]:
+    """Run a rule battery over one parsed tree: one walk, typed dispatch.
+
+    The dialect-agnostic core shared by :class:`Analyzer` (Python) and
+    :class:`repro.query.rules.QueryAnalyzer` (SQL join specs): dispatches
+    every node to the rules registered for its exact type, maintains the
+    ancestor stack on ``context.parents``, runs every rule's
+    :meth:`Rule.check_file` hook after the walk, and returns the findings
+    sorted by position.
+    """
+    context.known_rule_ids = frozenset(rule.rule_id for rule in rules)
+    dispatch: "dict[type[Any], list[Rule]]" = {}
+    for rule in rules:
+        for node_type in rule.target_node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    findings: list[Finding] = []
+
+    def visit(node: Any) -> None:
+        for rule in dispatch.get(type(node), ()):
+            for violation in rule.check(node, context):
+                findings.append(
+                    _pin_finding(rule, violation, context, suppressed, walker)
+                )
+        context.parents.append(node)
+        for child in walker.children(node):
+            visit(child)
+        context.parents.pop()
+
+    if dispatch:
+        visit(tree)
+    for rule in rules:
+        for violation in rule.check_file(context):
+            findings.append(
+                _pin_finding(rule, violation, context, suppressed, walker)
+            )
+    return sorted(findings, key=lambda f: (f.line, f.col, f.rule_id))
 
 
 class Analyzer:
-    """Run a rule battery over files: one parse and one walk per file.
+    """Run a rule battery over Python files: one parse and one walk each.
 
     Parameters
     ----------
@@ -336,61 +536,14 @@ class Analyzer:
             report.error = f"{type(error).__name__}: {error.msg} (line {error.lineno})"
             return report
         context = SourceContext(posix, source, tree)
-        suppressed = _suppressions(source)
+        comments, suppressed = scan_suppressions(python_comments(source))
+        context.suppression_comments = comments
         report.suppression_lines = sorted(suppressed)
         active = [rule for rule in self.rules if rule.applies_to(posix)]
         if not active:
             return report
-        dispatch: "dict[type[ast.AST], list[Rule]]" = {}
-        for rule in active:
-            for node_type in rule.target_node_types:
-                dispatch.setdefault(node_type, []).append(rule)
-        findings: list[Finding] = []
-
-        def visit(node: ast.AST) -> None:
-            for rule in dispatch.get(type(node), ()):
-                for violation in rule.check(node, context):
-                    findings.append(
-                        self._finding(rule, violation, context, suppressed)
-                    )
-            context.parents.append(node)
-            for child in ast.iter_child_nodes(node):
-                visit(child)
-            context.parents.pop()
-
-        visit(tree)
-        report.findings = sorted(
-            findings, key=lambda f: (f.line, f.col, f.rule_id)
-        )
+        report.findings = check_tree(tree, active, context, AST_WALKER, suppressed)
         return report
-
-    @staticmethod
-    def _finding(
-        rule: Rule,
-        violation: Violation,
-        context: SourceContext,
-        suppressed: dict[int, "frozenset[str] | None"],
-    ) -> Finding:
-        """Pin a violation to its location and apply line suppressions."""
-        node = violation.node
-        line = getattr(node, "lineno", 1)
-        col = getattr(node, "col_offset", 0)
-        end = getattr(node, "end_lineno", line) or line
-        waived = False
-        for candidate in range(line, end + 1):
-            ids = suppressed.get(candidate, frozenset())
-            if ids is None or rule.rule_id in (ids or frozenset()):
-                waived = True
-                break
-        return Finding(
-            rule_id=rule.rule_id,
-            path=context.path,
-            line=line,
-            col=col,
-            message=violation.message,
-            snippet=context.line_of(line),
-            suppressed=waived,
-        )
 
     # ------------------------------------------------------------------
     # Tree analysis

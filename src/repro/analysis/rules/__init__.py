@@ -1,6 +1,6 @@
 """The domain rule battery for :mod:`repro.analysis`.
 
-Five rule families, one per discipline the repository's tests pin
+Six rule families, one per discipline the repository's tests pin
 dynamically (see each module's docstring for the full rationale):
 
 ========  ==========================================================
@@ -9,6 +9,7 @@ DET002    no global-RNG calls — thread a seeded ``Generator``
 KEY001    no float coercion on join-key dataflow (exact int64 keys)
 CONC001   no fork / pickled lambdas / module-level mutable state
 API001    complete ``ExecutionBackend`` surfaces, bind-first ordering
+SUP001    suppression comments must cite rule ids that exist
 ========  ==========================================================
 
 To add a rule: subclass :class:`repro.analysis.engine.Rule` in a module
@@ -24,6 +25,7 @@ from repro.analysis.rules.api import BackendProtocolRule
 from repro.analysis.rules.concurrency import MultiprocessingHygieneRule
 from repro.analysis.rules.determinism import DirectClockRule, GlobalRngRule
 from repro.analysis.rules.keys import FloatKeyCoercionRule
+from repro.analysis.rules.suppressions import UnknownSuppressionRule
 
 __all__ = [
     "ALL_RULES",
@@ -33,6 +35,7 @@ __all__ = [
     "FloatKeyCoercionRule",
     "MultiprocessingHygieneRule",
     "BackendProtocolRule",
+    "UnknownSuppressionRule",
 ]
 
 #: Every registered rule class, in catalogue order.
@@ -42,6 +45,7 @@ ALL_RULES: "tuple[type[Rule], ...]" = (
     FloatKeyCoercionRule,
     MultiprocessingHygieneRule,
     BackendProtocolRule,
+    UnknownSuppressionRule,
 )
 
 

@@ -1,0 +1,71 @@
+"""SUP001: suppression comments must cite rule ids that exist.
+
+A suppression that cites a typo'd id -- ``# repro: ignore[TYPO999]`` --
+waives nothing, fails no build, and rots silently: the reader believes an
+exception was granted while the analyzer never honoured it.  Worse, the
+rule it was *meant* to waive fires anyway, and the natural "fix" is to
+widen the comment rather than correct the id.  SUP001 makes the typo
+itself a finding, at the comment's own position, one finding per unknown
+id so multi-rule comments report precisely.
+
+The id universe is the union of the running analyzer's registered rules
+(``context.known_rule_ids``, set by the engine) and the full Python
+catalogue (:data:`repro.analysis.rules.ALL_RULES`) -- so an Analyzer built
+with a rule subset, as the fixture tests do, does not flag citations of
+catalogue rules it happens not to be running.  Bare-form comments
+(``# repro: ignore``) cite nothing and never fire.
+
+This is a file-level rule: it implements :meth:`Rule.check_file` over the
+context's scanned :class:`~repro.analysis.engine.SuppressionComment`
+records instead of dispatching on AST nodes, which also means it works
+unchanged for any dialect the engine checks (the query analyzer registers
+an instance over ``--``-commented SQL join specs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Iterator
+
+from repro.analysis.engine import Rule, Violation
+
+__all__ = ["UnknownSuppressionRule"]
+
+
+class UnknownSuppressionRule(Rule):
+    """SUP001: a suppression citing an unknown rule id is itself a finding."""
+
+    rule_id: ClassVar[str] = "SUP001"
+    name: ClassVar[str] = "unknown suppression target"
+    description: ClassVar[str] = (
+        "suppression comments must cite registered rule ids -- a typo'd id "
+        "waives nothing and rots silently"
+    )
+    target_node_types: ClassVar["tuple[type[Any], ...]"] = ()
+
+    def check(self, node: Any, context: Any) -> Iterator[Violation]:
+        """Never called: SUP001 dispatches on files, not nodes."""
+        return iter(())
+
+    def check_file(self, context: Any) -> Iterator[Violation]:
+        """Flag every cited rule id the analyzer does not know."""
+        known = set(context.known_rule_ids)
+        try:
+            from repro.analysis.rules import ALL_RULES
+
+            known.update(rule_cls.rule_id for rule_cls in ALL_RULES)
+        except ImportError:  # pragma: no cover - catalogue always importable
+            pass
+        for comment in context.suppression_comments:
+            if comment.ids is None:
+                continue
+            for cited in comment.ids:
+                if cited not in known:
+                    yield Violation(
+                        node=None,
+                        message=(
+                            f"suppression cites unknown rule id {cited!r}; "
+                            "it waives nothing -- fix the id or drop it"
+                        ),
+                        line=comment.line,
+                        col=comment.col,
+                    )

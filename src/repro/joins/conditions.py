@@ -40,9 +40,16 @@ __all__ = [
     "InequalityJoinCondition",
     "InequalityOp",
     "CompositeEquiBandCondition",
+    "CONDITION_KINDS",
+    "make_condition",
     "exact_integer_keys",
     "normalise_keys",
 ]
+
+#: The condition kinds :func:`make_condition` constructs, in catalogue
+#: order.  The query compiler validates against this tuple so its error
+#: messages can name every choice.
+CONDITION_KINDS = ("equi", "band", "inequality", "composite")
 
 
 def exact_integer_keys(keys) -> "np.ndarray | None":
@@ -240,7 +247,18 @@ class BandJoinCondition(JoinCondition):
         return not (lo2 - hi1 > self.beta or lo1 - hi2 > self.beta)
 
     def _integral_beta(self) -> "np.int64 | None":
-        """The band width as an exact int64, or ``None`` if not integral."""
+        """The band width as an exact int64, or ``None`` if not integral.
+
+        A width given as a Python int converts directly -- routing it
+        through ``float`` first would round widths above 2**53, silently
+        changing which keys fall inside the band.
+        """
+        if isinstance(self.beta, (int, np.integer)) and not isinstance(
+            self.beta, bool
+        ):
+            if abs(int(self.beta)) < 2**62:
+                return np.int64(self.beta)
+            return None
         beta = float(self.beta)
         if beta.is_integer() and abs(beta) < 2**62:
             return np.int64(beta)
@@ -746,3 +764,85 @@ class _TransposedBandCondition(JoinCondition):
 
     def __repr__(self) -> str:
         return f"_TransposedBandCondition({self.base!r})"
+
+
+def make_condition(
+    kind: str,
+    *,
+    beta: "float | int" = 0,
+    op: "InequalityOp | str | None" = None,
+    scale: "float | None" = None,
+    band_key_min: float = 0.0,
+    band_key_max: float = 0.0,
+) -> JoinCondition:
+    """Construct a :class:`JoinCondition` from spec-level vocabulary.
+
+    The factory face of the condition hierarchy, mirroring
+    :func:`repro.streaming.window.make_window` and
+    :func:`repro.streaming.pipeline.make_backpressure`: callers that hold
+    a parsed query (the :mod:`repro.query` compiler) or a config file name
+    a *kind* and keyword parameters instead of importing concrete classes.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`CONDITION_KINDS`: ``"equi"`` (``beta`` must stay 0),
+        ``"band"`` (requires ``beta``), ``"inequality"`` (requires ``op``,
+        an :class:`InequalityOp` or its symbol, e.g. ``"<="``) or
+        ``"composite"`` (requires ``scale``; band attribute domain via
+        ``band_key_min``/``band_key_max``).
+    beta:
+        Band width.  An integral width passed as a Python int is preserved
+        exactly through the int64 band path -- never routed through float
+        (the ``exact_integer_keys`` discipline).
+
+    Raises
+    ------
+    ValueError
+        On an unknown kind or parameters that do not fit the kind.
+    """
+    if kind == "equi":
+        if beta != 0:
+            raise ValueError(
+                f"an equi condition has no band width (got beta={beta!r}); "
+                "use kind='band'"
+            )
+        if op is not None:
+            raise ValueError("an equi condition takes no comparison operator")
+        return EquiJoinCondition()
+    if kind == "band":
+        if op is not None:
+            raise ValueError("a band condition takes no comparison operator")
+        return BandJoinCondition(beta=beta)
+    if kind == "inequality":
+        if op is None:
+            raise ValueError(
+                "an inequality condition requires op (one of "
+                f"{[member.value for member in InequalityOp]})"
+            )
+        if not isinstance(op, InequalityOp):
+            try:
+                op = InequalityOp(op)
+            except ValueError:
+                raise ValueError(
+                    f"unknown inequality operator {op!r}; choose from "
+                    f"{[member.value for member in InequalityOp]}"
+                ) from None
+        if beta != 0:
+            raise ValueError("an inequality condition has no band width")
+        return InequalityJoinCondition(op=op)
+    if kind == "composite":
+        if scale is None:
+            raise ValueError(
+                "a composite condition requires scale "
+                "(> band attribute span + beta)"
+            )
+        return CompositeEquiBandCondition(
+            beta=beta,
+            scale=scale,
+            band_key_min=band_key_min,
+            band_key_max=band_key_max,
+        )
+    raise ValueError(
+        f"unknown condition kind {kind!r}; choose from {CONDITION_KINDS}"
+    )

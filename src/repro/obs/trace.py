@@ -33,7 +33,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable
 
 __all__ = [
     "Span",
@@ -107,7 +107,7 @@ class Span:
     duration: float
     depth: int = 0
     tid: int = ENGINE_TID
-    args: dict = field(default_factory=dict)
+    args: dict[str, object] = field(default_factory=dict)
 
     @property
     def end(self) -> float:
@@ -127,7 +127,7 @@ class _ActiveSpan:
         category: str,
         start: float,
         depth: int,
-        args: dict,
+        args: dict[str, object],
     ) -> None:
         self._tracer = tracer
         self.name = name
@@ -274,7 +274,7 @@ class Tracer:
         Keys are sorted and floats written verbatim, so a deterministic
         clock yields byte-identical output across runs.
         """
-        lines = []
+        lines: list[str] = []
         for span in self._spans:
             lines.append(
                 json.dumps(
@@ -297,7 +297,7 @@ class Tracer:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_jsonl())
 
-    def to_chrome_trace(self) -> dict:
+    def to_chrome_trace(self) -> dict[str, object]:
         """The trace as a Chrome trace-event JSON object.
 
         Spans become complete (``"ph": "X"``) duration events with
@@ -305,7 +305,7 @@ class Tracer:
         each track, which is how ``chrome://tracing`` and Perfetto render
         flame views.  Named tracks get ``thread_name`` metadata events.
         """
-        events: list[dict] = []
+        events: list[dict[str, object]] = []
         for tid, label in sorted(self._thread_names.items()):
             events.append(
                 {
@@ -371,7 +371,7 @@ class NullTracer:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write("")
 
-    def to_chrome_trace(self) -> dict:
+    def to_chrome_trace(self) -> dict[str, object]:
         """An empty (but well-formed) Chrome trace."""
         return {"displayTimeUnit": "ms", "traceEvents": []}
 
@@ -386,14 +386,14 @@ class NullTracer:
 NULL_TRACER = NullTracer()
 
 
-def summarize_spans(spans: "Iterable[Span]") -> "list[dict]":
+def summarize_spans(spans: "Iterable[Span]") -> "list[dict[str, Any]]":
     """Aggregate spans by (category, name): count, total/mean/max seconds.
 
     Returns one dict per distinct span label, ordered by descending total
     time — the input to
     :func:`repro.bench.reporting.format_trace_summary`.
     """
-    totals: dict[tuple[str, str], dict] = {}
+    totals: dict[tuple[str, str], dict[str, Any]] = {}
     for span in spans:
         key = (span.category, span.name)
         entry = totals.setdefault(

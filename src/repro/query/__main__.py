@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.query``."""
+
+import sys
+
+from repro.query.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,241 @@
+"""The typed AST of a SQL-ish join spec.
+
+Small frozen dataclasses, one per grammatical construct the join front-door
+understands (``docs/query.md`` has the grammar).  Every node carries its
+1-based ``line`` and 0-based ``col`` so admission findings pin to the exact
+offending token, the same way :mod:`repro.analysis` findings pin to Python
+source.  :class:`QueryWalker` teaches the generalized rule engine
+(:func:`repro.analysis.engine.check_tree`) how to traverse these trees —
+dispatch, suppressions (``-- repro: ignore[QRY001]  -- why``), reporters
+and the CLI contract are all reused from :mod:`repro.analysis` verbatim.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.analysis.engine import BaseContext, Walker
+
+__all__ = [
+    "Node",
+    "ColumnRef",
+    "Literal",
+    "Comparison",
+    "BandPredicate",
+    "AndCondition",
+    "TableRef",
+    "JoinClause",
+    "WindowClause",
+    "PolicyClause",
+    "ScaleClause",
+    "KeysClause",
+    "SelectStmt",
+    "QueryWalker",
+    "QUERY_WALKER",
+    "QueryContext",
+    "COMPARISON_OPS",
+    "INEQUALITY_OPS",
+]
+
+#: Comparison operators the grammar admits, normalised spelling.
+COMPARISON_OPS = ("=", "<", "<=", ">", ">=", "<>")
+
+#: The strict-order subset: the operators that make a join an
+#: inequality join (the O(n²)-state shape QRY002 watches).
+INEQUALITY_OPS = ("<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base of every query AST node: a source position."""
+
+    line: int = field(default=1, kw_only=True)
+    col: int = field(default=0, kw_only=True)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Node):
+    """A possibly-qualified column reference, ``r1.key`` or ``key``."""
+
+    table: "str | None"
+    column: str
+
+    def text(self) -> str:
+        """The reference as written, for messages."""
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A numeric or boolean literal, with its exact source spelling.
+
+    An integer-spelled literal (``42``, no decimal point or exponent) is
+    parsed with :func:`int` and stays a Python int end-to-end — the
+    ``exact_integer_keys`` discipline applied to the literal path, so a
+    band width of ``2**53 + 1`` written in a query survives to the engine's
+    exact int64 band arithmetic un-rounded.
+    """
+
+    value: "int | float | bool"
+    raw: str
+
+    @property
+    def is_float_formed(self) -> bool:
+        """Whether the literal was *written* as a float (``2.5``, ``1e3``)."""
+        return isinstance(self.value, float)
+
+
+@dataclass(frozen=True)
+class Comparison(Node):
+    """A binary comparison between two operands (columns or literals)."""
+
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class BandPredicate(Node):
+    """A band conjunct: ``ABS(a.x - b.y) <= w`` or the BETWEEN spelling.
+
+    ``form`` records which spelling produced it (``"abs"`` or
+    ``"between"``); both lower identically.
+    """
+
+    left: ColumnRef
+    right: ColumnRef
+    width: Literal
+    form: str
+
+
+@dataclass(frozen=True)
+class AndCondition(Node):
+    """A conjunction of two or more condition terms."""
+
+    terms: "tuple[Node, ...]"
+
+
+@dataclass(frozen=True)
+class TableRef(Node):
+    """A stream (relation) reference with an optional alias."""
+
+    name: str
+    alias: "str | None" = None
+
+    def binds(self, identifier: "str | None") -> bool:
+        """Whether ``identifier`` names this table (by alias or name)."""
+        if identifier is None:
+            return False
+        return identifier == (self.alias or self.name) or identifier == self.name
+
+
+@dataclass(frozen=True)
+class JoinClause(Node):
+    """The join: kind (``inner``/``cross``/``implicit``), table, condition.
+
+    ``implicit`` is the comma form (``FROM r1, r2``); its condition, if
+    any, comes from a ``WHERE`` clause.  ``condition`` is ``None`` when no
+    ``ON``/``WHERE`` was written — the cross-join shape QRY001 rejects.
+    """
+
+    kind: str
+    table: TableRef
+    condition: "Node | None" = None
+
+
+@dataclass(frozen=True)
+class WindowClause(Node):
+    """``WINDOW '<spec>'`` — a :func:`repro.streaming.window.make_window` spec."""
+
+    spec: str
+
+
+@dataclass(frozen=True)
+class PolicyClause(Node):
+    """``POLICY '<mode>' [QUEUE n]`` — backpressure mode and queue depth."""
+
+    spec: str
+    queue: "int | None" = None
+
+
+@dataclass(frozen=True)
+class ScaleClause(Node):
+    """``SCALE s [DOMAIN lo TO hi]`` — composite-key encoding parameters."""
+
+    scale: float
+    domain_min: float = 0.0
+    domain_max: float = 0.0
+
+
+@dataclass(frozen=True)
+class KeysClause(Node):
+    """``KEYS INT|FLOAT`` — the declared join-key dtype (default INT)."""
+
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SelectStmt(Node):
+    """One parsed join spec: the root node of a query AST."""
+
+    projection: str
+    left: TableRef
+    join: JoinClause
+    window: "WindowClause | None" = None
+    policy: "PolicyClause | None" = None
+    scale: "ScaleClause | None" = None
+    keys: "KeysClause | None" = None
+
+    @property
+    def key_dtype(self) -> str:
+        """The declared key dtype; defaults to ``"int"`` (exact int64 keys)."""
+        return self.keys.dtype if self.keys is not None else "int"
+
+    @property
+    def window_is_bounded(self) -> bool:
+        """Whether the spec declares a state-bounding window.
+
+        Missing or explicitly unbounded windows are unbounded; every other
+        registered spec (sliding, count, decay) bounds resident state.
+        """
+        if self.window is None:
+            return False
+        name = self.window.spec.partition(":")[0].strip().lower()
+        return name not in ("unbounded", "none", "")
+
+
+class QueryWalker(Walker):
+    """The query-AST dialect for the generalized rule engine."""
+
+    def children(self, node: Any) -> Iterable[Any]:
+        """Direct child nodes, in field order (tuples of nodes flatten)."""
+
+        def iter_children() -> Iterator[Any]:
+            for f in dataclasses.fields(node):
+                value = getattr(node, f.name)
+                if isinstance(value, Node):
+                    yield value
+                elif isinstance(value, tuple):
+                    for item in value:
+                        if isinstance(item, Node):
+                            yield item
+
+        return iter_children()
+
+    def location(self, node: Any) -> tuple[int, int, int]:
+        """Positions from the node's own ``line``/``col`` fields."""
+        return node.line, node.col, node.line
+
+
+#: The shared query-AST walker (walkers are stateless).
+QUERY_WALKER = QueryWalker()
+
+
+class QueryContext(BaseContext):
+    """Per-spec context query rules consult: adds the parsed statement."""
+
+    def __init__(self, path: str, source: str, statement: SelectStmt) -> None:
+        super().__init__(path, source)
+        self.statement = statement

@@ -58,8 +58,23 @@ __all__ = [
     "UnboundedWindow",
     "SlidingWindow",
     "ExponentialDecayWindow",
+    "WINDOW_SPEC_FORMS",
     "make_window",
 ]
+
+#: Every spec form :func:`make_window` accepts, aliases included.  The
+#: factory's own error message derives from this tuple, and spec
+#: validators (the query analyzer's QRY005) introspect it to suggest
+#: choices without re-stating the grammar.
+WINDOW_SPEC_FORMS = (
+    "unbounded",
+    "none",
+    "batches:<n>",
+    "sliding:<n>",
+    "tuples:<n>",
+    "count:<n>",
+    "decay:<p>",
+)
 
 
 class WindowPolicy(abc.ABC):
@@ -239,8 +254,8 @@ def make_window(spec: "WindowPolicy | str | None") -> WindowPolicy:
     name, _, argument = spec.partition(":")
     name = name.strip().lower()
     bad_spec = ValueError(
-        f"unknown window spec {spec!r} (expected 'unbounded', 'batches:<n>', "
-        "'tuples:<n>' or 'decay:<p>')"
+        f"unknown window spec {spec!r} "
+        f"(expected one of {', '.join(repr(form) for form in WINDOW_SPEC_FORMS)})"
     )
     if name in ("unbounded", "none") and not argument:
         return UnboundedWindow()

@@ -434,6 +434,82 @@ class TestBackendProtocol:
 
 
 # ---------------------------------------------------------------------------
+# SUP001 — suppression comments must cite rule ids that exist
+# ---------------------------------------------------------------------------
+class TestUnknownSuppression:
+    def test_flags_typo_rule_id(self):
+        report = run(
+            """
+            import time
+
+            START = time.time()  # repro: ignore[TYPO999]  # meant DET001
+            """
+        )
+        # The typo waives nothing, so DET001 still fires alongside SUP001.
+        assert sorted(rule_ids(report)) == ["DET001", "SUP001"]
+        sup = [f for f in report.findings if f.rule_id == "SUP001"][0]
+        assert "TYPO999" in sup.message
+        assert sup.line == 4
+
+    def test_multi_rule_comment_reports_each_unknown_id(self):
+        report = run(
+            """
+            import time
+
+            START = time.time()  # repro: ignore[DET001, TYPO999, NOPE123]  # why
+            """
+        )
+        # DET001 is validly waived; each unknown id is its own finding.
+        messages = [f.message for f in report.findings if f.rule_id == "SUP001"]
+        assert len(messages) == 2
+        assert any("TYPO999" in m for m in messages)
+        assert any("NOPE123" in m for m in messages)
+        assert [f.rule_id for f in report.findings if f.suppressed] == ["DET001"]
+
+    def test_bare_form_never_fires(self):
+        report = run(
+            """
+            import time
+
+            START = time.time()  # repro: ignore  # blanket waiver cites nothing
+            """
+        )
+        assert rule_ids(report) == []
+
+    def test_known_ids_are_clean(self):
+        report = run(
+            """
+            import time
+
+            START = time.time()  # repro: ignore[DET001]  # justified
+            """
+        )
+        assert rule_ids(report) == []
+
+    def test_catalogue_ids_known_even_under_rule_subset(self):
+        # An Analyzer running only SUP001 must still accept citations of
+        # catalogue rules it is not running (the fixture-test pattern).
+        from repro.analysis.rules import UnknownSuppressionRule
+
+        analyzer = Analyzer([UnknownSuppressionRule()])
+        report = analyzer.analyze_source(
+            "x = 1  # repro: ignore[DET001]  # cited, not running\n", IN_SCOPE
+        )
+        assert rule_ids(report) == []
+
+    def test_sup001_typo_is_not_waived_by_its_own_comment(self):
+        # Listing the typo'd id does not license it; an explicit SUP001
+        # citation on the line does.
+        report = run("x = 1  # repro: ignore[TYPO999]  # no such rule\n")
+        assert rule_ids(report) == ["SUP001"]
+        waived = run(
+            "x = 1  # repro: ignore[TYPO999, SUP001]  # documenting the demo\n"
+        )
+        assert rule_ids(waived) == []
+        assert [f.rule_id for f in waived.findings if f.suppressed] == ["SUP001"]
+
+
+# ---------------------------------------------------------------------------
 # Engine mechanics
 # ---------------------------------------------------------------------------
 class TestEngine:
@@ -499,7 +575,7 @@ class TestEngine:
 
     def test_every_rule_has_distinct_id_and_description(self):
         ids = [rule.rule_id for rule in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 5
+        assert len(ids) == len(set(ids)) == 6
         for rule in ALL_RULES:
             assert rule.description
 
@@ -556,6 +632,7 @@ class TestCli:
             "DET001",
             "DET002",
             "KEY001",
+            "SUP001",
         ]
         statuses = {f["suppressed"] for f in payload["findings"]}
         assert statuses == {True, False}
